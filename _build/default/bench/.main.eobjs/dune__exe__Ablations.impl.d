@@ -1,0 +1,1 @@
+bench/ablations.ml: Accqoc Common Gen List Paqoc Paqoc_benchmarks Paqoc_mining Paqoc_pulse Printf Slicer Suite Sys Transpile

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Circuit Common Float Gen List Paqoc_accqoc Paqoc_circuit Paqoc_mining Paqoc_pulse Printf String Suite Transpile

@@ -1,0 +1,128 @@
+(* Shared machinery for the evaluation harness: scheme runners, result
+   records, and plain-text table/series rendering. *)
+
+module Circuit = Paqoc_circuit.Circuit
+module Transpile = Paqoc_topology.Transpile
+module Gen = Paqoc_pulse.Generator
+module Accqoc = Paqoc_accqoc.Accqoc
+module Slicer = Paqoc_accqoc.Slicer
+module Miner = Paqoc_mining.Miner
+module Apa = Paqoc_mining.Apa
+module Suite = Paqoc_benchmarks.Suite
+
+type scheme = Acc3 | Acc5 | M0 | Mtuned | Minf
+
+let schemes = [ Acc3; Acc5; M0; Mtuned; Minf ]
+
+let scheme_name = function
+  | Acc3 -> "accqoc_n3d3"
+  | Acc5 -> "accqoc_n3d5"
+  | M0 -> "paqoc(M=0)"
+  | Mtuned -> "paqoc(M=tuned)"
+  | Minf -> "paqoc(M=inf)"
+
+type run = {
+  latency : float;
+  esp : float;
+  compile_seconds : float;
+  n_groups : int;
+  pulses_generated : int;
+  cache_hits : int;
+  grouped : Circuit.t;
+}
+
+let paqoc_scheme mode =
+  { Paqoc.paqoc_m0 with
+    apa_mode = mode;
+    miner = { Miner.default_config with min_support = 3 }
+  }
+
+(* Each (scheme, benchmark) pair gets a fresh generator: compilation cost
+   is measured from a cold pulse database, as the paper does. *)
+let run_scheme ?gen scheme (physical : Circuit.t) =
+  let gen = match gen with Some g -> g | None -> Gen.model_default () in
+  match scheme with
+  | Acc3 | Acc5 ->
+    let slicer = if scheme = Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5 in
+    let r = Accqoc.compile ~slicer gen physical in
+    { latency = r.Accqoc.latency;
+      esp = r.Accqoc.esp;
+      compile_seconds = r.Accqoc.compile_seconds;
+      n_groups = r.Accqoc.n_groups;
+      pulses_generated = r.Accqoc.pulses_generated;
+      cache_hits = r.Accqoc.cache_hits;
+      grouped = r.Accqoc.grouped
+    }
+  | M0 | Mtuned | Minf ->
+    let mode =
+      match scheme with
+      | M0 -> Apa.M_zero
+      | Mtuned -> Apa.M_tuned
+      | Minf | Acc3 | Acc5 -> Apa.M_inf
+    in
+    let r = Paqoc.compile ~scheme:(paqoc_scheme mode) gen physical in
+    { latency = r.Paqoc.latency;
+      esp = r.Paqoc.esp;
+      compile_seconds = r.Paqoc.compile_seconds;
+      n_groups = r.Paqoc.n_groups;
+      pulses_generated = r.Paqoc.pulses_generated;
+      cache_hits = r.Paqoc.cache_hits;
+      grouped = r.Paqoc.grouped
+    }
+
+(* memoised sweep results: figs 10, 11, 12 and 14 share one sweep *)
+let sweep_cache : (string * scheme, run) Hashtbl.t = Hashtbl.create 128
+
+let sweep_run name scheme =
+  match Hashtbl.find_opt sweep_cache (name, scheme) with
+  | Some r -> r
+  | None ->
+    let entry = Suite.find name in
+    let physical = (Suite.transpiled entry).Transpile.physical in
+    let r = run_scheme scheme physical in
+    Hashtbl.replace sweep_cache (name, scheme) r;
+    r
+
+let benchmark_names = List.map (fun (e : Suite.entry) -> e.Suite.name) Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let heading id title =
+  Printf.printf "\n%s\n%s  %s\n%s\n"
+    (String.make 78 '=') (String.uppercase_ascii id) title
+    (String.make 78 '=')
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n%!")
+
+let table ~columns ~rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun w r -> max w (String.length (List.nth r i)))
+          (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    let padded =
+      List.map2 (fun w s -> Printf.sprintf "%-*s" w s) widths cells
+    in
+    Printf.printf "  %s\n" (String.concat "  " padded)
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows;
+  print_newline ()
+
+let geomean values =
+  match values with
+  | [] -> nan
+  | _ ->
+    exp (List.fold_left (fun acc v -> acc +. log v) 0.0 values
+         /. float_of_int (List.length values))
+
+let mean values =
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

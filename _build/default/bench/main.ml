@@ -1,0 +1,61 @@
+(* Evaluation harness: regenerates every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything (default set)
+     dune exec bench/main.exe -- --only fig10 -- one experiment
+     dune exec bench/main.exe -- --fast       -- trim the slow QOC parts
+     dune exec bench/main.exe -- --skip-micro -- skip bechamel kernels
+     dune exec bench/main.exe -- --list       -- list experiment ids *)
+
+let experiments fast : (string * (unit -> unit)) list =
+  [ ("table1", Experiments.table1);
+    ("fig2", Experiments.fig2);
+    ("fig6", Experiments.fig6);
+    ("fig10", Experiments.fig10);
+    ("fig11", Experiments.fig11);
+    ("fig12", Experiments.fig12);
+    ("fig13", Experiments.fig13);
+    ("fig14", Experiments.fig14);
+    ("table2", fun () -> Experiments.table2 ~fast ());
+    ("table3", Experiments.table3);
+    ("ablation_topk", Ablations.ablation_topk);
+    ("ablation_maxn", Ablations.ablation_maxn);
+    ("ablation_m", Ablations.ablation_m);
+    ("ablation_pruning", Ablations.ablation_pruning);
+    ("ablation_commutation", Ablations.ablation_commutation);
+    ("ablation_variational", Ablations.ablation_variational);
+    ("ablation_decoherence", Ablations.ablation_decoherence)
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let fast = has "--fast" in
+  let exps = experiments fast in
+  if has "--list" then begin
+    List.iter (fun (id, _) -> print_endline id) exps;
+    print_endline "micro"
+  end
+  else begin
+    let t0 = Sys.time () in
+    (match only with
+    | Some id -> (
+      match List.assoc_opt id exps with
+      | Some f -> f ()
+      | None when id = "micro" -> Micro.run ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (try --list)\n" id;
+        exit 1)
+    | None ->
+      List.iter (fun (_, f) -> f ()) exps;
+      if not (has "--skip-micro") then Micro.run ());
+    Printf.printf "\nbench harness done in %.1f s (cpu)\n" (Sys.time () -. t0)
+  end

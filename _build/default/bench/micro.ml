@@ -1,0 +1,124 @@
+(* Bechamel micro-benchmarks: one Test.make per table / figure, each
+   timing the hot kernel that experiment leans on. *)
+
+open Bechamel
+open Toolkit
+module Gate = Paqoc_circuit.Gate
+module Angle = Paqoc_circuit.Angle
+module Circuit = Paqoc_circuit.Circuit
+module Dag = Paqoc_circuit.Dag
+module Cmat = Paqoc_linalg.Cmat
+module Expm = Paqoc_linalg.Expm
+module H = Paqoc_pulse.Hamiltonian
+module Pulse = Paqoc_pulse.Pulse
+module Grape = Paqoc_pulse.Grape
+module LM = Paqoc_pulse.Latency_model
+module Gen = Paqoc_pulse.Generator
+module Suite = Paqoc_benchmarks.Suite
+
+let qaoa_physical =
+  lazy
+    (Suite.transpiled (Suite.find "qaoa")).Paqoc_topology.Transpile.physical
+
+let simon_physical =
+  lazy
+    (Suite.transpiled (Suite.find "simon")).Paqoc_topology.Transpile.physical
+
+let h3 = lazy (H.make ~n_qubits:3 ~coupled_pairs:[ (0, 1); (1, 2) ] ())
+
+let group3 =
+  lazy
+    (fst
+       (Gen.group_of_apps
+          [ Gate.app2 Gate.CX 0 1;
+            Gate.app1 (Gate.RZ (Angle.const 0.4)) 1;
+            Gate.app2 Gate.CX 1 2 ]))
+
+let tests =
+  [ (* table1: circuit statistics over a transpiled benchmark *)
+    Test.make ~name:"table1/circuit-stats"
+      (Staged.stage (fun () ->
+           let c = Lazy.force qaoa_physical in
+           ignore (Circuit.depth c + Circuit.n_1q c + Circuit.n_2q c)));
+    (* fig2: one GRAPE gradient step on a 2-qubit target *)
+    Test.make ~name:"fig2/grape-steps"
+      (Staged.stage
+         (let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+          let target = Gate.unitary Gate.CX in
+          let config = { Grape.default_config with max_iters = 3; target_fidelity = 1.1 } in
+          fun () -> ignore (Grape.optimize ~config h ~target ~n_slices:40 ~dt:2.0 ())));
+    (* fig6: analytic latency of a 3-qubit group *)
+    Test.make ~name:"fig6/model-latency"
+      (Staged.stage (fun () ->
+           let g = Lazy.force group3 in
+           ignore
+             (LM.group_latency LM.default ~n_qubits:g.Gen.n_qubits ~key:"k"
+                g.Gen.gates)));
+    (* fig10: criticality analysis of a full physical circuit *)
+    Test.make ~name:"fig10/criticality-analysis"
+      (Staged.stage
+         (let gen = Gen.model_default () in
+          fun () ->
+            ignore (Paqoc.Criticality.analyze gen (Lazy.force qaoa_physical))));
+    (* fig11: pulse-database pricing of a cached episode *)
+    Test.make ~name:"fig11/pulse-db-lookup"
+      (Staged.stage
+         (let gen = Gen.model_default () in
+          let g = Lazy.force group3 in
+          ignore (Gen.generate gen g);
+          fun () -> ignore (Gen.generate gen g)));
+    (* fig12: whole-circuit ESP pricing *)
+    Test.make ~name:"fig12/esp-pricing"
+      (Staged.stage
+         (let gen = Gen.model_default () in
+          fun () ->
+            ignore
+              (Paqoc_pulse.Pricing.circuit_esp gen (Lazy.force simon_physical))));
+    (* fig13: AccQOC slicing of the qaoa circuit *)
+    Test.make ~name:"fig13/accqoc-slicing"
+      (Staged.stage (fun () ->
+           ignore
+             (Paqoc_accqoc.Slicer.slice Paqoc_accqoc.Slicer.accqoc_n3d3
+                (Lazy.force qaoa_physical))));
+    (* fig14: DAG schedule (the per-iteration cost the scaling fit sums) *)
+    Test.make ~name:"fig14/dag-schedule"
+      (Staged.stage
+         (let d = Dag.of_circuit (Lazy.force qaoa_physical) in
+          fun () -> ignore (Dag.schedule d ~latency:(fun _ -> 1.0))));
+    (* table2: slice propagator (the pulse simulator's inner loop) *)
+    Test.make ~name:"table2/pulse-propagator"
+      (Staged.stage
+         (let h = Lazy.force h3 in
+          let p = Pulse.make ~dt:2.0 ~slices:20 ~n_controls:(H.n_controls h) in
+          fun () -> ignore (Pulse.propagator h p)));
+    (* table3: frequent-subcircuit mining of a small physical circuit *)
+    Test.make ~name:"table3/miner"
+      (Staged.stage (fun () ->
+           ignore
+             (Paqoc_mining.Miner.mine
+                ~config:{ Paqoc_mining.Miner.default_config with min_support = 2 }
+                (Lazy.force simon_physical))))
+  ]
+
+let run () =
+  Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests

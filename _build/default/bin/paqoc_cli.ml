@@ -1,0 +1,324 @@
+(* paqoc — compile quantum circuits to pulse schedules from the command
+   line.
+
+   Subcommands:
+     compile    transpile + compile a benchmark or QASM file under a scheme
+     mine       show the frequent subcircuits of a circuit
+     benchmarks list the built-in Table I benchmarks
+     pulse      run GRAPE for a named gate and print the waveform summary *)
+
+open Cmdliner
+module Circuit = Paqoc_circuit.Circuit
+module Gate = Paqoc_circuit.Gate
+module Qasm = Paqoc_circuit.Qasm
+module Coupling = Paqoc_topology.Coupling
+module Transpile = Paqoc_topology.Transpile
+module Gen = Paqoc_pulse.Generator
+module Suite = Paqoc_benchmarks.Suite
+module Accqoc = Paqoc_accqoc.Accqoc
+module Slicer = Paqoc_accqoc.Slicer
+module Apa = Paqoc_mining.Apa
+module Miner = Paqoc_mining.Miner
+
+let load_circuit input =
+  if Sys.file_exists input then Qasm.parse_file input
+  else
+    match Suite.find input with
+    | entry -> entry.Suite.build ()
+    | exception Not_found ->
+      Printf.eprintf
+        "error: %s is neither a QASM file nor a built-in benchmark\n" input;
+      exit 1
+
+let device_of = function
+  | "5x5" -> Coupling.grid ~rows:5 ~cols:5
+  | spec -> (
+    match String.split_on_char 'x' spec with
+    | [ r; c ] -> (
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some r, Some c when r > 0 && c > 0 -> Coupling.grid ~rows:r ~cols:c
+      | _ ->
+        Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
+        exit 1)
+    | _ ->
+      Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
+      exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"QASM file or built-in benchmark name.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (enum
+               [ ("paqoc-m0", `M0); ("paqoc-mtuned", `Mtuned);
+                 ("paqoc-minf", `Minf); ("accqoc-n3d3", `Acc3);
+                 ("accqoc-n3d5", `Acc5) ])
+          `M0
+      & info [ "s"; "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Compilation scheme: paqoc-m0, paqoc-mtuned, paqoc-minf, \
+             accqoc-n3d3 or accqoc-n3d5.")
+  in
+  let device =
+    Arg.(
+      value & opt string "5x5"
+      & info [ "d"; "device" ] ~docv:"RxC"
+          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+  in
+  let max_n =
+    Arg.(
+      value & opt int 3
+      & info [ "max-qubits" ] ~docv:"N"
+          ~doc:"Qubit cap for customized/APA gates (the paper's maxN).")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 1
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:"Merges committed per search iteration (the paper's topK).")
+  in
+  let show_groups =
+    Arg.(value & flag & info [ "show-groups" ] ~doc:"Print the final gate groups.")
+  in
+  let db =
+    Arg.(
+      value & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Pulse-database file: loaded before compiling (if it exists)              and saved afterwards — the paper's persistent offline table.")
+  in
+  let run input scheme device max_n top_k show_groups db =
+    let logical = load_circuit input in
+    let coupling = device_of device in
+    let t = Transpile.run ~coupling logical in
+    let physical = t.Transpile.physical in
+    Printf.printf
+      "transpiled %s: %d logical qubits -> %d-qubit device, %d physical \
+       gates (%d swaps inserted)\n"
+      input logical.Circuit.n_qubits
+      (Coupling.n_qubits coupling)
+      (Circuit.n_gates physical) t.Transpile.swaps_added;
+    let gen = Gen.model_default () in
+    (match db with
+    | Some file when Sys.file_exists file ->
+      Gen.load_database gen file;
+      Printf.printf "pulse database: loaded %d entries from %s\n"
+        (Gen.database_size gen) file
+    | _ -> ());
+    let latency, esp, seconds, groups, grouped =
+      match scheme with
+      | `Acc3 | `Acc5 ->
+        let slicer = if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5 in
+        let r = Accqoc.compile ~slicer gen physical in
+        ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
+          r.Accqoc.n_groups, r.Accqoc.grouped )
+      | (`M0 | `Mtuned | `Minf) as m ->
+        let mode =
+          match m with `M0 -> Apa.M_zero | `Mtuned -> Apa.M_tuned | `Minf -> Apa.M_inf
+        in
+        let scheme =
+          { Paqoc.paqoc_m0 with
+            apa_mode = mode;
+            merger = { Paqoc.Merger.default_config with max_n; top_k }
+          }
+        in
+        let r = Paqoc.compile ~scheme gen physical in
+        ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
+          r.Paqoc.n_groups, r.Paqoc.grouped )
+    in
+    Printf.printf "circuit latency : %.0f dt\n" latency;
+    Printf.printf "estimated ESP   : %.4f\n" esp;
+    Printf.printf "compile cost    : %.1f s (modeled QOC time)\n" seconds;
+    Printf.printf "pulse episodes  : %d\n" groups;
+    if show_groups then
+      List.iteri
+        (fun i (g : Gate.app) ->
+          Printf.printf "  group %3d: %s\n" i (Gate.app_to_string g))
+        grouped.Circuit.gates;
+    match db with
+    | Some file ->
+      Gen.save_database gen file;
+      Printf.printf "pulse database: saved %d entries to %s\n"
+        (Gen.database_size gen) file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
+    Term.(const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ db)
+
+(* ------------------------------------------------------------------ *)
+(* mine                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mine_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"QASM file or built-in benchmark name.")
+  in
+  let support =
+    Arg.(
+      value & opt int 3
+      & info [ "support" ] ~docv:"S" ~doc:"Minimum disjoint occurrences.")
+  in
+  let transpile_first =
+    Arg.(
+      value & flag
+      & info [ "physical" ]
+          ~doc:"Mine the transpiled physical circuit (5x5 grid) instead of \
+                the logical one.")
+  in
+  let run input support transpile_first =
+    let c = load_circuit input in
+    let c =
+      if transpile_first then (Transpile.run c).Transpile.physical else c
+    in
+    let found =
+      Miner.mine ~config:{ Miner.default_config with min_support = support } c
+    in
+    if found = [] then print_endline "no frequent subcircuits found"
+    else
+      List.iteri
+        (fun i (f : Miner.found) ->
+          Printf.printf "#%d support=%d coverage=%d (%d gates, %d wires)\n"
+            (i + 1) f.Miner.support f.Miner.coverage
+            f.Miner.pattern.Paqoc_mining.Pattern.size
+            f.Miner.pattern.Paqoc_mining.Pattern.arity;
+          List.iter
+            (fun g -> Printf.printf "    %s\n" (Gate.app_to_string g))
+            f.Miner.pattern.Paqoc_mining.Pattern.gates)
+        found
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Show the frequent subcircuits of a circuit.")
+    Term.(const run $ input $ support $ transpile_first)
+
+(* ------------------------------------------------------------------ *)
+(* benchmarks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let benchmarks_cmd =
+  let run () =
+    let show (e : Suite.entry) =
+      let c = e.Suite.build () in
+      Printf.printf "%-14s %2d qubits  %4d gates  -- %s\n" e.Suite.name
+        c.Circuit.n_qubits (Circuit.n_gates c) e.Suite.description
+    in
+    print_endline "Table I benchmarks:";
+    List.iter show Suite.all;
+    print_endline "extras:";
+    List.iter show Suite.extras
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the built-in Table I benchmarks.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* pulse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pulse_cmd =
+  let gate =
+    Arg.(
+      value & pos 0 string "cx"
+      & info [] ~docv:"GATE" ~doc:"Gate name: x, h, sx, cx, cz, swap.")
+  in
+  let fidelity =
+    Arg.(
+      value & opt float 0.999
+      & info [ "fidelity" ] ~docv:"F" ~doc:"Target gate fidelity.")
+  in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE" ~doc:"Write the waveform as CSV.")
+  in
+  let plot =
+    Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII waveform plot.")
+  in
+  let run gate fidelity dump plot =
+    let kind, qubits, pairs =
+      match gate with
+      | "x" -> (Gate.X, [ 0 ], [])
+      | "h" -> (Gate.H, [ 0 ], [])
+      | "sx" -> (Gate.SX, [ 0 ], [])
+      | "cx" -> (Gate.CX, [ 0; 1 ], [ (0, 1) ])
+      | "cz" -> (Gate.CZ, [ 0; 1 ], [ (0, 1) ])
+      | "swap" -> (Gate.SWAP, [ 0; 1 ], [ (0, 1) ])
+      | g ->
+        Printf.eprintf "error: unsupported gate %s\n" g;
+        exit 1
+    in
+    let n = List.length qubits in
+    let h = Paqoc_pulse.Hamiltonian.make ~n_qubits:n ~coupled_pairs:pairs () in
+    let target = Gate.unitary kind in
+    let config =
+      { Paqoc_pulse.Duration_search.default_config with
+        grape =
+          { Paqoc_pulse.Grape.default_config with target_fidelity = fidelity }
+      }
+    in
+    let r =
+      Paqoc_pulse.Duration_search.minimal_duration ~config h ~target
+        ~lower_bound:30.0 ()
+    in
+    Printf.printf "gate %s: latency %.0f dt, fidelity %.5f (%d GRAPE probes, \
+                   %d iterations)\n"
+      gate r.Paqoc_pulse.Duration_search.latency
+      r.Paqoc_pulse.Duration_search.fidelity
+      r.Paqoc_pulse.Duration_search.probes
+      r.Paqoc_pulse.Duration_search.grape_iterations;
+    let p = r.Paqoc_pulse.Duration_search.pulse in
+    Printf.printf "pulse: %d slices x %d controls, max amplitude %.4f rad/dt\n"
+      (Paqoc_pulse.Pulse.slices p)
+      (Paqoc_pulse.Pulse.n_controls p)
+      (Paqoc_pulse.Pulse.max_amplitude p);
+    (match dump with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Paqoc_pulse.Pulse.to_csv h p);
+      close_out oc;
+      Printf.printf "waveform written to %s\n" file);
+    if plot then begin
+      (* one row of blocks per control channel, amplitude mapped to a
+         9-level glyph around zero *)
+      let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |] in
+      let slices = Paqoc_pulse.Pulse.slices p in
+      Array.iteri
+        (fun k (c : Paqoc_pulse.Hamiltonian.control) ->
+          let b = c.Paqoc_pulse.Hamiltonian.bound in
+          let line =
+            String.init slices (fun j ->
+                let u = p.Paqoc_pulse.Pulse.amplitudes.(j).(k) in
+                let level =
+                  int_of_float (abs_float u /. b *. 8.0 +. 0.5)
+                in
+                glyphs.(max 0 (min 8 level)))
+          in
+          Printf.printf "  %-8s |%s|\n" c.Paqoc_pulse.Hamiltonian.label line)
+        h.Paqoc_pulse.Hamiltonian.controls;
+      Printf.printf "  %-8s  %s\n" "" (String.make slices '-');
+      Printf.printf "  (|amplitude| vs time; full block = channel bound)\n"
+    end
+  in
+  Cmd.v
+    (Cmd.info "pulse" ~doc:"Run GRAPE for a single gate and summarise the pulse.")
+    Term.(const run $ gate $ fidelity $ dump $ plot)
+
+let () =
+  let doc = "PAQOC: program-aware QOC pulse generation" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "paqoc" ~doc)
+          [ compile_cmd; mine_cmd; benchmarks_cmd; pulse_cmd ]))

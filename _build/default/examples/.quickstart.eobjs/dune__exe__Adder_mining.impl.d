@@ -1,0 +1,1 @@
+examples/adder_mining.ml: List Paqoc Paqoc_benchmarks Paqoc_circuit Paqoc_mining Paqoc_pulse Paqoc_topology Printf

@@ -1,0 +1,1 @@
+examples/grape_pulse.ml: Paqoc Paqoc_circuit Paqoc_linalg Paqoc_pulse Printf

@@ -1,0 +1,1 @@
+examples/grape_pulse.mli:

@@ -1,0 +1,1 @@
+examples/qaoa_compile.ml: List Paqoc Paqoc_accqoc Paqoc_benchmarks Paqoc_circuit Paqoc_mining Paqoc_pulse Paqoc_topology Printf String

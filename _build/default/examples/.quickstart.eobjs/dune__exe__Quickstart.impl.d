@@ -1,0 +1,1 @@
+examples/quickstart.ml: Paqoc Paqoc_circuit Paqoc_pulse Paqoc_topology Printf

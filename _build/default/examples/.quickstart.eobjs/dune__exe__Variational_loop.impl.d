@@ -1,0 +1,1 @@
+examples/variational_loop.ml: List Paqoc Paqoc_benchmarks Paqoc_circuit Paqoc_pulse Printf

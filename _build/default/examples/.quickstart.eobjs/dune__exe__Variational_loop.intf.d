@@ -1,0 +1,1 @@
+examples/variational_loop.mli:

@@ -1,0 +1,74 @@
+(* QAOA under every scheme: the paper's motivating workload.
+
+   Demonstrates the offline/online split on a parameterised circuit: mine
+   the APA-basis gates while the angles are still symbolic (offline), bind
+   the parameters, then compile (online) and compare the five evaluation
+   schemes.
+
+   Run with:  dune exec examples/qaoa_compile.exe *)
+
+module Circuit = Paqoc_circuit.Circuit
+module Transpile = Paqoc_topology.Transpile
+module Coupling = Paqoc_topology.Coupling
+module Generator = Paqoc_pulse.Generator
+module Miner = Paqoc_mining.Miner
+module Apa = Paqoc_mining.Apa
+module Pattern = Paqoc_mining.Pattern
+module Accqoc = Paqoc_accqoc.Accqoc
+module Slicer = Paqoc_accqoc.Slicer
+module Qaoa = Paqoc_benchmarks.Qaoa
+
+let () =
+  (* ---- offline: the parameterised ansatz ---------------------------- *)
+  let symbolic = Qaoa.circuit ~symbolic:true ~n:8 ~p:2 () in
+  Printf.printf "symbolic QAOA ansatz: %d qubits, %d gates (parameters \
+                 unbound)\n"
+    symbolic.Circuit.n_qubits (Circuit.n_gates symbolic);
+  let miner_cfg = { Miner.default_config with min_support = 3 } in
+  let patterns = Miner.mine ~config:miner_cfg symbolic in
+  Printf.printf "miner found %d frequent patterns before binding angles:\n"
+    (List.length patterns);
+  List.iteri
+    (fun i (f : Miner.found) ->
+      if i < 3 then
+        Printf.printf "  #%d support %d: %s\n" (i + 1) f.Miner.support
+          (String.concat "; "
+             (List.map Paqoc_circuit.Gate.app_to_string
+                f.Miner.pattern.Pattern.gates)))
+    patterns;
+
+  (* ---- online: bind this iteration's angles and compile ------------- *)
+  let bindings =
+    [ ("gamma_0", 0.42); ("beta_0", 0.91); ("gamma_1", 0.57); ("beta_1", 0.73) ]
+  in
+  let concrete = Circuit.bind_params bindings symbolic in
+  let physical =
+    (Transpile.run ~coupling:(Coupling.grid ~rows:3 ~cols:3) concrete)
+      .Transpile.physical
+  in
+  Printf.printf "\nbound + transpiled: %d physical gates\n\n"
+    (Circuit.n_gates physical);
+  Printf.printf "%-16s %10s %8s %12s %8s\n" "scheme" "latency" "ESP"
+    "compile (s)" "episodes";
+  let row name latency esp secs episodes =
+    Printf.printf "%-16s %10.0f %8.4f %12.1f %8d\n" name latency esp secs
+      episodes
+  in
+  List.iter
+    (fun (name, slicer) ->
+      let gen = Generator.model_default () in
+      let r = Accqoc.compile ~slicer gen physical in
+      row name r.Accqoc.latency r.Accqoc.esp r.Accqoc.compile_seconds
+        r.Accqoc.n_groups)
+    [ ("accqoc_n3d3", Slicer.accqoc_n3d3); ("accqoc_n3d5", Slicer.accqoc_n3d5) ];
+  List.iter
+    (fun (name, mode) ->
+      let gen = Generator.model_default () in
+      let scheme =
+        { Paqoc.paqoc_m0 with apa_mode = mode; miner = miner_cfg }
+      in
+      let r = Paqoc.compile ~scheme gen physical in
+      row name r.Paqoc.latency r.Paqoc.esp r.Paqoc.compile_seconds
+        r.Paqoc.n_groups)
+    [ ("paqoc(M=0)", Apa.M_zero); ("paqoc(M=tuned)", Apa.M_tuned);
+      ("paqoc(M=inf)", Apa.M_inf) ]

@@ -1,0 +1,1 @@
+lib/accqoc/accqoc.ml: List Paqoc_circuit Paqoc_pulse Similarity Slicer

@@ -1,0 +1,1 @@
+lib/accqoc/accqoc.mli: Paqoc_circuit Paqoc_pulse Slicer

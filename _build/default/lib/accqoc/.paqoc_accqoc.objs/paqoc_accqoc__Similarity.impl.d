@@ -1,0 +1,1 @@
+lib/accqoc/similarity.ml: Array Fun Hashtbl List Paqoc_circuit Paqoc_pulse String

@@ -1,0 +1,1 @@
+lib/accqoc/similarity.mli: Paqoc_pulse

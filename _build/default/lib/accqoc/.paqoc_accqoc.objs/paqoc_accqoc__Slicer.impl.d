@@ -1,0 +1,1 @@
+lib/accqoc/slicer.ml: Array List Option Paqoc_circuit Printf

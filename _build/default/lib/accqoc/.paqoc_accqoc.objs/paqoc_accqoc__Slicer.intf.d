@@ -1,0 +1,1 @@
+lib/accqoc/slicer.mli: Paqoc_circuit

@@ -1,0 +1,25 @@
+(** The AccQOC baseline, end to end.
+
+    [compile] slices the physical circuit into fixed-size customized gates,
+    orders the distinct subcircuits along the similarity MST, generates (or
+    prices) a pulse per subcircuit through the shared {!Paqoc_pulse.Generator}
+    interface, and reports whole-circuit latency, ESP and compilation
+    cost — the three quantities Figs 10-12 compare. *)
+
+type report = {
+  grouped : Paqoc_circuit.Circuit.t;  (** circuit of customized gates *)
+  latency : float;  (** critical-path latency, device dt *)
+  esp : float;  (** Eq. 2 estimated success probability *)
+  compile_seconds : float;  (** pulse-generation cost charged *)
+  n_groups : int;  (** customized gates in the schedule *)
+  pulses_generated : int;  (** distinct QOC runs *)
+  cache_hits : int;
+}
+
+(** [compile ?slicer gen c] runs the baseline on physical circuit [c]
+    through generator [gen]. Default slicing is [accqoc_n3d3]. *)
+val compile :
+  ?slicer:Slicer.config ->
+  Paqoc_pulse.Generator.t ->
+  Paqoc_circuit.Circuit.t ->
+  report

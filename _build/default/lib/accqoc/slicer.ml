@@ -1,0 +1,117 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Rewrite = Paqoc_circuit.Rewrite
+module Dag = Paqoc_circuit.Dag
+
+type config = { max_qubits : int; max_depth : int }
+
+let accqoc_n3d3 = { max_qubits = 3; max_depth = 3 }
+let accqoc_n3d5 = { max_qubits = 3; max_depth = 5 }
+
+type open_group = {
+  mutable members : int list;  (* gate ids, newest first *)
+  mutable qubits : int list;
+  mutable depth : (int * int) list;  (* per-qubit layered depth *)
+}
+
+let slice cfg (c : Circuit.t) =
+  if cfg.max_qubits < 1 || cfg.max_depth < 1 then
+    invalid_arg "Slicer.slice: caps must be positive";
+  let owner = Array.make c.Circuit.n_qubits None in
+  let closed = ref [] in
+  let close g =
+    closed := List.rev g.members :: !closed;
+    List.iter
+      (fun q -> match owner.(q) with
+        | Some g' when g' == g -> owner.(q) <- None
+        | _ -> ())
+      g.qubits
+  in
+  let depth_of g q = Option.value ~default:0 (List.assoc_opt q g.depth) in
+  List.iteri
+    (fun v (gate : Gate.app) ->
+      let qs = gate.Gate.qubits in
+      let involved =
+        List.filter_map (fun q -> owner.(q)) qs
+        |> List.fold_left (fun acc g -> if List.memq g acc then acc else g :: acc) []
+      in
+      let union_qubits =
+        List.sort_uniq compare
+          (qs @ List.concat_map (fun g -> g.qubits) involved)
+      in
+      let new_depth =
+        1 + List.fold_left
+              (fun m q ->
+                match owner.(q) with
+                | Some g -> max m (depth_of g q)
+                | None -> m)
+              0 qs
+      in
+      if List.length union_qubits <= cfg.max_qubits
+         && new_depth <= cfg.max_depth then begin
+        (* merge all involved groups (or start fresh) and add the gate *)
+        let host =
+          match involved with
+          | [] ->
+            let g = { members = []; qubits = []; depth = [] } in
+            g
+          | g :: rest ->
+            List.iter
+              (fun g' ->
+                g.members <- g'.members @ g.members;
+                g.qubits <- List.sort_uniq compare (g'.qubits @ g.qubits);
+                g.depth <- g'.depth @ g.depth;
+                List.iter (fun q -> owner.(q) <- Some g) g'.qubits)
+              rest;
+            g
+        in
+        host.members <- v :: host.members;
+        host.qubits <- union_qubits;
+        host.depth <-
+          List.map (fun q -> (q, new_depth)) qs
+          @ List.filter (fun (q, _) -> not (List.mem q qs)) host.depth;
+        List.iter (fun q -> owner.(q) <- Some host) union_qubits
+      end
+      else begin
+        List.iter close involved;
+        let g =
+          { members = [ v ];
+            qubits = List.sort_uniq compare qs;
+            depth = List.map (fun q -> (q, 1)) qs
+          }
+        in
+        List.iter (fun q -> owner.(q) <- Some g) g.qubits
+      end)
+    c.Circuit.gates;
+  (* close the remaining open groups exactly once *)
+  let remaining = ref [] in
+  Array.iter
+    (function
+      | Some g -> if not (List.memq g !remaining) then remaining := g :: !remaining
+      | None -> ())
+    owner;
+  List.iter close !remaining;
+  List.rev !closed
+
+let group_circuit cfg (c : Circuit.t) =
+  let slices = slice cfg c in
+  let dag = Dag.of_circuit c in
+  let groups =
+    List.mapi
+      (fun i nodes ->
+        (nodes, Rewrite.custom_of_nodes dag nodes ~name:(Printf.sprintf "acc%d" i)))
+      slices
+  in
+  (* singleton slices of primitive gates stay as themselves *)
+  let groups =
+    List.filter_map
+      (fun (nodes, app) ->
+        match nodes with
+        | [ v ] ->
+          let orig = Dag.gate dag v in
+          ignore app;
+          Some (nodes, orig)
+        | _ -> Some (nodes, app))
+      groups
+  in
+  Rewrite.contract c groups

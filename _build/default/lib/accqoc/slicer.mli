@@ -1,0 +1,25 @@
+(** AccQOC's fixed-size subcircuit slicing.
+
+    The baseline (Cheng et al., ISCA 2020, as extended by the PAQOC paper
+    for a fair comparison) cuts the physical circuit into customized gates
+    of at most [max_qubits] qubits (3 here) and a {e fixed} depth
+    [max_depth] (3 or 5): gates are scanned in program order and greedily
+    attached to the open group on their qubits, groups merging when their
+    union stays within both caps, closing otherwise. *)
+
+type config = { max_qubits : int; max_depth : int }
+
+(** [accqoc_n3d3] / [accqoc_n3d5]: the two baseline variants evaluated in
+    the paper. *)
+val accqoc_n3d3 : config
+
+val accqoc_n3d5 : config
+
+(** [slice cfg c] returns the disjoint convex gate groups (node-id sets
+    into [Dag.of_circuit c]) covering the whole circuit, in program
+    order. *)
+val slice : config -> Paqoc_circuit.Circuit.t -> int list list
+
+(** [group_circuit cfg c] rewrites [c] with each slice contracted to a
+    customized gate named ["acc<k>"]. *)
+val group_circuit : config -> Paqoc_circuit.Circuit.t -> Paqoc_circuit.Circuit.t

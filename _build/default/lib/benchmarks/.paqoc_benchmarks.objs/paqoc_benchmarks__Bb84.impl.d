@@ -1,0 +1,1 @@
+lib/benchmarks/bb84.ml: List Paqoc_circuit Random

@@ -1,0 +1,1 @@
+lib/benchmarks/bb84.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/bv.ml: List Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/cuccaro_adder.ml: List Paqoc_circuit

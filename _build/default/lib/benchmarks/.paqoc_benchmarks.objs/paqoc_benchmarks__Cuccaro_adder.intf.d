@@ -1,0 +1,1 @@
+lib/benchmarks/cuccaro_adder.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/dnn.ml: List Paqoc_circuit Random

@@ -1,0 +1,1 @@
+lib/benchmarks/dnn.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/grover.ml: Float Fun List Option Paqoc_circuit

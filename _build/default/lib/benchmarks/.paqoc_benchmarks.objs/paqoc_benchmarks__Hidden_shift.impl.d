@@ -1,0 +1,1 @@
+lib/benchmarks/hidden_shift.ml: Array Fun List Option Paqoc_circuit Random

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Array List Paqoc_circuit Printf Random

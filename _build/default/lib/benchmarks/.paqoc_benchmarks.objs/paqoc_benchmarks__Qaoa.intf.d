@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.mli: Paqoc_circuit

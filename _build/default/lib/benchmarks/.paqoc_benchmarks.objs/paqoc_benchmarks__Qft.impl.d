@@ -1,0 +1,1 @@
+lib/benchmarks/qft.ml: List Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/qpe.ml: List Paqoc_circuit Qft

@@ -1,0 +1,1 @@
+lib/benchmarks/qpe.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/revlib.ml: Array List Paqoc_circuit Random

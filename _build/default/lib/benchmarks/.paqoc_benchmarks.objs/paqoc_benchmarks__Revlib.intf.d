@@ -1,0 +1,1 @@
+lib/benchmarks/revlib.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/simon.ml: List Paqoc_circuit Random

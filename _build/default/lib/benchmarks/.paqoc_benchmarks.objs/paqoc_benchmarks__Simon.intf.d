@@ -1,0 +1,1 @@
+lib/benchmarks/simon.mli: Paqoc_circuit

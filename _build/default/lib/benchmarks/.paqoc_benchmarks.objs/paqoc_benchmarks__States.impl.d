@@ -1,0 +1,1 @@
+lib/benchmarks/states.ml: List Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/states.mli: Paqoc_circuit

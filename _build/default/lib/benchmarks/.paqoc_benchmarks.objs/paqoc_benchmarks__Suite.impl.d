@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Bb84 Bv Cuccaro_adder Dnn Grover Hashtbl Hidden_shift List Paqoc_accqoc Paqoc_circuit Paqoc_pulse Paqoc_topology Qaoa Qft Qpe Revlib Simon States String Supremacy Vqe

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.mli: Paqoc_circuit Paqoc_pulse Paqoc_topology

@@ -1,0 +1,1 @@
+lib/benchmarks/supremacy.ml: Array List Paqoc_circuit Random

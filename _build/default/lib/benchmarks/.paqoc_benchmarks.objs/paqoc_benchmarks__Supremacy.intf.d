@@ -1,0 +1,1 @@
+lib/benchmarks/supremacy.mli: Paqoc_circuit

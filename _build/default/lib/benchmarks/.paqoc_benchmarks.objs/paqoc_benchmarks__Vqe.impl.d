@@ -1,0 +1,1 @@
+lib/benchmarks/vqe.ml: List Paqoc_circuit Printf Random

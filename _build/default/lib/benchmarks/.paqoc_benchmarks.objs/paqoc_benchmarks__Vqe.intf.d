@@ -1,0 +1,1 @@
+lib/benchmarks/vqe.mli: Paqoc_circuit

@@ -1,0 +1,28 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+
+let circuit ?(seed = 17) ~n () =
+  if n < 1 then invalid_arg "Bb84.circuit: need qubits";
+  let rng = Random.State.make [| seed; n |] in
+  let gates = ref [] in
+  let push g = gates := g :: !gates in
+  (* Alice: encode a random bit in a random basis *)
+  for q = 0 to n - 1 do
+    if Random.State.bool rng then push (Gate.app1 Gate.X q);
+    if Random.State.bool rng then push (Gate.app1 Gate.H q)
+  done;
+  (* Bob: measure in a random basis *)
+  for q = 0 to n - 1 do
+    if Random.State.bool rng then push (Gate.app1 Gate.H q)
+  done;
+  (* an intercept-resend eavesdropper: measure in a random basis and
+     re-prepare (H . X? . H), then a sifting flip on a seeded subset *)
+  for q = 0 to n - 1 do
+    push (Gate.app1 Gate.H q);
+    if Random.State.bool rng then push (Gate.app1 Gate.X q);
+    push (Gate.app1 Gate.H q)
+  done;
+  for q = 0 to n - 1 do
+    if Random.State.int rng 3 = 0 then push (Gate.app1 Gate.H q)
+  done;
+  Circuit.make ~n_qubits:n (List.rev !gates)

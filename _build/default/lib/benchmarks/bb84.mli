@@ -1,0 +1,6 @@
+(** BB84 key-distribution protocol circuit: per-qubit state preparation
+    (optional X for the bit, optional H for the basis) and the receiver's
+    seeded measurement-basis rotations. Purely single-qubit, matching
+    Table I (27 1q-gates, 0 2q-gates at 8 qubits). *)
+
+val circuit : ?seed:int -> n:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,25 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+
+let circuit ?secret ~n_data () =
+  if n_data < 1 then invalid_arg "Bv.circuit: need data qubits";
+  let secret =
+    match secret with
+    | Some s ->
+      if List.length s <> n_data then
+        invalid_arg "Bv.circuit: secret length mismatch";
+      s
+    | None -> List.init n_data (fun _ -> true)
+  in
+  let n = n_data + 1 in
+  let anc = n_data in
+  let gates =
+    List.init n_data (fun q -> Gate.app1 Gate.H q)
+    @ [ Gate.app1 Gate.X anc; Gate.app1 Gate.H anc ]
+    @ List.concat
+        (List.mapi
+           (fun q bit -> if bit then [ Gate.app2 Gate.CX q anc ] else [])
+           secret)
+    @ List.init n_data (fun q -> Gate.app1 Gate.H q)
+  in
+  Circuit.make ~n_qubits:n gates

@@ -1,0 +1,10 @@
+(** Bernstein–Vazirani.
+
+    [n_data] data qubits plus one ancilla: Hadamard everything, flip the
+    ancilla into |->, apply the inner-product oracle of [secret] as a CX
+    fan-in, and undo the Hadamards. The oracle's CX chain is what PAQOC's
+    miner sees as recurring SWAP patterns once routed onto a sparse
+    device (Table III). *)
+
+(** [circuit ?secret ~n_data ()] — default secret is all-ones. *)
+val circuit : ?secret:bool list -> n_data:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,35 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Decompose = Paqoc_circuit.Decompose
+
+(* MAJ(c, b, a): cx a b; cx a c; ccx c b a — the Toffoli expanded at
+   textbook granularity, matching how Table I counts the adder's gates *)
+let maj c b a =
+  [ Gate.app2 Gate.CX a b; Gate.app2 Gate.CX a c ]
+  @ Decompose.ccx_textbook c b a
+
+(* UMA(c, b, a) (2-cnot version): ccx c b a; cx a c; cx c b *)
+let uma c b a =
+  Decompose.ccx_textbook c b a
+  @ [ Gate.app2 Gate.CX a c; Gate.app2 Gate.CX c b ]
+
+let circuit ~bits () =
+  if bits < 1 then invalid_arg "Cuccaro_adder.circuit: need bits";
+  let n = (2 * bits) + 2 in
+  let b i = 1 + i and a i = 1 + bits + i in
+  let carry_in = 0 and carry_out = n - 1 in
+  let forward =
+    List.concat
+      (List.init bits (fun i ->
+           let c = if i = 0 then carry_in else a (i - 1) in
+           maj c (b i) (a i)))
+  in
+  let backward =
+    List.concat
+      (List.init bits (fun j ->
+           let i = bits - 1 - j in
+           let c = if i = 0 then carry_in else a (i - 1) in
+           uma c (b i) (a i)))
+  in
+  let gates = forward @ [ Gate.app2 Gate.CX (a (bits - 1)) carry_out ] @ backward in
+  Circuit.make ~n_qubits:n gates

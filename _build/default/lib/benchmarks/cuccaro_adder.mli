@@ -1,0 +1,17 @@
+(** The Cuccaro ripple-carry adder (quant-ph/0410184).
+
+    Adds two [bits]-bit registers in place using one carry-in ancilla and
+    one carry-out qubit: a forward ladder of MAJ blocks, a CX for the
+    carry-out, then a backward ladder of UMA blocks. MAJ and UMA are the
+    recurring subcircuits the paper's miner rediscovers (Table III). *)
+
+(** [circuit ~bits ()] uses [2*bits + 2] qubits:
+    qubit 0 = carry ancilla, [1..bits] = register B, [bits+1..2*bits] =
+    register A, last = carry out. *)
+val circuit : bits:int -> unit -> Paqoc_circuit.Circuit.t
+
+(** The MAJ (majority) block on (c, b, a) as a 3-qubit subcircuit. *)
+val maj : int -> int -> int -> Paqoc_circuit.Gate.app list
+
+(** The UMA (un-majority and add) block on (c, b, a). *)
+val uma : int -> int -> int -> Paqoc_circuit.Gate.app list

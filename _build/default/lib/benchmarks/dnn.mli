@@ -1,0 +1,6 @@
+(** A dense quantum-neural-network ansatz: repeated blocks of per-qubit RY
+    rotations followed by a dense CX entangling schedule, matching the
+    gate-mix scale of the paper's [dnn] benchmark (8 qubits, ~1200 gates,
+    heavily two-qubit dominated). *)
+
+val circuit : ?seed:int -> ?blocks:int -> n:int -> unit -> Paqoc_circuit.Circuit.t

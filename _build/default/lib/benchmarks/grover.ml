@@ -1,0 +1,80 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+(* multi-controlled Z on [controls @ [target]] using a CCX ladder over
+   ancillas; for <= 2 controls, native CZ / CCX-equivalents are used *)
+let mcz qubits ~ancilla_base =
+  match qubits with
+  | [] -> invalid_arg "Grover.mcz: empty"
+  | [ q ] -> [ Gate.app1 Gate.Z q ]
+  | [ a; b ] -> [ Gate.app2 Gate.CZ a b ]
+  | [ a; b; c ] ->
+    (* CCZ = H(c) CCX H(c) *)
+    [ Gate.app1 Gate.H c; Gate.app3 Gate.CCX a b c; Gate.app1 Gate.H c ]
+  | controls_and_target ->
+    let n = List.length controls_and_target in
+    let target = List.nth controls_and_target (n - 1) in
+    let controls = List.filteri (fun i _ -> i < n - 1) controls_and_target in
+    let last_control = List.nth controls (List.length controls - 1) in
+    let head = List.filteri (fun i _ -> i < List.length controls - 1) controls in
+    (* fold all but the last control into ancillas: k-2 Toffolis for k
+       controls, then one CCZ(carrier, last control, target) *)
+    let rec fold acc carrier anc = function
+      | [] -> (acc, carrier)
+      | c :: rest ->
+        fold (acc @ [ Gate.app3 Gate.CCX carrier c anc ]) anc (anc + 1) rest
+    in
+    let up, carrier =
+      match head with
+      | first :: rest -> fold [] first ancilla_base rest
+      | [] -> ([], last_control)
+    in
+    let mid =
+      [ Gate.app1 Gate.H target;
+        Gate.app3 Gate.CCX carrier last_control target;
+        Gate.app1 Gate.H target ]
+    in
+    (* Toffolis are self-inverse: reversing the ladder uncomputes it *)
+    up @ mid @ List.rev up
+
+let circuit ?marked ?iterations ~n () =
+  if n < 2 then invalid_arg "Grover.circuit: need at least 2 data qubits";
+  let marked = Option.value marked ~default:((1 lsl n) - 1) in
+  if marked < 0 || marked >= 1 lsl n then
+    invalid_arg "Grover.circuit: marked state out of range";
+  let iterations =
+    Option.value iterations
+      ~default:
+        (max 1
+           (int_of_float
+              (Float.round (Angle.pi /. 4.0 *. sqrt (float_of_int (1 lsl n))))))
+  in
+  let n_anc = max 0 (n - 3) in
+  let total = n + n_anc in
+  let data = List.init n Fun.id in
+  let gates = ref [] in
+  let push gs = gates := !gates @ gs in
+  push (List.map (fun q -> Gate.app1 Gate.H q) data);
+  let flips_for state =
+    (* X on every data qubit whose bit of [state] is 0, so the MCZ marks
+       exactly [state] *)
+    List.concat_map
+      (fun q ->
+        if (state lsr (n - 1 - q)) land 1 = 0 then [ Gate.app1 Gate.X q ]
+        else [])
+      data
+  in
+  for _ = 1 to iterations do
+    (* oracle: phase-flip the marked state *)
+    push (flips_for marked);
+    push (mcz data ~ancilla_base:n);
+    push (flips_for marked);
+    (* diffusion: H X mcz X H *)
+    push (List.map (fun q -> Gate.app1 Gate.H q) data);
+    push (List.map (fun q -> Gate.app1 Gate.X q) data);
+    push (mcz data ~ancilla_base:n);
+    push (List.map (fun q -> Gate.app1 Gate.X q) data);
+    push (List.map (fun q -> Gate.app1 Gate.H q) data)
+  done;
+  Circuit.make ~n_qubits:(max total 1) !gates

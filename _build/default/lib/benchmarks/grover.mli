@@ -1,0 +1,11 @@
+(** Grover search: [iterations] rounds of (marked-state phase oracle;
+    diffusion operator). The diffusion operator — H-layer, X-layer,
+    multi-controlled Z, undo — is a textbook recurring subcircuit, which
+    makes Grover a natural APA-mining workload. The multi-controlled Z is
+    built from CCX ladders over [n-2] borrowed ancillas for n > 3. *)
+
+(** [circuit ?marked ~n ()] searches [n] data qubits (plus the ancillas
+    the MCZ ladder needs for [n > 3]); [marked] defaults to the all-ones
+    state; iteration count defaults to the optimal
+    [round (pi/4 sqrt(2^n))]. *)
+val circuit : ?marked:int -> ?iterations:int -> n:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,39 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+
+let circuit ?(seed = 77) ?shift ~n () =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Hidden_shift.circuit: need an even number of qubits";
+  let rng = Random.State.make [| seed; n |] in
+  let shift = Option.value shift ~default:(Random.State.int rng (1 lsl n)) in
+  let half = n / 2 in
+  let gates = ref [] in
+  let push g = gates := !gates @ [ g ] in
+  let h_layer () = List.iter (fun q -> push (Gate.app1 Gate.H q)) (List.init n Fun.id) in
+  let shift_layer () =
+    for q = 0 to n - 1 do
+      if (shift lsr (n - 1 - q)) land 1 = 1 then push (Gate.app1 Gate.X q)
+    done
+  in
+  (* Maiorana-McFarland bent function f(x,y) = x . pi(y): CZ between each
+     first-half qubit and a seeded permutation of the second half *)
+  let perm = Array.init half (fun i -> half + i) in
+  for i = half - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let bent () =
+    for i = 0 to half - 1 do
+      push (Gate.app2 Gate.CZ i perm.(i))
+    done
+  in
+  h_layer ();
+  shift_layer ();
+  bent ();
+  shift_layer ();
+  h_layer ();
+  bent ();
+  h_layer ();
+  Circuit.make ~n_qubits:n !gates

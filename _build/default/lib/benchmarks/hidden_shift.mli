@@ -1,0 +1,9 @@
+(** Hidden-shift for bent functions (a CZ-heavy benchmark family).
+
+    H-layer, shift (X on the bits of [shift]), the Maiorana–McFarland bent
+    function as a CZ layer over seeded pairs, undo the shift, H-layer,
+    the dual bent function, H-layer. The all-CZ core makes this workload
+    diagonal-heavy — a stress test for virtual-RZ handling and the
+    commutativity extension. *)
+
+val circuit : ?seed:int -> ?shift:int -> n:int -> unit -> Paqoc_circuit.Circuit.t

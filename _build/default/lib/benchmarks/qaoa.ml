@@ -1,0 +1,48 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+(* ring + n/2 seeded chords: every vertex has degree ~3 (exactly 3 when the
+   chords form a perfect matching on the ring positions) *)
+let edges ?(seed = 5) ~n () =
+  if n < 4 then invalid_arg "Qaoa.edges: need at least 4 vertices";
+  let rng = Random.State.make [| seed; n |] in
+  let ring = List.init n (fun i -> (i, (i + 1) mod n)) in
+  (* chords: a seeded derangement-style matching between the two ring
+     halves *)
+  let half = n / 2 in
+  let perm = Array.init half (fun i -> half + i) in
+  for i = half - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let chords = List.init half (fun i -> (i, perm.(i))) in
+  let not_ring (a, b) =
+    abs (a - b) <> 1 && abs (a - b) <> n - 1
+  in
+  ring @ List.filter not_ring chords
+
+let circuit ?(symbolic = false) ?(seed = 5) ?(p = 3) ~n () =
+  let es = edges ~seed ~n () in
+  let gamma k =
+    if symbolic then Angle.Sym (Printf.sprintf "gamma_%d" k)
+    else Angle.const (0.4 +. (0.17 *. float_of_int k))
+  in
+  let beta k =
+    if symbolic then Angle.Sym (Printf.sprintf "beta_%d" k)
+    else Angle.const (0.9 -. (0.11 *. float_of_int k))
+  in
+  let zz angle (a, b) =
+    [ Gate.app2 Gate.CX a b; Gate.app1 (Gate.RZ angle) b; Gate.app2 Gate.CX a b ]
+  in
+  let layer k =
+    List.concat_map (zz (gamma k)) es
+    @ List.init n (fun q -> Gate.app1 (Gate.RX (beta k)) q)
+  in
+  let gates =
+    List.init n (fun q -> Gate.app1 Gate.H q)
+    @ List.concat (List.init p layer)
+  in
+  Circuit.make ~n_qubits:n gates

@@ -1,0 +1,19 @@
+(** QAOA for MaxCut (Farhi et al.).
+
+    [p] alternating layers over a seeded random 3-regular graph: the cost
+    layer applies a ZZ interaction per edge (the CPHASE pattern the miner
+    extracts, Fig 3 / Table III) and the mixer layer an RX per vertex.
+    With [symbolic = true] the angles stay as named parameters
+    [gamma_k] / [beta_k], exercising the offline/online split on
+    parameterised circuits. *)
+
+val circuit :
+  ?symbolic:bool ->
+  ?seed:int ->
+  ?p:int ->
+  n:int ->
+  unit ->
+  Paqoc_circuit.Circuit.t
+
+(** The edge list of the seeded graph (exposed for tests). *)
+val edges : ?seed:int -> n:int -> unit -> (int * int) list

@@ -1,0 +1,19 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+let circuit ?(with_swaps = true) ~n () =
+  if n < 1 then invalid_arg "Qft.circuit: need qubits";
+  let gates = ref [] in
+  for q = 0 to n - 1 do
+    gates := Gate.app1 Gate.H q :: !gates;
+    for k = q + 1 to n - 1 do
+      let angle = Angle.pi /. float_of_int (1 lsl (k - q)) in
+      gates := Gate.app2 (Gate.CPhase (Angle.const angle)) k q :: !gates
+    done
+  done;
+  if with_swaps then
+    for q = 0 to (n / 2) - 1 do
+      gates := Gate.app2 Gate.SWAP q (n - 1 - q) :: !gates
+    done;
+  Circuit.make ~n_qubits:n (List.rev !gates)

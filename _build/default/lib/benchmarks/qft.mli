@@ -1,0 +1,10 @@
+(** Quantum Fourier transform (Coppersmith).
+
+    The textbook cascade: per qubit a Hadamard followed by
+    controlled-phase gates of geometrically decreasing angle from every
+    later qubit, with the final wire-reversing SWAPs. Mined patterns:
+    SWAP-as-3-CX (most frequent after routing) and H on a CU1 target
+    (second), matching Table III. *)
+
+(** [circuit ?with_swaps ~n ()] — [with_swaps] defaults to [true]. *)
+val circuit : ?with_swaps:bool -> n:int -> unit -> Paqoc_circuit.Circuit.t

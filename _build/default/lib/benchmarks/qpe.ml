@@ -1,0 +1,25 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+let circuit ?(theta = 2.0 *. Angle.pi *. 0.3203125) ~n_count () =
+  if n_count < 1 then invalid_arg "Qpe.circuit: need counting qubits";
+  let n = n_count + 1 in
+  let target = n_count in
+  let gates = ref [] in
+  let push g = gates := g :: !gates in
+  (* eigenstate |1> of the controlled phase gate *)
+  push (Gate.app1 Gate.X target);
+  List.iter push (List.init n_count (fun q -> Gate.app1 Gate.H q));
+  (* controlled-U^(2^k): counting qubit k is the MSB-first bit k, so it
+     controls U^(2^(n_count-1-k)) *)
+  for k = 0 to n_count - 1 do
+    let reps = 1 lsl (n_count - 1 - k) in
+    let angle = theta *. float_of_int reps in
+    push (Gate.app2 (Gate.CPhase (Angle.const angle)) k target)
+  done;
+  (* inverse QFT on the counting register, derived from the (tested) QFT
+     circuit so the bit conventions agree by construction *)
+  let iqft = Circuit.dagger (Qft.circuit ~with_swaps:true ~n:n_count ()) in
+  List.iter push iqft.Circuit.gates;
+  Circuit.make ~n_qubits:n (List.rev !gates)

@@ -1,0 +1,6 @@
+(** Quantum phase estimation with [n_count] counting qubits estimating the
+    phase of a Z-rotation on one eigenstate qubit: Hadamards, the
+    controlled-U^(2^k) cascade (controlled phases), and the inverse QFT on
+    the counting register. *)
+
+val circuit : ?theta:float -> n_count:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,101 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Decompose = Paqoc_circuit.Decompose
+
+let toffoli_network ~seed ~n_qubits ~n_ccx ~n_cx ~n_x =
+  if n_qubits < 3 then invalid_arg "Revlib.toffoli_network: need 3 qubits";
+  let rng = Random.State.make [| seed; n_qubits; n_ccx; n_cx; n_x |] in
+  (* Reversible-synthesis output reuses a small set of wire tuples over and
+     over (cascades over adjacent lines); draw operands from such a pool
+     rather than uniformly, so the recurring-pattern structure real RevLib
+     netlists have is preserved. *)
+  let ccx_pool =
+    Array.init (max 1 (n_qubits - 2)) (fun a -> [ a; a + 1; a + 2 ])
+  in
+  let cx_pool =
+    Array.init (2 * (n_qubits - 1)) (fun i ->
+        let a = i / 2 in
+        if i mod 2 = 0 then [ a; a + 1 ] else [ a + 1; a ])
+  in
+  let rec random_distinct k acc =
+    if List.length acc = k then acc
+    else
+      let q = Random.State.int rng n_qubits in
+      if List.mem q acc then random_distinct k acc
+      else random_distinct k (q :: acc)
+  in
+  (* ~70% of gates reuse the cascade templates (the recurring patterns the
+     miner should find), the rest scatter like the long-range controls real
+     synthesis output also contains *)
+  let pick_distinct k =
+    if Random.State.int rng 10 < 3 then random_distinct k []
+    else if k = 3 then ccx_pool.(Random.State.int rng (Array.length ccx_pool))
+    else if k = 2 then cx_pool.(Random.State.int rng (Array.length cx_pool))
+    else [ Random.State.int rng n_qubits ]
+  in
+  (* interleave the gate kinds deterministically so the network looks like
+     synthesis output rather than three phases *)
+  let slots =
+    List.init n_ccx (fun i -> (`Ccx, i))
+    @ List.init n_cx (fun i -> (`Cx, i))
+    @ List.init n_x (fun i -> (`X, i))
+  in
+  let arr = Array.of_list slots in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  let gates =
+    Array.to_list arr
+    |> List.map (fun (kind, _) ->
+           match kind with
+           | `Ccx ->
+             let qs = pick_distinct 3 in
+             Gate.app Gate.CCX qs
+           | `Cx ->
+             let qs = pick_distinct 2 in
+             Gate.app Gate.CX qs
+           | `X ->
+             let qs = pick_distinct 1 in
+             Gate.app Gate.X qs)
+  in
+  let logical = Circuit.make ~n_qubits gates in
+  (* expand CCX at textbook {H, T, CX} granularity, the level Table I
+     counts gates at *)
+  let expanded =
+    List.concat_map
+      (fun (g : Gate.app) ->
+        match (g.Gate.kind, g.Gate.qubits) with
+        | Gate.CCX, [ a; b; c ] -> Decompose.ccx_textbook a b c
+        | _ -> [ g ])
+      logical.Circuit.gates
+  in
+  Circuit.make ~n_qubits expanded
+
+(* parameters chosen so the expanded universal-basis gate counts track the
+   paper's Table I (1q, 2q) figures *)
+let mod5d2_64 () =
+  toffoli_network ~seed:641 ~n_qubits:5 ~n_ccx:3 ~n_cx:7 ~n_x:1
+
+let rd32_270 () =
+  toffoli_network ~seed:270 ~n_qubits:4 ~n_ccx:5 ~n_cx:6 ~n_x:3
+
+let decod24_v1_41 () =
+  toffoli_network ~seed:41 ~n_qubits:4 ~n_ccx:5 ~n_cx:8 ~n_x:2
+
+let gt10_v1_81 () =
+  toffoli_network ~seed:81 ~n_qubits:5 ~n_ccx:9 ~n_cx:12 ~n_x:1
+
+let cnt3_5_179 () =
+  toffoli_network ~seed:179 ~n_qubits:16 ~n_ccx:10 ~n_cx:25 ~n_x:0
+
+let hwb4_49 () =
+  toffoli_network ~seed:49 ~n_qubits:5 ~n_ccx:14 ~n_cx:23 ~n_x:0
+
+let ham7_104 () =
+  toffoli_network ~seed:104 ~n_qubits:7 ~n_ccx:19 ~n_cx:35 ~n_x:0
+
+let majority_239 () =
+  toffoli_network ~seed:239 ~n_qubits:7 ~n_ccx:38 ~n_cx:39 ~n_x:3

@@ -1,0 +1,28 @@
+(** Synthetic stand-ins for the RevLib / ScaffCC reversible-logic
+    benchmarks of Table I.
+
+    The original [.real] netlists are not redistributable here, so each
+    benchmark is a seeded Toffoli network — a random program of CCX / CX /
+    X gates shaped like reversible-logic synthesis output — whose
+    universal-basis gate counts land on the paper's Table I numbers once
+    the CCXs are expanded (one CCX = 9 one-qubit + 6 CX under the standard
+    decomposition). What the evaluation actually consumes — gate mix,
+    dependence structure, recurring Toffoli patterns — is preserved. *)
+
+(** [toffoli_network ~seed ~n_qubits ~n_ccx ~n_cx ~n_x] builds the seeded
+    network with CCX gates already expanded to the universal basis. *)
+val toffoli_network :
+  seed:int -> n_qubits:int -> n_ccx:int -> n_cx:int -> n_x:int ->
+  Paqoc_circuit.Circuit.t
+
+val mod5d2_64 : unit -> Paqoc_circuit.Circuit.t
+val rd32_270 : unit -> Paqoc_circuit.Circuit.t
+val decod24_v1_41 : unit -> Paqoc_circuit.Circuit.t
+val gt10_v1_81 : unit -> Paqoc_circuit.Circuit.t
+
+(** cnt3-5_179 *)
+val cnt3_5_179 : unit -> Paqoc_circuit.Circuit.t
+
+val hwb4_49 : unit -> Paqoc_circuit.Circuit.t
+val ham7_104 : unit -> Paqoc_circuit.Circuit.t
+val majority_239 : unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,55 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+
+let circuit ?secret ~n_data () =
+  if n_data < 2 then invalid_arg "Simon.circuit: need at least 2 data qubits";
+  let secret =
+    match secret with
+    | Some s ->
+      if List.length s <> n_data then
+        invalid_arg "Simon.circuit: secret length mismatch";
+      s
+    | None -> List.init n_data (fun i -> i <> n_data - 1)
+  in
+  let n = 2 * n_data in
+  let anc i = n_data + i in
+  (* index of the first set secret bit *)
+  let pivot =
+    let rec find i = function
+      | [] -> 0
+      | true :: _ -> i
+      | false :: rest -> find (i + 1) rest
+    in
+    find 0 secret
+  in
+  (* post-processing of the oracle output: an invertible linear scramble
+     (CXs among ancillas) and bit flips. Composing f with an invertible map
+     preserves the two-to-one structure, and gives the oracle the gate
+     weight of a synthesised reversible function rather than a bare copy. *)
+  let rng = Random.State.make [| 31; n_data |] in
+  let scramble =
+    List.init (3 + (3 * (n_data - 1))) (fun _ ->
+        let a = Random.State.int rng n_data in
+        let b = (a + 1 + Random.State.int rng (n_data - 1)) mod n_data in
+        Gate.app2 Gate.CX (anc a) (anc b))
+  in
+  let flips =
+    List.concat
+      (List.init (2 * n_data) (fun i ->
+           if Random.State.int rng 3 < 2 then [ Gate.app1 Gate.X (anc (i mod n_data)) ]
+           else []))
+  in
+  let gates =
+    List.init n_data (fun q -> Gate.app1 Gate.H q)
+    (* copy oracle: f(x) = x on the ancilla register *)
+    @ List.init n_data (fun q -> Gate.app2 Gate.CX q (anc q))
+    (* mask: xor the secret into the ancillas controlled on the pivot *)
+    @ List.concat
+        (List.mapi
+           (fun i bit ->
+             if bit then [ Gate.app2 Gate.CX pivot (anc i) ] else [])
+           secret)
+    @ scramble @ flips
+    @ List.init n_data (fun q -> Gate.app1 Gate.H q)
+  in
+  Circuit.make ~n_qubits:n gates

@@ -1,0 +1,5 @@
+(** Simon's algorithm on [n_data] data qubits plus [n_data] ancillas, with
+    a two-to-one oracle built from a copy layer and a seeded mask of CXs
+    keyed on the secret string. *)
+
+val circuit : ?secret:bool list -> n_data:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,33 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+let ghz ~n () =
+  if n < 2 then invalid_arg "States.ghz: need at least 2 qubits";
+  Circuit.make ~n_qubits:n
+    (Gate.app1 Gate.H 0
+    :: List.init (n - 1) (fun i -> Gate.app2 Gate.CX i (i + 1)))
+
+(* W state: |W_n> = (|10..0> + |01..0> + ... + |0..01>)/sqrt n.
+   Standard cascade: start in |10..0>, then for each step move amplitude
+   with a controlled partial rotation followed by a CX. The controlled-RY
+   is decomposed as RY(t/2) . CX . RY(-t/2) . CX on the target. *)
+let w ~n () =
+  if n < 2 then invalid_arg "States.w: need at least 2 qubits";
+  let gates = ref [ Gate.app1 Gate.X 0 ] in
+  let push g = gates := !gates @ [ g ] in
+  for k = 0 to n - 2 do
+    (* rotate amplitude from qubit k onto qubit k+1: the angle splits the
+       remaining amplitude so each of the n terms ends up equal *)
+    let remaining = n - k in
+    let theta = 2.0 *. acos (sqrt (1.0 /. float_of_int remaining)) in
+    let c = k and t = k + 1 in
+    push (Gate.app1 (Gate.RY (Angle.const (theta /. 2.0))) t);
+    push (Gate.app2 Gate.CX c t);
+    push (Gate.app1 (Gate.RY (Angle.const (-.theta /. 2.0))) t);
+    push (Gate.app2 Gate.CX c t);
+    (* move the "token": if the new qubit took the amplitude, clear the
+       previous one *)
+    push (Gate.app2 Gate.CX t c)
+  done;
+  Circuit.make ~n_qubits:n !gates

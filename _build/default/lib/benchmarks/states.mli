@@ -1,0 +1,13 @@
+(** Entangled-state preparation circuits: GHZ chains and W states.
+
+    Not part of the paper's Table I, but the kind of structured workloads
+    its 150-benchmark observation corpus drew on; the CX ladders give the
+    miner and the merger long same-pair runs. *)
+
+(** [ghz ~n ()] prepares [(|0..0> + |1..1>)/sqrt 2] with an H and a CX
+    chain. *)
+val ghz : n:int -> unit -> Paqoc_circuit.Circuit.t
+
+(** [w ~n ()] prepares the n-qubit W state by cascaded partial rotations
+    (the standard RY/CX construction). *)
+val w : n:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,60 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+(* sqrt(Y) = RY(pi/2) up to phase *)
+let sqrt_y = Gate.RY (Angle.const (Angle.pi /. 2.0))
+
+let circuit ?(seed = 9) ?(cycles = 8) ~rows ~cols () =
+  if rows < 2 || cols < 2 then invalid_arg "Supremacy.circuit: need a grid";
+  let n = rows * cols in
+  let q r c = (r * cols) + c in
+  let rng = Random.State.make [| seed; rows; cols; cycles |] in
+  let gates = ref [] in
+  let push g = gates := g :: !gates in
+  List.iter push (List.init n (fun k -> Gate.app1 Gate.H k));
+  (* four coupler-activation patterns, cycled *)
+  let pattern k =
+    let horiz = k mod 2 = 0 in
+    let parity = k / 2 mod 2 in
+    let acc = ref [] in
+    if horiz then
+      for r = 0 to rows - 1 do
+        let c = ref parity in
+        while !c + 1 < cols do
+          acc := (q r !c, q r (!c + 1)) :: !acc;
+          c := !c + 2
+        done
+      done
+    else
+      for c = 0 to cols - 1 do
+        let r = ref parity in
+        while !r + 1 < rows do
+          acc := (q !r c, q (!r + 1) c) :: !acc;
+          r := !r + 2
+        done
+      done;
+    List.rev !acc
+  in
+  let last_1q = Array.make n (-1) in
+  for cyc = 0 to cycles - 1 do
+    (* a random 1q gate on every qubit, avoiding immediate repetition
+       (Google's pattern), then the cycle's CZ layer *)
+    for k = 0 to n - 1 do
+      let choice = ref (Random.State.int rng 3) in
+      if !choice = last_1q.(k) then choice := (!choice + 1) mod 3;
+      last_1q.(k) <- !choice;
+      let g =
+        match !choice with
+        | 0 -> Gate.T
+        | 1 -> Gate.SX
+        | _ -> sqrt_y
+      in
+      push (Gate.app1 g k)
+    done;
+    List.iter
+      (fun (a, b) -> push (Gate.app2 Gate.CZ a b))
+      (pattern cyc)
+  done;
+  List.iter push (List.init n (fun k -> Gate.app1 Gate.H k));
+  Circuit.make ~n_qubits:n (List.rev !gates)

@@ -1,0 +1,11 @@
+(** Quantum-supremacy-style random circuit (Arute et al. 2019, as adapted
+    for grid benchmarks).
+
+    Hadamards on every qubit of an [rows x cols] grid, then [cycles]
+    rounds of nearest-neighbour CZ gates following the alternating
+    coupler-activation pattern, with seeded random 1-qubit gates from
+    {T, sqrt(X), sqrt(Y)} interleaved on idle qubits, and a closing
+    Hadamard layer. *)
+
+val circuit :
+  ?seed:int -> ?cycles:int -> rows:int -> cols:int -> unit -> Paqoc_circuit.Circuit.t

@@ -1,0 +1,31 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Angle = Paqoc_circuit.Angle
+
+let pname l q axis = Printf.sprintf "t%d_%d_%s" l q axis
+
+let parameter_names ~layers ~n =
+  List.concat
+    (List.init (layers + 1) (fun l ->
+         List.concat
+           (List.init n (fun q -> [ pname l q "y"; pname l q "z" ]))))
+
+let circuit ?(symbolic = false) ?(seed = 13) ?(layers = 3) ~n () =
+  if n < 2 then invalid_arg "Vqe.circuit: need at least 2 qubits";
+  let rng = Random.State.make [| seed; n; layers |] in
+  let angle l q axis =
+    if symbolic then Angle.Sym (pname l q axis)
+    else Angle.const (Random.State.float rng 6.28)
+  in
+  let rotations l =
+    List.concat
+      (List.init n (fun q ->
+           [ Gate.app1 (Gate.RY (angle l q "y")) q;
+             Gate.app1 (Gate.RZ (angle l q "z")) q ]))
+  in
+  let entangler = List.init (n - 1) (fun i -> Gate.app2 Gate.CX i (i + 1)) in
+  let gates =
+    List.concat (List.init layers (fun l -> rotations l @ entangler))
+    @ rotations layers
+  in
+  Circuit.make ~n_qubits:n gates

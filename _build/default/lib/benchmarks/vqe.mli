@@ -1,0 +1,12 @@
+(** A hardware-efficient VQE ansatz (Kandala et al. style): [layers]
+    rounds of per-qubit RY/RZ rotations and a linear CX entangler. With
+    [symbolic = true] every angle is a named parameter
+    [t<layer>_<qubit>_<axis>], exercising {!Paqoc.Variational} at realistic
+    parameter counts. *)
+
+val circuit :
+  ?symbolic:bool -> ?seed:int -> ?layers:int -> n:int -> unit ->
+  Paqoc_circuit.Circuit.t
+
+(** The parameter names of the symbolic variant, in binding order. *)
+val parameter_names : layers:int -> n:int -> string list

@@ -1,0 +1,1 @@
+lib/circuit/angle.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/angle.mli: Format

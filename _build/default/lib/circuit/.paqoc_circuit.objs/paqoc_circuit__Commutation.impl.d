@@ -1,0 +1,1 @@
+lib/circuit/commutation.ml: Array Circuit Dag Gate Hashtbl List Paqoc_linalg String

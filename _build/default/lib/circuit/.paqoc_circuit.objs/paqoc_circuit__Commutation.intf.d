@@ -1,0 +1,1 @@
+lib/circuit/commutation.mli: Circuit Dag Gate

@@ -1,0 +1,1 @@
+lib/circuit/decompose.ml: Angle Array Circuit Float Fun Gate List String

@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Angle Float Format List Paqoc_linalg Printf String

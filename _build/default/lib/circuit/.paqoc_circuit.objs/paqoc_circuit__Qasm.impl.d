@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Angle Buffer Circuit Float Gate Hashtbl List Printf String

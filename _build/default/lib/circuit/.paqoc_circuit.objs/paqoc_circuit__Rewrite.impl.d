@@ -1,0 +1,1 @@
+lib/circuit/rewrite.ml: Array Circuit Dag Gate Hashtbl List Set

@@ -1,0 +1,1 @@
+lib/circuit/rewrite.mli: Circuit Dag Gate

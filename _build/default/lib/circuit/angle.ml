@@ -1,0 +1,67 @@
+type t = Const of float | Sym of string | Scaled of string * float
+
+let pi = 4.0 *. atan 1.0
+
+let const f = Const f
+let sym s = Sym s
+
+let value ?(bindings = []) = function
+  | Const f -> f
+  | Sym s -> (
+    match List.assoc_opt s bindings with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Angle.value: unbound symbol %s" s))
+  | Scaled (s, k) -> (
+    match List.assoc_opt s bindings with
+    | Some v -> k *. v
+    | None -> failwith (Printf.sprintf "Angle.value: unbound symbol %s" s))
+
+let is_symbolic = function
+  | Const _ -> false
+  | Sym _ | Scaled _ -> true
+
+let bind bindings = function
+  | Const f -> Const f
+  | Sym s as a -> (
+    match List.assoc_opt s bindings with
+    | Some v -> Const v
+    | None -> a)
+  | Scaled (s, k) as a -> (
+    match List.assoc_opt s bindings with
+    | Some v -> Const (k *. v)
+    | None -> a)
+
+(* Render a float as a multiple of pi when it is (numerically) a small
+   rational multiple; this keeps mining labels stable across circuits that
+   construct the same angle through different float expressions. *)
+let pi_label f =
+  let frac = f /. pi in
+  let denominators = [ 1; 2; 3; 4; 6; 8; 12; 16 ] in
+  let rec search = function
+    | [] -> Printf.sprintf "%.9g" f
+    | d :: rest ->
+      let num = frac *. float_of_int d in
+      let rounded = Float.round num in
+      if abs_float (num -. rounded) < 1e-9 && abs_float rounded < 64.0 then
+        let n = int_of_float rounded in
+        if n = 0 then "0"
+        else if d = 1 then Printf.sprintf "%dpi" n
+        else Printf.sprintf "%dpi/%d" n d
+      else search rest
+  in
+  search denominators
+
+let label = function
+  | Const f -> pi_label f
+  | Sym s -> "$" ^ s
+  | Scaled (s, k) -> Printf.sprintf "%.9g*$%s" k s
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> abs_float (x -. y) < 1e-9
+  | Sym s, Sym s' -> String.equal s s'
+  | Scaled (s, k), Scaled (s', k') ->
+    String.equal s s' && abs_float (k -. k') < 1e-9
+  | (Const _ | Sym _ | Scaled _), _ -> false
+
+let pp ppf a = Format.pp_print_string ppf (label a)

@@ -1,0 +1,183 @@
+let half_pi = Angle.pi /. 2.0
+
+let is_basis = function
+  | Gate.RZ _ | Gate.SX | Gate.X | Gate.CX | Gate.I -> true
+  | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.SXdg | Gate.RX _ | Gate.RY _ | Gate.U3 _ | Gate.CZ | Gate.SWAP
+  | Gate.CPhase _ | Gate.CCX | Gate.Custom _ ->
+    false
+
+let scale_angle k = function
+  | Angle.Const f -> Angle.Const (k *. f)
+  | Angle.Sym s -> Angle.Scaled (s, k)
+  | Angle.Scaled (s, k') -> Angle.Scaled (s, k *. k')
+
+let add_const c = function
+  | Angle.Const f -> Angle.Const (f +. c)
+  | (Angle.Sym _ | Angle.Scaled _) as a ->
+    if abs_float c < 1e-12 then a
+    else failwith "Decompose: affine symbolic angle not supported"
+
+let rz a q = Gate.app1 (Gate.RZ a) q
+let rzc f q = rz (Angle.Const f) q
+let sx q = Gate.app1 Gate.SX q
+let xg q = Gate.app1 Gate.X q
+let cx a b = Gate.app2 Gate.CX a b
+
+(* H = RZ(pi/2) . SX . RZ(pi/2) up to global phase *)
+let h_gates q = [ rzc half_pi q; sx q; rzc half_pi q ]
+
+(* RX(t) = H . RZ(t) . H, with H expanded *)
+let rx_gates a q = h_gates q @ [ rz a q ] @ h_gates q
+
+(* RY(t): conjugate RX by RZ(pi/2) — circuit [RZ(-pi/2); RX(t); RZ(pi/2)] *)
+let ry_gates a q = (rzc (-.half_pi) q :: rx_gates a q) @ [ rzc half_pi q ]
+
+(* U3(t,p,l) = RZ(p+pi) . SX . RZ(t+pi) . SX . RZ(l) up to global phase,
+   i.e. circuit order [RZ(l); SX; RZ(t+pi); SX; RZ(p+pi)] *)
+let u3_gates t p l q =
+  [ rz l q; sx q;
+    rz (add_const Angle.pi t) q; sx q;
+    rz (add_const Angle.pi p) q ]
+
+let ccx_textbook a b c =
+  let t q = Gate.app1 Gate.T q and tdg q = Gate.app1 Gate.Tdg q in
+  let hi q = Gate.app1 Gate.H q in
+  let cx x y = Gate.app2 Gate.CX x y in
+  [ hi c; cx b c; tdg c; cx a c; t c; cx b c; tdg c; cx a c; t b; t c;
+    hi c; cx a b; t a; tdg b; cx a b ]
+
+let rec lower_app (g : Gate.app) : Gate.app list =
+  match (g.Gate.kind, g.Gate.qubits) with
+  | Gate.I, _ -> []
+  | (Gate.X | Gate.SX | Gate.RZ _ | Gate.CX), _ -> [ g ]
+  | Gate.Z, [ q ] -> [ rzc Angle.pi q ]
+  | Gate.S, [ q ] -> [ rzc half_pi q ]
+  | Gate.Sdg, [ q ] -> [ rzc (-.half_pi) q ]
+  | Gate.T, [ q ] -> [ rzc (Angle.pi /. 4.0) q ]
+  | Gate.Tdg, [ q ] -> [ rzc (-.Angle.pi /. 4.0) q ]
+  | Gate.H, [ q ] -> h_gates q
+  | Gate.Y, [ q ] -> [ rzc Angle.pi q; xg q ]
+  | Gate.SXdg, [ q ] -> [ rzc Angle.pi q; sx q; rzc Angle.pi q ]
+  | Gate.RX a, [ q ] -> rx_gates a q
+  | Gate.RY a, [ q ] -> ry_gates a q
+  | Gate.U3 (t, p, l), [ q ] -> u3_gates t p l q
+  | Gate.CZ, [ a; b ] -> h_gates b @ [ cx a b ] @ h_gates b
+  | Gate.SWAP, [ a; b ] -> [ cx a b; cx b a; cx a b ]
+  | Gate.CPhase lam, [ a; b ] ->
+    [ rz (scale_angle 0.5 lam) a;
+      cx a b;
+      rz (scale_angle (-0.5) lam) b;
+      cx a b;
+      rz (scale_angle 0.5 lam) b ]
+  | Gate.CCX, [ a; b; c ] -> List.concat_map lower_app (ccx_textbook a b c)
+  | Gate.Custom cu, qs ->
+    let wires = Array.of_list qs in
+    List.concat_map
+      (fun (sub : Gate.app) ->
+        lower_app
+          { sub with Gate.qubits = List.map (fun q -> wires.(q)) sub.Gate.qubits })
+      cu.Gate.body
+  | ( ( Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.H | Gate.Y
+      | Gate.SXdg | Gate.RX _ | Gate.RY _ | Gate.U3 _ | Gate.CZ | Gate.SWAP
+      | Gate.CPhase _ | Gate.CCX ),
+      _ ) ->
+    invalid_arg "Decompose.lower_app: malformed operand list"
+
+(* ------------------------------------------------------------------ *)
+(* Peephole cleanup                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let angle_is_zero = function
+  | Angle.Const f ->
+    let two_pi = 2.0 *. Angle.pi in
+    let r = Float.rem (abs_float f) two_pi in
+    r < 1e-12 || two_pi -. r < 1e-12
+  | Angle.Sym _ | Angle.Scaled _ -> false
+
+let try_fuse_rz a b =
+  match (a, b) with
+  | Angle.Const x, Angle.Const y -> Some (Angle.Const (x +. y))
+  | Angle.Sym s, Angle.Sym s' when String.equal s s' ->
+    Some (Angle.Scaled (s, 2.0))
+  | Angle.Scaled (s, k), Angle.Scaled (s', k') when String.equal s s' ->
+    Some (Angle.Scaled (s, k +. k'))
+  | Angle.Sym s, Angle.Scaled (s', k) | Angle.Scaled (s', k), Angle.Sym s
+    when String.equal s s' ->
+    Some (Angle.Scaled (s, k +. 1.0))
+  | _ -> None
+
+let self_inverse = function
+  | Gate.X | Gate.H | Gate.Z | Gate.Y | Gate.CX | Gate.CZ | Gate.SWAP
+  | Gate.CCX | Gate.I ->
+    true
+  | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.SX | Gate.SXdg | Gate.RX _
+  | Gate.RY _ | Gate.RZ _ | Gate.U3 _ | Gate.CPhase _ | Gate.Custom _ ->
+    false
+
+(* One pass over the gate list with a per-qubit pending slot: each gate is
+   matched against the previous still-pending gate on the same wire set. *)
+let peephole_pass (c : Circuit.t) =
+  let changed = ref false in
+  let out : Gate.app option array =
+    Array.make (Circuit.n_gates c) None
+  in
+  (* last emitted slot index per qubit, or -1 *)
+  let last = Array.make c.Circuit.n_qubits (-1) in
+  let emit idx (g : Gate.app) =
+    out.(idx) <- Some g;
+    List.iter (fun q -> last.(q) <- idx) g.Gate.qubits
+  in
+  List.iteri
+    (fun idx (g : Gate.app) ->
+      match g.Gate.kind with
+      | Gate.I ->
+        changed := true
+      | Gate.RZ a when angle_is_zero a -> changed := true
+      | Gate.RZ a -> (
+        let q = List.hd g.Gate.qubits in
+        let prev = last.(q) in
+        match (if prev >= 0 then out.(prev) else None) with
+        | Some { Gate.kind = Gate.RZ b; qubits = [ q' ] } when q' = q -> (
+          match try_fuse_rz b a with
+          | Some fused ->
+            changed := true;
+            if angle_is_zero fused then begin
+              out.(prev) <- None;
+              last.(q) <- -1
+            end
+            else out.(prev) <- Some (rz fused q)
+          | None -> emit idx g)
+        | _ -> emit idx g)
+      | k when self_inverse k -> (
+        (* cancel with an identical immediately-preceding gate iff it is the
+           last pending gate on every operand wire *)
+        let prevs = List.map (fun q -> last.(q)) g.Gate.qubits in
+        match prevs with
+        | p :: rest when p >= 0 && List.for_all (( = ) p) rest -> (
+          match out.(p) with
+          | Some g' when Gate.equal_app g g' ->
+            changed := true;
+            out.(p) <- None;
+            List.iter (fun q -> last.(q) <- -1) g.Gate.qubits
+          | _ -> emit idx g)
+        | _ -> emit idx g)
+      | _ -> emit idx g)
+    c.Circuit.gates;
+  let gates =
+    Array.to_list out |> List.filter_map Fun.id
+  in
+  (!changed, { c with Circuit.gates })
+
+let peephole c =
+  let rec fix c n =
+    if n = 0 then c
+    else
+      let changed, c' = peephole_pass c in
+      if changed then fix c' (n - 1) else c'
+  in
+  fix c 16
+
+let to_basis c =
+  let gates = List.concat_map lower_app c.Circuit.gates in
+  peephole { c with Circuit.gates }

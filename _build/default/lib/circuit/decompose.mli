@@ -1,0 +1,33 @@
+(** Lowering to the hardware basis gate set.
+
+    The evaluation platform follows the paper's setup: an IBM-style
+    superconducting device whose native (universal) basis is
+    [{RZ, SX, X, CX}], with RZ implemented as a virtual frame change. This
+    module lowers every supported gate to that basis (up to global phase)
+    and provides a light peephole cleanup used after lowering and routing.
+
+    Symbolic parameters survive lowering whenever the identity only scales
+    the parameter (RZ, CPhase, RX, RY), which covers parameterised QAOA /
+    VQE circuits; symbolic U3 raises. *)
+
+(** [is_basis k] holds for RZ, SX, X, CX (and I, which lowering drops). *)
+val is_basis : Gate.kind -> bool
+
+(** [lower_app g] rewrites a single application into basis gates (customs
+    are inlined first).
+    @raise Failure on a symbolic U3. *)
+val lower_app : Gate.app -> Gate.app list
+
+(** [ccx_textbook a b c] is the standard qelib1 Toffoli over
+    {H, T, Tdg, CX} — the granularity benchmark papers count gates at —
+    without further lowering to the hardware basis. *)
+val ccx_textbook : int -> int -> int -> Gate.app list
+
+(** [to_basis c] lowers a whole circuit and runs {!peephole}. *)
+val to_basis : Circuit.t -> Circuit.t
+
+(** [peephole c] applies local rewrites until a fixed point: drops
+    identities and zero rotations, fuses consecutive RZ on the same wire,
+    and cancels adjacent self-inverse pairs (CX·CX, X·X, H·H). The result
+    is unitarily equivalent to the input. *)
+val peephole : Circuit.t -> Circuit.t

@@ -1,0 +1,23 @@
+(** OpenQASM 2.0 subset reader and printer.
+
+    Supports the constructs the evaluation benchmarks need: [qreg]s,
+    optional [creg]s, the qelib1 gates
+    [id x y z h s sdg t tdg sx rx ry rz u1 u2 u3 cx cz swap cp cu1 ccx],
+    user [gate] definitions (which become [Custom] gates, nestable),
+    [barrier] and [measure] (both ignored for pulse purposes), [//]
+    comments, and arithmetic parameter expressions over numbers, [pi] and
+    free identifiers (which become symbolic {!Angle.t} parameters, enabling
+    parameterised-circuit round-trips). *)
+
+exception Parse_error of string
+
+(** [parse src] reads an OpenQASM 2.0 program.
+    @raise Parse_error with a line-tagged message on malformed input. *)
+val parse : string -> Circuit.t
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> Circuit.t
+
+(** [to_qasm c] prints a circuit as OpenQASM 2.0. [Custom] gates are
+    flattened to their primitive bodies first. *)
+val to_qasm : Circuit.t -> string

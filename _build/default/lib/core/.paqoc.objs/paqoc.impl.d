@@ -1,0 +1,1 @@
+lib/core/paqoc.ml: Candidates Criticality Framework Merger Ranking Variational

@@ -1,0 +1,1 @@
+lib/core/paqoc.mli: Candidates Criticality Framework Merger Ranking Variational

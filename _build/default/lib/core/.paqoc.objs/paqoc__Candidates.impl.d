@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Array Criticality List Paqoc_circuit Printf

@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Criticality Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array Paqoc_circuit Paqoc_pulse

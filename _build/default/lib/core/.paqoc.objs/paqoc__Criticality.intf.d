@@ -1,0 +1,1 @@
+lib/core/criticality.mli: Paqoc_circuit Paqoc_pulse

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Candidates Criticality Float List Merger Paqoc_circuit Paqoc_mining Paqoc_pulse Sys

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Merger Paqoc_circuit Paqoc_mining Paqoc_pulse

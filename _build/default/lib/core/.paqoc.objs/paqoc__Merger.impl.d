@@ -1,0 +1,1 @@
+lib/core/merger.ml: Candidates Criticality Hashtbl List Paqoc_circuit Paqoc_pulse Printf Ranking

@@ -1,0 +1,1 @@
+lib/core/merger.mli: Paqoc_circuit Paqoc_pulse

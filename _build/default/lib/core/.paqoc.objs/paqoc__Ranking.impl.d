@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Candidates Criticality Float List Paqoc_circuit Paqoc_pulse

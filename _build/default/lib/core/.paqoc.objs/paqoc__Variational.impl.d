@@ -1,0 +1,1 @@
+lib/core/variational.ml: Framework Paqoc_circuit Paqoc_mining

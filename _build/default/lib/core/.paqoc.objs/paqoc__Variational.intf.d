@@ -1,0 +1,1 @@
+lib/core/variational.mli: Framework Paqoc_circuit Paqoc_mining Paqoc_pulse

@@ -1,0 +1,93 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Dag = Paqoc_circuit.Dag
+module Rewrite = Paqoc_circuit.Rewrite
+
+type t = {
+  u : int;
+  v : int;
+  case : [ `I | `II | `III ];
+  n_qubits : int;
+}
+
+let qubit_union (a : Gate.app) (b : Gate.app) =
+  List.sort_uniq compare (a.Gate.qubits @ b.Gate.qubits)
+
+(* Observation-1 compatibility: merging adds no new qubit to the larger
+   operand set, so the merge cannot create false dependencies and is
+   always (locally) beneficial. *)
+let obs1_compatible dag u v ~maxN =
+  let gu = Dag.gate dag u and gv = Dag.gate dag v in
+  let union = qubit_union gu gv in
+  let nu = List.length (List.sort_uniq compare gu.Gate.qubits) in
+  let nv = List.length (List.sort_uniq compare gv.Gate.qubits) in
+  List.length union <= maxN
+  && List.length union = max nu nv
+  && not (Dag.has_indirect_path dag u v)
+
+let preprocess (c : Circuit.t) ~maxN =
+  let counter = ref 0 in
+  let rec round c =
+    let dag = Dag.of_circuit c in
+    let n = Dag.n_nodes dag in
+    let used = Array.make n false in
+    (* greedy span-disjoint selection keeps the batched contraction
+       trivially acyclic *)
+    let spans = ref [] in
+    let selected = ref [] in
+    for u = 0 to n - 1 do
+      if not used.(u) then
+        List.iter
+          (fun v ->
+            if (not used.(u)) && (not used.(v))
+               && obs1_compatible dag u v ~maxN then begin
+              let lo = min u v and hi = max u v in
+              let clash =
+                List.exists (fun (lo', hi') -> lo <= hi' && lo' <= hi) !spans
+              in
+              if not clash then begin
+                used.(u) <- true;
+                used.(v) <- true;
+                spans := (lo, hi) :: !spans;
+                selected := (u, v) :: !selected
+              end
+            end)
+          (List.sort compare (Dag.succs dag u))
+    done;
+    match !selected with
+    | [] -> c
+    | sel ->
+      let groups =
+        List.map
+          (fun (u, v) ->
+            incr counter;
+            let nodes = [ u; v ] in
+            ( nodes,
+              Rewrite.custom_of_nodes dag nodes
+                ~name:(Printf.sprintf "pre%d" !counter) ))
+          sel
+      in
+      round (Rewrite.contract c groups)
+  in
+  round c
+
+let enumerate ?(include_case_iii = false) (crit : Criticality.t) ~maxN =
+  let dag = crit.Criticality.dag in
+  let n = Dag.n_nodes dag in
+  let out = ref [] in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        let gu = Dag.gate dag u and gv = Dag.gate dag v in
+        let union = qubit_union gu gv in
+        if List.length union <= maxN && not (Dag.has_indirect_path dag u v)
+        then
+          match Criticality.case_of crit u v with
+          | `III ->
+            if include_case_iii then
+              out := { u; v; case = `III; n_qubits = List.length union } :: !out
+          | (`I | `II) as case ->
+            out := { u; v; case; n_qubits = List.length union } :: !out)
+      (Dag.succs dag u)
+  done;
+  List.rev !out

@@ -1,0 +1,32 @@
+(** Merge-candidate generation and criticality pruning (Section V-A-1).
+
+    Candidates are pairs of directly dependent gates (DAG edges — the
+    "two-gate grouping" of each hierarchical search level). The pruning
+    pipeline applies, in order:
+
+    + the pre-processing rule from Observation 1 — consecutive gates whose
+      union introduces no new qubit are merged outright (they can only
+      help and create no false dependencies);
+    + the validity rule — pairs with an indirect dependence path are
+      dropped (merging them would deadlock the schedule);
+    + the size cap [maxN];
+    + the criticality rule — Case III pairs (neither gate on the critical
+      path) are dropped: merging them cannot shorten the circuit. *)
+
+type t = {
+  u : int;  (** earlier node id *)
+  v : int;  (** later node id, direct successor of [u] *)
+  case : [ `I | `II | `III ];
+      (** [`III] only appears when pruning is disabled (ablations) *)
+  n_qubits : int;  (** qubit count of the merged gate *)
+}
+
+(** [preprocess c ~maxN] exhaustively applies the Observation-1 rule
+    (bounded by [maxN]) and returns the simplified circuit. *)
+val preprocess : Paqoc_circuit.Circuit.t -> maxN:int -> Paqoc_circuit.Circuit.t
+
+(** [enumerate ?include_case_iii crit ~maxN] lists the surviving
+    candidates of the analyzed circuit. [include_case_iii] (default
+    [false]) disables the criticality pruning — only useful to measure
+    what the pruning buys (the bench harness's pruning ablation). *)
+val enumerate : ?include_case_iii:bool -> Criticality.t -> maxN:int -> t list

@@ -1,0 +1,28 @@
+module Circuit = Paqoc_circuit.Circuit
+module Dag = Paqoc_circuit.Dag
+module Pricing = Paqoc_pulse.Pricing
+module Generator = Paqoc_pulse.Generator
+
+type t = { circuit : Circuit.t; dag : Dag.t; sched : Dag.schedule }
+
+let analyze gen c =
+  let dag = Dag.of_circuit c in
+  (* schedule with database-or-estimate latencies: per Algorithm 1, the
+     search itself never triggers pulse generation — only committed merges
+     do (Merger) and the final schedule does (Paqoc.compile) *)
+  let sched =
+    Dag.schedule dag ~latency:(Pricing.episode_latency_estimate gen)
+  in
+  { circuit = c; dag; sched }
+
+let is_critical t v = t.sched.Dag.critical.(v)
+let total t = t.sched.Dag.total
+
+let case_of t u v =
+  match (is_critical t u, is_critical t v) with
+  | true, true -> `I
+  | true, false | false, true -> `II
+  | false, false -> `III
+
+let latency t v = t.sched.Dag.latency.(v)
+let cp_after t v = t.sched.Dag.cp_after.(v)

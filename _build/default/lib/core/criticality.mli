@@ -1,0 +1,32 @@
+(** Criticality analysis of a grouped circuit (Section V-A).
+
+    Prices every gate application as a pulse episode through the shared
+    generator, schedules the dependence DAG, and classifies each gate as
+    critical (it lies on some longest path) or not. The three merge cases
+    of the paper fall out of the per-pair classification. *)
+
+type t = {
+  circuit : Paqoc_circuit.Circuit.t;
+  dag : Paqoc_circuit.Dag.t;
+  sched : Paqoc_circuit.Dag.schedule;
+}
+
+(** [analyze gen c] prices and schedules [c]. *)
+val analyze : Paqoc_pulse.Generator.t -> Paqoc_circuit.Circuit.t -> t
+
+(** [is_critical t v] — node [v] lies on a longest path. *)
+val is_critical : t -> int -> bool
+
+(** [total t] is the whole-circuit latency. *)
+val total : t -> float
+
+(** [case_of t u v] classifies the merge pair per Section V-A:
+    [`I] both critical, [`II] exactly one critical, [`III] neither. *)
+val case_of : t -> int -> int -> [ `I | `II | `III ]
+
+(** [latency t v] is node [v]'s episode latency. *)
+val latency : t -> int -> float
+
+(** [cp_after t v] is the paper's [CP(v)]: longest path from [v]'s end to
+    the circuit's end, excluding [v] itself. *)
+val cp_after : t -> int -> float

@@ -1,0 +1,56 @@
+(** PAQOC — the program-aware QOC pulse-generation framework (Fig 7).
+
+    [compile] runs the full pipeline on a physical circuit:
+
+    + {b frequent subcircuits miner} — mine recurring patterns and replace
+      them with APA-basis gates, governed by the [M] knob
+      ({!Paqoc_mining.Apa.mode});
+    + {b criticality-aware customized gates generator} — Observation-1
+      pre-processing, then the iterative top-k merge search
+      ({!Merger});
+    + {b control pulses generator} — every committed group is priced /
+      synthesised through the shared {!Paqoc_pulse.Generator} (which owns
+      the pulse database with permutation-aware lookup and warm starts).
+
+    The report carries the three quantities the paper's evaluation
+    compares (latency, compilation cost, ESP) plus search diagnostics. *)
+
+type scheme = {
+  apa_mode : Paqoc_mining.Apa.mode;
+  miner : Paqoc_mining.Miner.config;
+  merger : Merger.config;
+  enable_merger : bool;
+      (** disable to get the "APA-only simplified circuit" variant of
+          Section V-C *)
+  commutation_aware : bool;
+      (** reorder commuting gates before the search (the paper's stated
+          future-work extension, off by default); widens the
+          Observation-1 pre-processing and the merge space while
+          preserving the circuit unitary exactly *)
+}
+
+(** [paqoc_m0], [paqoc_mtuned], [paqoc_minf]: the three configurations
+    evaluated in the paper (maxN = 3, topK = 1). *)
+val paqoc_m0 : scheme
+
+val paqoc_mtuned : scheme
+val paqoc_minf : scheme
+
+type report = {
+  grouped : Paqoc_circuit.Circuit.t;  (** final circuit of pulse episodes *)
+  latency : float;  (** critical-path latency, device dt *)
+  esp : float;  (** Eq. 2 *)
+  compile_seconds : float;  (** QOC cost + search wall time *)
+  qoc_seconds : float;  (** pulse-generation part of the above *)
+  search_seconds : float;  (** criticality search part *)
+  n_groups : int;
+  pulses_generated : int;
+  cache_hits : int;
+  apa : Paqoc_mining.Apa.result;  (** miner outcome *)
+  merge_stats : Merger.stats;
+}
+
+(** [compile ?scheme gen c] compiles physical circuit [c]. Default scheme
+    is [paqoc_m0]. *)
+val compile :
+  ?scheme:scheme -> Paqoc_pulse.Generator.t -> Paqoc_circuit.Circuit.t -> report

@@ -1,0 +1,38 @@
+(** The iterative customized-gates generator (Algorithm 1).
+
+    Each iteration enumerates two-gate merge candidates on the current
+    circuit, prunes them by criticality, ranks them by estimated
+    critical-path reduction, and commits up to [top_k] span-disjoint
+    merges. A commit generates the merged gate's pulse (through the shared
+    generator — this is where QOC time is actually spent), rewrites the
+    circuit, and is {e rolled back} if the measured whole-circuit latency
+    regressed — enforcing the paper's invariant that every merge step
+    monotonically decreases (never increases) circuit latency. The loop
+    ends when no candidate scores non-negatively or nothing can be
+    committed. *)
+
+type config = {
+  max_n : int;  (** qubit cap for customized gates (the paper's maxN) *)
+  top_k : int;  (** merges committed per iteration (the paper's topK) *)
+  max_iterations : int;  (** safety bound; the loop normally exits early *)
+  prune_noncritical : bool;
+      (** the paper's Case-III pruning; disable only to measure its value *)
+}
+
+val default_config : config
+
+type stats = {
+  iterations : int;
+  merges_committed : int;
+  merges_rolled_back : int;
+  initial_latency : float;
+  final_latency : float;
+}
+
+(** [run ?config gen c] returns the latency-optimised grouped circuit and
+    the search statistics. *)
+val run :
+  ?config:config ->
+  Paqoc_pulse.Generator.t ->
+  Paqoc_circuit.Circuit.t ->
+  Paqoc_circuit.Circuit.t * stats

@@ -1,0 +1,8 @@
+(* Library root: the framework facade plus the pipeline stages. *)
+module Criticality = Criticality
+module Candidates = Candidates
+module Ranking = Ranking
+module Merger = Merger
+module Variational = Variational
+
+include Framework

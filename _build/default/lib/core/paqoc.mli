@@ -1,0 +1,15 @@
+(** PAQOC — the program-aware QOC pulse-generation framework (Fig 7).
+
+    This is the library root: {!Framework}'s [compile] entry point and
+    report plus the individual pipeline stages ({!Criticality} analysis,
+    {!Candidates} generation/pruning, {!Ranking}, the {!Merger} running
+    Algorithm 1) and the offline/online split for variational workloads
+    ({!Variational}). *)
+
+module Criticality = Criticality
+module Candidates = Candidates
+module Ranking = Ranking
+module Merger = Merger
+module Variational = Variational
+
+include module type of Framework

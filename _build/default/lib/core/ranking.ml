@@ -1,0 +1,73 @@
+module Gate = Paqoc_circuit.Gate
+module Dag = Paqoc_circuit.Dag
+module Generator = Paqoc_pulse.Generator
+
+type scored = {
+  candidate : Candidates.t;
+  score : float;
+  est_merged_latency : float;
+}
+
+let n_qubits_of (g : Gate.app) =
+  List.length (List.sort_uniq compare g.Gate.qubits)
+
+let score gen (crit : Criticality.t) (cand : Candidates.t) =
+  let dag = crit.Criticality.dag in
+  let u = cand.Candidates.u and v = cand.Candidates.v in
+  let gu = Dag.gate dag u and gv = Dag.gate dag v in
+  let l_u = Criticality.latency crit u
+  and l_v = Criticality.latency crit v in
+  let merged_group, _ = Generator.group_of_apps [ gu; gv ] in
+  let grows = cand.Candidates.n_qubits > max (n_qubits_of gu) (n_qubits_of gv) in
+  let est =
+    let model_est = Generator.estimate_latency gen merged_group in
+    if grows then
+      (* Observation 2: a bigger customized gate is, on average, slower —
+         price it at least at the corpus average for its size *)
+      Float.max model_est
+        (Generator.avg_latency_for_size gen cand.Candidates.n_qubits)
+    else model_est
+  in
+  (* longest continuation through u's other successors (the paper's C) *)
+  let alt_after_u =
+    List.fold_left
+      (fun acc c ->
+        if c = v then acc
+        else
+          Float.max acc (Criticality.latency crit c +. Criticality.cp_after crit c))
+      0.0 (Dag.succs dag u)
+  in
+  let cp_v = Criticality.cp_after crit v in
+  let score =
+    match cand.Candidates.case with
+    | `I ->
+      (* both on the critical path:
+         orig = L(u) + L(v) + CP(v); new = L(uv) + max(CP(v), alt) *)
+      l_u +. l_v +. cp_v -. (est +. Float.max cp_v alt_after_u)
+    | `II ->
+      if Criticality.is_critical crit u then
+        (* u critical, v the off-path successor C: the critical
+           continuation b is u's dominant other successor, so
+           orig = L(u) + (L(b)+CP(b)); new = L(uv) + max(L(b)+CP(b), CP(v))
+           — beneficial iff L(uv) < L(u) while CP(v) stays dominated,
+           exactly the paper's comparison. *)
+        l_u +. alt_after_u -. (est +. Float.max alt_after_u cp_v)
+      else
+        (* v critical, u the off-path predecessor *)
+        l_v -. est
+    | `III ->
+      (* neither gate is critical: merging cannot shorten the circuit
+         (Section V-A prunes these); scored only in the pruning ablation,
+         by the local Observation-1 gain *)
+      l_u +. l_v -. est
+  in
+  { candidate = cand; score; est_merged_latency = est }
+
+let rank gen crit cands =
+  List.map (score gen crit) cands
+  |> List.sort (fun a b ->
+         if a.score <> b.score then compare b.score a.score
+         else
+           compare
+             (a.candidate.Candidates.u, a.candidate.Candidates.v)
+             (b.candidate.Candidates.u, b.candidate.Candidates.v))

@@ -1,0 +1,24 @@
+(** Candidate scoring (Section V-A's Case I / Case II algebra).
+
+    Each candidate is scored by the estimated drop in whole-circuit latency
+    if the pair merged, {e without generating a pulse}: Observations 1 and
+    2 supply the estimate of the merged latency (the analytic model's free
+    estimate for same-size merges, the corpus average for size-growing
+    merges), and the paper's path formulas supply the local critical-path
+    delta. Pulse generation happens only for the top-k candidates the
+    merger actually commits. *)
+
+type scored = {
+  candidate : Candidates.t;
+  score : float;  (** estimated latency reduction, device dt *)
+  est_merged_latency : float;
+}
+
+(** [score gen crit cand] prices one candidate. *)
+val score :
+  Paqoc_pulse.Generator.t -> Criticality.t -> Candidates.t -> scored
+
+(** [rank gen crit cands] scores and sorts best-first (ties: earlier pair
+    first, for determinism). *)
+val rank :
+  Paqoc_pulse.Generator.t -> Criticality.t -> Candidates.t list -> scored list

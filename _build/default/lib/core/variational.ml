@@ -1,0 +1,29 @@
+module Circuit = Paqoc_circuit.Circuit
+module Apa = Paqoc_mining.Apa
+module Miner = Paqoc_mining.Miner
+
+type prepared = {
+  substituted : Circuit.t;  (** symbolic circuit with APA gates in place *)
+  apa : Apa.result;
+  scheme : Framework.scheme;
+}
+
+let default_scheme =
+  { Framework.paqoc_minf with
+    miner = { Miner.default_config with min_support = 2 }
+  }
+
+let prepare ?(scheme = default_scheme) symbolic =
+  let apa = Apa.apply ~miner:scheme.Framework.miner ~mode:scheme.Framework.apa_mode symbolic in
+  { substituted = apa.Apa.circuit; apa; scheme }
+
+let apa_gates p = p.apa.Apa.apa_gates
+
+let compile p gen bindings =
+  let bound = Circuit.bind_params bindings p.substituted in
+  if Circuit.is_symbolic bound then
+    failwith "Variational.compile: unbound parameters remain";
+  (* the APA substitution already happened offline: run the online scheme
+     with mining disabled *)
+  let online = { p.scheme with Framework.apa_mode = Apa.M_zero } in
+  Framework.compile ~scheme:online gen bound

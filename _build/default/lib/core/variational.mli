@@ -1,0 +1,32 @@
+(** Offline/online compilation for variational algorithms (the paper's
+    fifth contribution, cf. Gokhale et al.'s partial compilation).
+
+    VQE / QAOA execute the same parameterised circuit for many parameter
+    vectors. PAQOC's split: the {e offline} phase mines the frequent
+    subcircuits of the {e symbolic} circuit (angle-blind labels make this
+    possible before any parameter is known) and fixes the APA-basis
+    substitution; each {e online} iteration binds that iteration's
+    parameters and runs only the criticality search plus pulse generation
+    for the groups, against a pulse database that persists across
+    iterations — so later iterations are substantially cheaper. *)
+
+type prepared
+
+(** [prepare ?scheme symbolic] runs the offline phase on a (typically
+    symbolic) circuit. The scheme's APA mode governs how many mined
+    patterns become APA gates (default [paqoc_minf] with support 2 —
+    variational ansätze repeat their blocks within one circuit). *)
+val prepare : ?scheme:Framework.scheme -> Paqoc_circuit.Circuit.t -> prepared
+
+(** [apa_gates p] — the APA-basis gates fixed offline. *)
+val apa_gates : prepared -> (string * Paqoc_mining.Pattern.t) list
+
+(** [compile p gen bindings] — one online iteration: bind the parameters
+    and compile. Reuse the same [gen] across iterations to amortise the
+    pulse database (its accounting deltas give the per-iteration cost).
+    @raise Failure if some parameter is left unbound. *)
+val compile :
+  prepared ->
+  Paqoc_pulse.Generator.t ->
+  (string * float) list ->
+  Framework.report

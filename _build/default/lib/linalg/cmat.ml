@@ -1,0 +1,423 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Cmat.create: negative dimension";
+  { rows; cols; re = Array.make (rows * cols) 0.0;
+    im = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let idx m r c = (r * m.cols) + c
+
+let get m r c : Cx.t =
+  let k = idx m r c in
+  { Complex.re = m.re.(k); im = m.im.(k) }
+
+let set m r c (z : Cx.t) =
+  let k = idx m r c in
+  m.re.(k) <- z.Complex.re;
+  m.im.(k) <- z.Complex.im
+
+let get_re m r c = m.re.(idx m r c)
+let get_im m r c = m.im.(idx m r c)
+
+let set_re_im m r c re im =
+  let k = idx m r c in
+  m.re.(k) <- re;
+  m.im.(k) <- im
+
+let init rows cols f =
+  let m = create rows cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      set m r c (f r c)
+    done
+  done;
+  m
+
+let identity n =
+  let m = create n n in
+  for k = 0 to n - 1 do
+    m.re.(idx m k k) <- 1.0
+  done;
+  m
+
+let of_lists rows_l =
+  match rows_l with
+  | [] -> create 0 0
+  | first :: _ ->
+    let nr = List.length rows_l and nc = List.length first in
+    let m = create nr nc in
+    List.iteri
+      (fun r row ->
+        if List.length row <> nc then invalid_arg "Cmat.of_lists: ragged rows";
+        List.iteri (fun c z -> set m r c z) row)
+      rows_l;
+    m
+
+let of_real_lists rows_l =
+  of_lists (List.map (List.map Cx.of_float) rows_l)
+
+let diag entries =
+  let n = Array.length entries in
+  let m = create n n in
+  Array.iteri (fun k z -> set m k k z) entries;
+  m
+
+let copy m =
+  { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let map2 f g a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Cmat: dimension mismatch";
+  let n = Array.length a.re in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    re.(k) <- f a.re.(k) b.re.(k);
+    im.(k) <- g a.im.(k) b.im.(k)
+  done;
+  { a with re; im }
+
+let add a b = map2 ( +. ) ( +. ) a b
+let sub a b = map2 ( -. ) ( -. ) a b
+
+let scale (z : Cx.t) m =
+  let zr = z.Complex.re and zi = z.Complex.im in
+  let n = Array.length m.re in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    re.(k) <- (zr *. m.re.(k)) -. (zi *. m.im.(k));
+    im.(k) <- (zr *. m.im.(k)) +. (zi *. m.re.(k))
+  done;
+  { m with re; im }
+
+let scale_re s m =
+  let n = Array.length m.re in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    re.(k) <- s *. m.re.(k);
+    im.(k) <- s *. m.im.(k)
+  done;
+  { m with re; im }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Cmat.mul: dimension mismatch";
+  let out = create a.rows b.cols in
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  let n = a.cols and bc = b.cols in
+  for r = 0 to a.rows - 1 do
+    let abase = r * n and obase = r * bc in
+    for k = 0 to n - 1 do
+      let xr = ar.(abase + k) and xi = ai.(abase + k) in
+      if xr <> 0.0 || xi <> 0.0 then begin
+        let bbase = k * bc in
+        for c = 0 to bc - 1 do
+          let yr = br.(bbase + c) and yi = bi.(bbase + c) in
+          out.re.(obase + c) <- out.re.(obase + c) +. (xr *. yr) -. (xi *. yi);
+          out.im.(obase + c) <- out.im.(obase + c) +. (xr *. yi) +. (xi *. yr)
+        done
+      end
+    done
+  done;
+  out
+
+let mul_adjoint_left a b =
+  if a.rows <> b.rows then invalid_arg "Cmat.mul_adjoint_left: mismatch";
+  let out = create a.cols b.cols in
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  let bc = b.cols and ac = a.cols in
+  for k = 0 to a.rows - 1 do
+    let abase = k * ac and bbase = k * bc in
+    for r = 0 to ac - 1 do
+      (* conj of a[k][r] *)
+      let xr = ar.(abase + r) and xi = -.ai.(abase + r) in
+      if xr <> 0.0 || xi <> 0.0 then begin
+        let obase = r * bc in
+        for c = 0 to bc - 1 do
+          let yr = br.(bbase + c) and yi = bi.(bbase + c) in
+          out.re.(obase + c) <- out.re.(obase + c) +. (xr *. yr) -. (xi *. yi);
+          out.im.(obase + c) <- out.im.(obase + c) +. (xr *. yi) +. (xi *. yr)
+        done
+      end
+    done
+  done;
+  out
+
+let matvec m ~re ~im =
+  if m.cols <> Array.length re || m.cols <> Array.length im then
+    invalid_arg "Cmat.matvec: dimension mismatch";
+  let out_re = Array.make m.rows 0.0 and out_im = Array.make m.rows 0.0 in
+  for r = 0 to m.rows - 1 do
+    let base = r * m.cols in
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for c = 0 to m.cols - 1 do
+      let xr = m.re.(base + c) and xi = m.im.(base + c) in
+      let yr = re.(c) and yi = im.(c) in
+      acc_re := !acc_re +. (xr *. yr) -. (xi *. yi);
+      acc_im := !acc_im +. (xr *. yi) +. (xi *. yr)
+    done;
+    out_re.(r) <- !acc_re;
+    out_im.(r) <- !acc_im
+  done;
+  (out_re, out_im)
+
+let transpose m =
+  init m.cols m.rows (fun r c -> get m c r)
+
+let conj m =
+  let n = Array.length m.im in
+  let im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    im.(k) <- -.m.im.(k)
+  done;
+  { m with re = Array.copy m.re; im }
+
+let adjoint m =
+  init m.cols m.rows (fun r c -> Cx.conj (get m c r))
+
+let kron a b =
+  let out = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ar = 0 to a.rows - 1 do
+    for ac = 0 to a.cols - 1 do
+      let xr = get_re a ar ac and xi = get_im a ar ac in
+      if xr <> 0.0 || xi <> 0.0 then
+        for br = 0 to b.rows - 1 do
+          for bc = 0 to b.cols - 1 do
+            let yr = get_re b br bc and yi = get_im b br bc in
+            set_re_im out
+              ((ar * b.rows) + br)
+              ((ac * b.cols) + bc)
+              ((xr *. yr) -. (xi *. yi))
+              ((xr *. yi) +. (xi *. yr))
+          done
+        done
+    done
+  done;
+  out
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Cmat.trace: non-square";
+  let acc_re = ref 0.0 and acc_im = ref 0.0 in
+  for k = 0 to m.rows - 1 do
+    acc_re := !acc_re +. get_re m k k;
+    acc_im := !acc_im +. get_im m k k
+  done;
+  Cx.make !acc_re !acc_im
+
+let frobenius_norm m =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length m.re - 1 do
+    acc := !acc +. (m.re.(k) *. m.re.(k)) +. (m.im.(k) *. m.im.(k))
+  done;
+  sqrt !acc
+
+let max_abs m =
+  let acc = ref 0.0 in
+  for k = 0 to Array.length m.re - 1 do
+    let v = sqrt ((m.re.(k) *. m.re.(k)) +. (m.im.(k) *. m.im.(k))) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Cmat.max_abs_diff: dimension mismatch";
+  let acc = ref 0.0 in
+  for k = 0 to Array.length a.re - 1 do
+    let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
+    let v = sqrt ((dr *. dr) +. (di *. di)) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+let equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols && max_abs_diff a b <= tol
+
+let is_unitary ?(tol = 1e-9) m =
+  m.rows = m.cols && equal ~tol (mul_adjoint_left m m) (identity m.rows)
+
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  (* Find the entry of b with the largest magnitude and read the relative
+     phase off it; then compare a against phase-aligned b. *)
+  let best = ref 0 and best_mag = ref (-1.0) in
+  Array.iteri
+    (fun k br ->
+      let mag = (br *. br) +. (b.im.(k) *. b.im.(k)) in
+      if mag > !best_mag then begin
+        best_mag := mag;
+        best := k
+      end)
+    b.re;
+  if !best_mag <= tol *. tol then max_abs a <= tol
+  else
+    let zb = Cx.make b.re.(!best) b.im.(!best) in
+    let za = Cx.make a.re.(!best) a.im.(!best) in
+    let phase = Cx.div za zb in
+    let mag = Cx.abs phase in
+    if abs_float (mag -. 1.0) > 1e-6 +. tol then false
+    else
+      let phase = Cx.scale (1.0 /. mag) phase in
+      max_abs_diff a (scale phase b) <= tol
+
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Cmat.solve: non-square";
+  if a.rows <> b.rows then invalid_arg "Cmat.solve: dimension mismatch";
+  let n = a.rows and nc = b.cols in
+  let m = copy a and x = copy b in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let piv = ref col and piv_mag = ref 0.0 in
+    for r = col to n - 1 do
+      let vr = get_re m r col and vi = get_im m r col in
+      let mag = (vr *. vr) +. (vi *. vi) in
+      if mag > !piv_mag then begin
+        piv := r;
+        piv_mag := mag
+      end
+    done;
+    if !piv_mag < 1e-300 then failwith "Cmat.solve: singular matrix";
+    if !piv <> col then begin
+      for c = 0 to n - 1 do
+        let tr = get m col c in
+        set m col c (get m !piv c);
+        set m !piv c tr
+      done;
+      for c = 0 to nc - 1 do
+        let tr = get x col c in
+        set x col c (get x !piv c);
+        set x !piv c tr
+      done
+    end;
+    let d = get m col col in
+    for r = col + 1 to n - 1 do
+      let f = Cx.div (get m r col) d in
+      if f <> Cx.zero then begin
+        set m r col Cx.zero;
+        for c = col + 1 to n - 1 do
+          set m r c (Cx.sub (get m r c) (Cx.mul f (get m col c)))
+        done;
+        for c = 0 to nc - 1 do
+          set x r c (Cx.sub (get x r c) (Cx.mul f (get x col c)))
+        done
+      end
+    done
+  done;
+  (* back substitution *)
+  for r = n - 1 downto 0 do
+    let d = get m r r in
+    for c = 0 to nc - 1 do
+      let acc = ref (get x r c) in
+      for k = r + 1 to n - 1 do
+        acc := Cx.sub !acc (Cx.mul (get m r k) (get x k c))
+      done;
+      set x r c (Cx.div !acc d)
+    done
+  done;
+  x
+
+(* Qubit-space helpers. Basis-index convention: qubit 0 is the most
+   significant bit of the index, so |q0 q1 ... q_{n-1}> has index
+   sum_k q_k * 2^{n-1-k}. *)
+
+let embed ~n_qubits op ~on =
+  let k = List.length on in
+  let dk = 1 lsl k and dn = 1 lsl n_qubits in
+  if op.rows <> dk || op.cols <> dk then
+    invalid_arg "Cmat.embed: operator size does not match qubit list";
+  List.iter
+    (fun q ->
+      if q < 0 || q >= n_qubits then invalid_arg "Cmat.embed: qubit out of range")
+    on;
+  let on = Array.of_list on in
+  let sorted = Array.copy on in
+  Array.sort compare sorted;
+  for i = 0 to k - 2 do
+    if sorted.(i) = sorted.(i + 1) then
+      invalid_arg "Cmat.embed: duplicate qubit"
+  done;
+  (* bit position (from the left / MSB) of qubit q in an n-qubit index *)
+  let bitpos q = n_qubits - 1 - q in
+  let env_qubits =
+    List.filter (fun q -> not (Array.exists (( = ) q) on))
+      (List.init n_qubits Fun.id)
+  in
+  let env_qubits = Array.of_list env_qubits in
+  let n_env = Array.length env_qubits in
+  let out = create dn dn in
+  (* For every environment configuration and every pair of sub-indices,
+     scatter op entries into the full matrix. *)
+  for env = 0 to (1 lsl n_env) - 1 do
+    let env_bits = ref 0 in
+    for e = 0 to n_env - 1 do
+      if (env lsr (n_env - 1 - e)) land 1 = 1 then
+        env_bits := !env_bits lor (1 lsl bitpos env_qubits.(e))
+    done;
+    for i_sub = 0 to dk - 1 do
+      let row = ref !env_bits in
+      for b = 0 to k - 1 do
+        if (i_sub lsr (k - 1 - b)) land 1 = 1 then
+          row := !row lor (1 lsl bitpos on.(b))
+      done;
+      for j_sub = 0 to dk - 1 do
+        let xr = get_re op i_sub j_sub and xi = get_im op i_sub j_sub in
+        if xr <> 0.0 || xi <> 0.0 then begin
+          let col = ref !env_bits in
+          for b = 0 to k - 1 do
+            if (j_sub lsr (k - 1 - b)) land 1 = 1 then
+              col := !col lor (1 lsl bitpos on.(b))
+          done;
+          set_re_im out !row !col xr xi
+        end
+      done
+    done
+  done;
+  out
+
+let permute_qubits m perm =
+  let d = m.rows in
+  if d <> m.cols then invalid_arg "Cmat.permute_qubits: non-square";
+  let n =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+    log2 0 d
+  in
+  if 1 lsl n <> d then invalid_arg "Cmat.permute_qubits: not a qubit operator";
+  if Array.length perm <> n then
+    invalid_arg "Cmat.permute_qubits: permutation size mismatch";
+  let bitpos q = n - 1 - q in
+  (* index mapping: bit q of the new index comes from bit perm.(q) of the
+     old index *)
+  let remap i =
+    let j = ref 0 in
+    for q = 0 to n - 1 do
+      if (i lsr bitpos perm.(q)) land 1 = 1 then
+        j := !j lor (1 lsl bitpos q)
+    done;
+    !j
+  in
+  let out = create d d in
+  for r = 0 to d - 1 do
+    let r' = remap r in
+    for c = 0 to d - 1 do
+      let c' = remap c in
+      set_re_im out r' c' (get_re m r c) (get_im m r c)
+    done
+  done;
+  out
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for r = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Format.fprintf ppf ", ";
+      Cx.pp ppf (get m r c)
+    done;
+    Format.fprintf ppf "]";
+    if r < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,131 @@
+(** Dense complex matrices.
+
+    The workhorse of the pulse engine. Matrices are stored as split
+    real/imaginary flat [float array]s in row-major order so that the inner
+    loops of matrix multiplication and matrix exponentials operate on
+    unboxed floats. Dimensions in PAQOC are small (at most [2^maxN = 8] for
+    gate groups, up to [2^8 = 256] for whole-circuit pulse simulation), so a
+    straightforward dense representation is the right tool. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [create rows cols] is the [rows x cols] zero matrix. *)
+val create : int -> int -> t
+
+(** [init rows cols f] fills entry [(r, c)] with [f r c]. *)
+val init : int -> int -> (int -> int -> Cx.t) -> t
+
+(** [identity n] is the [n x n] identity. *)
+val identity : int -> t
+
+(** [of_lists rows] builds a matrix from a row-major list of lists.
+    @raise Invalid_argument on ragged input. *)
+val of_lists : Cx.t list list -> t
+
+(** [of_real_lists rows] is {!of_lists} for purely real entries. *)
+val of_real_lists : float list list -> t
+
+(** [diag entries] is the square matrix with [entries] on the diagonal. *)
+val diag : Cx.t array -> t
+
+val copy : t -> t
+
+(** {1 Access} *)
+
+val rows : t -> int
+val cols : t -> int
+
+(** [get m r c] reads entry [(r, c)] without bounds checks beyond the
+    underlying array's. *)
+val get : t -> int -> int -> Cx.t
+
+val set : t -> int -> int -> Cx.t -> unit
+
+(** Unsafe split accessors used by hot loops. *)
+val get_re : t -> int -> int -> float
+
+val get_im : t -> int -> int -> float
+val set_re_im : t -> int -> int -> float -> float -> unit
+
+(** {1 Algebra} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [scale z m] multiplies every entry by the complex scalar [z]. *)
+val scale : Cx.t -> t -> t
+
+(** [scale_re s m] multiplies every entry by the real scalar [s]. *)
+val scale_re : float -> t -> t
+
+(** [mul a b] is the matrix product [a * b].
+    @raise Invalid_argument on dimension mismatch. *)
+val mul : t -> t -> t
+
+(** [mul_adjoint_left a b] is [a† * b], fused to avoid materialising the
+    adjoint. *)
+val mul_adjoint_left : t -> t -> t
+
+(** [matvec m v] applies [m] to a split-array vector, writing into fresh
+    arrays; exposed mainly for {!Cvec}. *)
+val matvec :
+  t -> re:float array -> im:float array -> float array * float array
+
+val transpose : t -> t
+val conj : t -> t
+
+(** Conjugate transpose. *)
+val adjoint : t -> t
+
+(** [kron a b] is the Kronecker (tensor) product with [a]'s index major. *)
+val kron : t -> t -> t
+
+(** [trace m] of a square matrix. *)
+val trace : t -> Cx.t
+
+(** {1 Norms and comparison} *)
+
+val frobenius_norm : t -> float
+
+(** [max_abs m] is the largest entry magnitude (max norm). *)
+val max_abs : t -> float
+
+(** [max_abs_diff a b] is [max_abs (sub a b)] without the intermediate. *)
+val max_abs_diff : t -> t -> float
+
+(** [equal ?tol a b] holds when every entry differs by at most [tol]
+    (default [1e-9]). *)
+val equal : ?tol:float -> t -> t -> bool
+
+(** [is_unitary ?tol m] checks [m† m = I]. *)
+val is_unitary : ?tol:float -> t -> bool
+
+(** [equal_up_to_phase ?tol a b] holds when [a = e^{i phi} b] for some global
+    phase [phi]; this is the right equality for circuit unitaries. *)
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+
+(** {1 Linear solving} *)
+
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting; [b] may have any number of columns.
+    @raise Failure if [a] is (numerically) singular. *)
+val solve : t -> t -> t
+
+(** {1 Qubit-space helpers}
+
+    An [n]-qubit operator is a [2^n x 2^n] matrix whose basis index bit [k]
+    (counting from the most significant bit) corresponds to qubit [k]. *)
+
+(** [embed ~n_qubits op ~on] lifts the [|on|]-qubit operator [op] to the full
+    [n_qubits]-qubit space, acting on the listed qubit positions (which give
+    the order of [op]'s own qubits) and as identity elsewhere. *)
+val embed : n_qubits:int -> t -> on:int list -> t
+
+(** [permute_qubits m perm] reorders the qubit wires of the [n]-qubit
+    unitary [m]: wire [q] of the result is wire [perm.(q)] of [m]. *)
+val permute_qubits : t -> int array -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re (z : t) = z.Complex.re
+let im (z : t) = z.Complex.im
+let make re im : t = { Complex.re; im }
+let of_float x : t = { Complex.re = x; im = 0.0 }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale s (z : t) : t = { Complex.re = s *. z.re; im = s *. z.im }
+let abs = Complex.norm
+let abs2 = Complex.norm2
+let exp_i theta : t = { Complex.re = cos theta; im = sin theta }
+let polar r theta : t = { Complex.re = r *. cos theta; im = r *. sin theta }
+
+let approx_equal ?(tol = 1e-9) a b =
+  Complex.norm (Complex.sub a b) <= tol
+
+let pp ppf (z : t) =
+  if z.im >= 0.0 then Format.fprintf ppf "%g+%gi" z.re z.im
+  else Format.fprintf ppf "%g-%gi" z.re (-.z.im)
+
+let to_string z = Format.asprintf "%a" pp z

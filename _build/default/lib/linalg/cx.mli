@@ -1,0 +1,51 @@
+(** Complex-number helpers on top of [Stdlib.Complex].
+
+    All of PAQOC's numerical kernels store complex data as split
+    real/imaginary float arrays for unboxed access; this module provides the
+    scalar-level operations shared by {!Cmat} and {!Cvec} as well as a few
+    conveniences ([i], approximate equality) missing from the standard
+    library. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+
+(** The imaginary unit. *)
+val i : t
+
+val re : t -> float
+val im : t -> float
+
+(** [make re im] builds the complex number [re + i*im]. *)
+val make : float -> float -> t
+
+(** [of_float x] is the real number [x] as a complex value. *)
+val of_float : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+
+(** [scale s z] multiplies [z] by the real scalar [s]. *)
+val scale : float -> t -> t
+
+val abs : t -> float
+
+(** [abs2 z] is [|z|^2], computed without the square root. *)
+val abs2 : t -> float
+
+(** [exp_i theta] is [e^{i*theta} = cos theta + i sin theta]. *)
+val exp_i : float -> t
+
+(** [polar r theta] is [r * e^{i*theta}]. *)
+val polar : float -> float -> t
+
+(** [approx_equal ?tol a b] holds when [|a - b| <= tol] (default [1e-9]). *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

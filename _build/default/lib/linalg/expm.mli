@@ -1,0 +1,13 @@
+(** Matrix exponentials.
+
+    GRAPE builds each time-slice propagator as [exp(-i dt H)]; this module
+    provides a Padé(6) scaling-and-squaring exponential for general complex
+    matrices, which is accurate to near machine precision for the small,
+    well-conditioned Hamiltonians PAQOC produces. *)
+
+(** [expm m] is [e^m] for a square complex matrix. *)
+val expm : Cmat.t -> Cmat.t
+
+(** [expm_i_h ~dt h] is [exp(-i * dt * h)], the unitary propagator of the
+    Hermitian matrix [h] over time step [dt]. *)
+val expm_i_h : dt:float -> Cmat.t -> Cmat.t

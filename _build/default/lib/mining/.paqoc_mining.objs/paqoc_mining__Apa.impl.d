@@ -1,0 +1,1 @@
+lib/mining/apa.ml: Array List Miner Paqoc_circuit Pattern Printf

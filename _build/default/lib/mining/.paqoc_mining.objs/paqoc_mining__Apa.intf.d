@@ -1,0 +1,1 @@
+lib/mining/apa.mli: Miner Paqoc_circuit Pattern

@@ -1,0 +1,1 @@
+lib/mining/labeled_graph.ml: Array Format List Paqoc_circuit Printf

@@ -1,0 +1,1 @@
+lib/mining/labeled_graph.mli: Format Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Hashtbl List Paqoc_circuit Pattern Printf String

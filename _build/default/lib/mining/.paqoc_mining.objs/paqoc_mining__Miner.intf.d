@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Paqoc_circuit Pattern

@@ -1,0 +1,1 @@
+lib/mining/pattern.ml: Array Buffer Format Hashtbl List Paqoc_circuit String

@@ -1,0 +1,1 @@
+lib/mining/pattern.mli: Format Paqoc_circuit

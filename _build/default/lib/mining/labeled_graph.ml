@@ -1,0 +1,59 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+
+type edge = {
+  src : int;
+  dst : int;
+  src_pos : int;
+  dst_pos : int;
+  qubit : int;
+}
+
+type t = { n_nodes : int; node_label : int -> string; edges : edge list }
+
+let position qubits q =
+  let rec find i = function
+    | [] -> invalid_arg "Labeled_graph: qubit not in operand list"
+    | x :: rest -> if x = q then i else find (i + 1) rest
+  in
+  find 1 qubits
+
+let of_circuit (c : Circuit.t) =
+  let gates = Array.of_list c.Circuit.gates in
+  let last = Array.make c.Circuit.n_qubits (-1) in
+  let edges = ref [] in
+  Array.iteri
+    (fun v (g : Gate.app) ->
+      List.iter
+        (fun q ->
+          let p = last.(q) in
+          if p >= 0 then
+            edges :=
+              { src = p;
+                dst = v;
+                src_pos = position gates.(p).Gate.qubits q;
+                dst_pos = position g.Gate.qubits q;
+                qubit = q
+              }
+              :: !edges;
+          last.(q) <- v)
+        g.Gate.qubits)
+    gates;
+  { n_nodes = Array.length gates;
+    node_label = (fun v -> Gate.mining_label gates.(v).Gate.kind);
+    edges = List.rev !edges
+  }
+
+let edge_label e = Printf.sprintf "%d-%d" e.src_pos e.dst_pos
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>labeled graph: %d nodes@," g.n_nodes;
+  for v = 0 to g.n_nodes - 1 do
+    Format.fprintf ppf "  n%d: %s@," v (g.node_label v)
+  done;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  n%d -[%s]-> n%d (q%d)@," e.src (edge_label e)
+        e.dst e.qubit)
+    g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** The labeled directed graph of Section III-A.
+
+    Nodes are gate applications labeled with operation name and (symbolic)
+    rotation angle; an edge connects two gates sharing a qubit, directed by
+    dependence, and labeled ["i-j"] where [i] and [j] are the 1-based
+    operand positions of the shared qubit in the source and destination
+    gates — the control/target disambiguation of Fig 5. This is the
+    structure the frequent-subcircuit miner conceptually operates on (the
+    miner works directly on the {!Paqoc_circuit.Dag} for efficiency; this
+    module makes the paper's encoding explicit and printable, and the test
+    suite pins the two views against each other). *)
+
+type edge = {
+  src : int;
+  dst : int;
+  src_pos : int;  (** 1-based operand position of the shared qubit in src *)
+  dst_pos : int;
+  qubit : int;
+}
+
+type t = {
+  n_nodes : int;
+  node_label : int -> string;
+  edges : edge list;
+}
+
+(** [of_circuit c] builds the labeled graph (one edge per shared qubit per
+    direct dependence — parallel edges with distinct labels are kept). *)
+val of_circuit : Paqoc_circuit.Circuit.t -> t
+
+(** [edge_label e] renders the paper's ["i-j"] label. *)
+val edge_label : edge -> string
+
+val pp : Format.formatter -> t -> unit

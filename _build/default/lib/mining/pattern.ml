@@ -1,0 +1,120 @@
+module Gate = Paqoc_circuit.Gate
+module Dag = Paqoc_circuit.Dag
+
+type t = {
+  arity : int;
+  size : int;
+  gates : Gate.app list;
+  code : string;
+}
+
+type occurrence = { nodes : int list; wire_map : int array }
+
+(* Render one linearisation: wires relabeled by first appearance. Returns
+   (code, local gates, wire order). *)
+let render ~label (apps : Gate.app list) =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  let local (g : Gate.app) =
+    let qs =
+      List.map
+        (fun q ->
+          match Hashtbl.find_opt tbl q with
+          | Some l -> l
+          | None ->
+            let l = Hashtbl.length tbl in
+            Hashtbl.add tbl q l;
+            order := q :: !order;
+            l)
+        g.Gate.qubits
+    in
+    { g with Gate.qubits = qs }
+  in
+  let gates = List.map local apps in
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (g : Gate.app) ->
+      Buffer.add_string buf (label g.Gate.kind);
+      Buffer.add_char buf '@';
+      Buffer.add_string buf
+        (String.concat "," (List.map string_of_int g.Gate.qubits));
+      Buffer.add_char buf ';')
+    gates;
+  (Buffer.contents buf, gates, Array.of_list (List.rev !order))
+
+(* Enumerate topological linearisations of the induced sub-DAG, capped to
+   keep worst-case parallel blocks cheap. *)
+let linearisations dag nodes ~cap =
+  let nodes = Array.of_list nodes in
+  let n = Array.length nodes in
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) nodes;
+  let indeg = Array.make n 0 in
+  let succ = Array.make n [] in
+  Array.iteri
+    (fun i v ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt index s with
+          | Some j ->
+            succ.(i) <- j :: succ.(i);
+            indeg.(j) <- indeg.(j) + 1
+          | None -> ())
+        (Dag.succs dag v))
+    nodes;
+  let results = ref [] and count = ref 0 in
+  let picked = Array.make n false in
+  let deg = Array.copy indeg in
+  let acc = Array.make n (-1) in
+  let rec go depth =
+    if !count >= cap then ()
+    else if depth = n then begin
+      incr count;
+      results := Array.copy acc :: !results
+    end
+    else
+      for i = 0 to n - 1 do
+        if (not picked.(i)) && deg.(i) = 0 && !count < cap then begin
+          picked.(i) <- true;
+          List.iter (fun j -> deg.(j) <- deg.(j) - 1) succ.(i);
+          acc.(depth) <- i;
+          go (depth + 1);
+          picked.(i) <- false;
+          List.iter (fun j -> deg.(j) <- deg.(j) + 1) succ.(i)
+        end
+      done
+  in
+  go 0;
+  List.map (fun order -> Array.to_list (Array.map (fun i -> nodes.(i)) order)) !results
+
+let of_nodes ?(label = Gate.mining_label) dag nodes =
+  let nodes = List.sort_uniq compare nodes in
+  if nodes = [] then invalid_arg "Pattern.of_nodes: empty node set";
+  let lins = linearisations dag nodes ~cap:120 in
+  let best = ref None in
+  List.iter
+    (fun lin ->
+      let apps = List.map (Dag.gate dag) lin in
+      let code, gates, wires = render ~label apps in
+      match !best with
+      | Some (c, _, _) when String.compare c code <= 0 -> ()
+      | _ -> best := Some (code, gates, wires))
+    lins;
+  match !best with
+  | None -> invalid_arg "Pattern.of_nodes: no linearisation (cycle?)"
+  | Some (code, gates, wires) ->
+    let arity = Array.length wires in
+    ( { arity; size = List.length gates; gates; code },
+      { nodes; wire_map = wires } )
+
+let to_custom p ~name = Gate.make_custom ~name ~arity:p.arity p.gates
+
+let interaction_weight p =
+  List.fold_left
+    (fun acc (g : Gate.app) -> acc +. Gate.interaction_weight g.Gate.kind)
+    0.0 p.gates
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>pattern (%d wires, %d gates):@," p.arity p.size;
+  List.iter (fun g -> Format.fprintf ppf "  %a@," Gate.pp_app g) p.gates;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Canonical sub-circuit patterns.
+
+    A pattern is a small gate sequence over local wires together with a
+    canonical string code; two occurrences of the same recurring
+    sub-circuit — possibly on different qubits, possibly with their
+    parallel gates recorded in different program orders — get the same
+    code. Canonicalisation enumerates the (few) topological linearisations
+    of the occurrence's sub-DAG, relabels wires by first appearance in
+    each, and keeps the lexicographically smallest rendering; operand
+    positions inside each gate preserve the control/target edge labels of
+    Fig 5, so the two "similar but not identical" blocks of the paper's
+    example get distinct codes. *)
+
+type t = {
+  arity : int;  (** distinct wires *)
+  size : int;  (** gate count *)
+  gates : Paqoc_circuit.Gate.app list;  (** canonical body over local wires *)
+  code : string;
+}
+
+type occurrence = {
+  nodes : int list;  (** DAG node ids, sorted *)
+  wire_map : int array;  (** local wire -> global qubit, canonical order *)
+}
+
+(** [of_nodes ?label dag nodes] canonicalises the sub-circuit at [nodes].
+    [label] controls how gate kinds are rendered into the code (default
+    {!Paqoc_circuit.Gate.mining_label}); pass an angle-blind labeler to
+    mine structural patterns across rotation values. The returned gates
+    always keep their concrete kinds — only the code is affected.
+    @raise Invalid_argument on an empty set. *)
+val of_nodes :
+  ?label:(Paqoc_circuit.Gate.kind -> string) ->
+  Paqoc_circuit.Dag.t ->
+  int list ->
+  t * occurrence
+
+(** [to_custom p ~name] packages the canonical body as a reusable custom
+    gate. *)
+val to_custom : t -> name:string -> Paqoc_circuit.Gate.custom
+
+(** [interaction_weight p] is the summed CX-equivalent weight of the body
+    (for coverage/value ranking). *)
+val interaction_weight : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pulse/density.ml: Array Generator List Paqoc_circuit Paqoc_linalg Pricing Simulator

@@ -1,0 +1,1 @@
+lib/pulse/density.mli: Generator Paqoc_circuit Paqoc_linalg

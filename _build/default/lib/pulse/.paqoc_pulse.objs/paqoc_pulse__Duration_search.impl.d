@@ -1,0 +1,1 @@
+lib/pulse/duration_search.ml: Float Grape Pulse

@@ -1,0 +1,1 @@
+lib/pulse/duration_search.mli: Grape Hamiltonian Paqoc_linalg Pulse

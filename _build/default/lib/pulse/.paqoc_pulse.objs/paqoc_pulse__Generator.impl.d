@@ -1,0 +1,1 @@
+lib/pulse/generator.ml: Array Buffer Duration_search Float Fun Grape Hamiltonian Hashtbl Latency_model List Paqoc_circuit Paqoc_linalg Printf Pulse String Sys

@@ -1,0 +1,1 @@
+lib/pulse/generator.mli: Duration_search Hamiltonian Latency_model Paqoc_circuit Pulse

@@ -1,0 +1,1 @@
+lib/pulse/grape.ml: Array Float Hamiltonian List Paqoc_linalg Pulse Random

@@ -1,0 +1,1 @@
+lib/pulse/grape.mli: Hamiltonian Paqoc_linalg Pulse

@@ -1,0 +1,1 @@
+lib/pulse/hamiltonian.ml: Array Fun List Paqoc_linalg Printf

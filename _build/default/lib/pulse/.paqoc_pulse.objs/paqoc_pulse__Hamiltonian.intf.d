@@ -1,0 +1,1 @@
+lib/pulse/hamiltonian.mli: Paqoc_linalg

@@ -1,0 +1,1 @@
+lib/pulse/latency_model.ml: Array Float Fun Hashtbl List Paqoc_circuit String

@@ -1,0 +1,1 @@
+lib/pulse/latency_model.mli: Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/pulse/pricing.ml: Generator List Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/pulse/pricing.mli: Generator Paqoc_circuit

@@ -1,0 +1,1 @@
+lib/pulse/pulse.ml: Array Buffer Float Format Hamiltonian Paqoc_linalg Printf

@@ -1,0 +1,1 @@
+lib/pulse/pulse.mli: Format Hamiltonian Paqoc_linalg

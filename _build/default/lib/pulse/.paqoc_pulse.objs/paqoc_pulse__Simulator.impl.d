@@ -1,0 +1,1 @@
+lib/pulse/simulator.ml: Array Fun Generator List Paqoc_circuit Paqoc_linalg Pricing Pulse Random

@@ -1,0 +1,1 @@
+lib/pulse/simulator.mli: Generator Paqoc_circuit Paqoc_linalg

@@ -1,0 +1,41 @@
+(** Exact open-system simulation on density matrices.
+
+    The quantum-trajectory sampler in {!Simulator.noisy_fidelity} is fast
+    but stochastic; this module evolves the full density matrix through
+    the compiled schedule with per-qubit Pauli channels applied exactly,
+    giving the trajectory average in closed form (at [4^n] memory — capped
+    at 6 qubits). The two implementations cross-validate each other in the
+    test suite.
+
+    Channel model (matching the sampler): over a window of length [t] a
+    qubit suffers an error with probability [p = 1 - exp(-t/T2)], which is
+    [Z] with weight 2/3 and [X] with weight 1/3. *)
+
+type t
+
+(** [of_pure psi] is [|psi><psi|]. *)
+val of_pure : Paqoc_linalg.Cvec.t -> t
+
+val dim : t -> int
+
+(** [trace rho] (should stay 1 under channels/unitaries). *)
+val trace : t -> float
+
+(** [apply_unitary rho u ~wires ~n_qubits] conjugates by the lifted
+    unitary. *)
+val apply_unitary :
+  t -> Paqoc_linalg.Cmat.t -> wires:int list -> n_qubits:int -> t
+
+(** [apply_pauli_channel rho ~qubit ~n_qubits ~p] applies
+    [(1-p) rho + p (2/3 Z rho Z + 1/3 X rho X)] on one qubit. *)
+val apply_pauli_channel : t -> qubit:int -> n_qubits:int -> p:float -> t
+
+(** [fidelity_to_pure rho psi] is [<psi| rho |psi>]. *)
+val fidelity_to_pure : t -> Paqoc_linalg.Cvec.t -> float
+
+(** [noisy_fidelity ?t2 gen c] — the exact counterpart of
+    {!Simulator.noisy_fidelity}: evolve [|0..0>] through [c]'s compiled
+    schedule with the Pauli channel applied per busy/idle window, and
+    report fidelity to the ideal final state. Capped at 6 qubits. *)
+val noisy_fidelity :
+  ?t2:float -> Generator.t -> Paqoc_circuit.Circuit.t -> float

@@ -1,0 +1,69 @@
+type config = {
+  grape : Grape.config;
+  dt : float;
+  slice_quantum : int;
+  max_duration : float;
+}
+
+let default_config =
+  { grape = Grape.default_config;
+    dt = 2.0;
+    slice_quantum = 2;
+    max_duration = 2000.0
+  }
+
+type result = {
+  pulse : Pulse.t;
+  fidelity : float;
+  latency : float;
+  grape_iterations : int;
+  probes : int;
+}
+
+let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () =
+  let total_iters = ref 0 and probes = ref 0 in
+  let quantum = max 1 config.slice_quantum in
+  let slices_of_duration dur =
+    let s = int_of_float (ceil (dur /. config.dt)) in
+    let s = max 1 s in
+    (* round up to the quantum *)
+    (s + quantum - 1) / quantum * quantum
+  in
+  let try_slices ~init n_slices =
+    incr probes;
+    let r = Grape.optimize ~config:config.grape ?init h ~target ~n_slices
+              ~dt:config.dt () in
+    total_iters := !total_iters + r.Grape.iterations;
+    r
+  in
+  (* 1. bracket: grow geometrically until GRAPE converges *)
+  let lo_guess = Float.max config.dt (lower_bound *. 0.5) in
+  let rec bracket dur init =
+    if dur > config.max_duration then
+      failwith "Duration_search: target unreachable within max_duration";
+    let n = slices_of_duration dur in
+    let r = try_slices ~init n in
+    if r.Grape.converged then (n, r)
+    else bracket (dur *. 1.5) (Some r.Grape.pulse)
+  in
+  let hi_slices, hi_result = bracket lo_guess init in
+  (* 2. binary search the slice count in [1, hi] *)
+  let best = ref hi_result in
+  let lo = ref (max 1 (slices_of_duration (lo_guess *. 0.5))) in
+  let hi = ref hi_slices in
+  while !hi - !lo > quantum do
+    let mid = (!lo + !hi) / 2 / quantum * quantum in
+    let mid = max (!lo + 1) mid in
+    let r = try_slices ~init:(Some !best.Grape.pulse) mid in
+    if r.Grape.converged then begin
+      best := r;
+      hi := mid
+    end
+    else lo := mid
+  done;
+  { pulse = !best.Grape.pulse;
+    fidelity = !best.Grape.fidelity;
+    latency = Pulse.duration !best.Grape.pulse;
+    grape_iterations = !total_iters;
+    probes = !probes
+  }

@@ -1,0 +1,38 @@
+(** Minimal pulse duration via binary search.
+
+    QOC pulse "latency" in the paper is the shortest total time for which
+    GRAPE still reaches the target fidelity. This module brackets that time
+    (geometric growth from a physics-informed lower bound) and then binary
+    searches the slice count, warm-starting each probe from the best pulse
+    found so far. *)
+
+type config = {
+  grape : Grape.config;
+  dt : float;  (** slice width in device dt units *)
+  slice_quantum : int;  (** resolution of the search, in slices *)
+  max_duration : float;  (** bail-out bound, device dt units *)
+}
+
+val default_config : config
+
+type result = {
+  pulse : Pulse.t;
+  fidelity : float;
+  latency : float;  (** duration of [pulse] in device dt units *)
+  grape_iterations : int;  (** total GRAPE steps across all probes *)
+  probes : int;  (** GRAPE invocations performed *)
+}
+
+(** [minimal_duration ?config ?init h ~target ~lower_bound ()] finds the
+    shortest pulse implementing [target] at the configured fidelity.
+    [lower_bound] (device dt) seeds the bracket — use the latency model's
+    estimate. [init] warm-starts the first probe.
+    @raise Failure if even [max_duration] cannot reach the fidelity. *)
+val minimal_duration :
+  ?config:config ->
+  ?init:Pulse.t ->
+  Hamiltonian.t ->
+  target:Paqoc_linalg.Cmat.t ->
+  lower_bound:float ->
+  unit ->
+  result

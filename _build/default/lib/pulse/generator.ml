@@ -1,0 +1,436 @@
+module Gate = Paqoc_circuit.Gate
+module Cmat = Paqoc_linalg.Cmat
+module Fidelity = Paqoc_linalg.Fidelity
+
+type group = { n_qubits : int; gates : Gate.app list }
+
+let group_of_apps apps =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (g : Gate.app) ->
+      List.iter
+        (fun q ->
+          if not (Hashtbl.mem tbl q) then begin
+            Hashtbl.add tbl q (Hashtbl.length tbl);
+            order := q :: !order
+          end)
+        g.Gate.qubits)
+    apps;
+  let local (g : Gate.app) =
+    { g with Gate.qubits = List.map (Hashtbl.find tbl) g.Gate.qubits }
+  in
+  ( { n_qubits = Hashtbl.length tbl; gates = List.map local apps },
+    List.rev !order )
+
+(* Keys are structural: customized gates are flattened to their primitive
+   bodies so that, e.g., the merged gate "grp17" wrapping [CX; RZ; CX] and
+   the APA gate "apa2" wrapping the same body share one pulse-table entry
+   (names are presentation, the pulse depends only on the unitary's
+   construction). *)
+let rec flatten_for_key (gates : Gate.app list) =
+  List.concat_map
+    (fun (a : Gate.app) ->
+      match a.Gate.kind with
+      | Gate.Custom cu ->
+        let wires = Array.of_list a.Gate.qubits in
+        flatten_for_key
+          (List.map
+             (fun (s : Gate.app) ->
+               { s with Gate.qubits = List.map (fun q -> wires.(q)) s.Gate.qubits })
+             cu.Gate.body)
+      | _ -> [ a ])
+    gates
+
+let serialize ~label g =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int g.n_qubits);
+  List.iter
+    (fun (a : Gate.app) ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (label a.Gate.kind);
+      Buffer.add_char buf '@';
+      Buffer.add_string buf
+        (String.concat "," (List.map string_of_int a.Gate.qubits)))
+    (flatten_for_key g.gates);
+  Buffer.contents buf
+
+let key g = serialize ~label:Gate.mining_label g
+let shape_signature g = serialize ~label:Gate.name g
+
+type outcome = {
+  latency : float;
+  error : float;
+  gen_seconds : float;
+  cache_hit : bool;
+  seeded : bool;
+  fidelity : float;
+  pulse : Pulse.t option;
+}
+
+type backend =
+  | Model of Latency_model.config
+  | Qoc of Duration_search.config * Latency_model.config
+
+type t = {
+  backend : backend;
+  cache : (string, outcome) Hashtbl.t;
+  by_shape : (string, Pulse.t option) Hashtbl.t;
+      (** every generated shape; waveform present on the QOC backend *)
+  mutable seconds : float;
+  mutable generated : int;
+  mutable hits : int;
+  mutable n_cold : int;
+  mutable n_prefix : int;
+  mutable n_shape : int;
+  mutable n_similar : int;
+}
+
+(* Reading a previously generated pulse out of the database is an in-memory
+   lookup; the paper attributes ~95% of compilation to QOC runs and treats
+   lookups as free. *)
+let lookup_cost = 0.0
+
+(* A single primitive (non-custom) gate's pulse is a device calibration
+   table entry — it exists before any circuit is compiled, so the first use
+   costs a lookup, not a QOC run. Merged/customized gates always pay. *)
+let is_table_entry g =
+  match g.gates with
+  | [ { Gate.kind = Gate.Custom _; _ } ] -> false
+  | [ _ ] -> true
+  | _ -> false
+
+let create backend =
+  { backend;
+    cache = Hashtbl.create 256;
+    by_shape = Hashtbl.create 256;
+    seconds = 0.0;
+    generated = 0;
+    hits = 0;
+    n_cold = 0;
+    n_prefix = 0;
+    n_shape = 0;
+    n_similar = 0
+  }
+
+let model_default () = create (Model Latency_model.default)
+
+let qoc_default () =
+  let search =
+    { Duration_search.default_config with
+      grape =
+        { Grape.default_config with max_iters = 200; target_fidelity = 0.995 }
+    }
+  in
+  create (Qoc (search, Latency_model.default))
+
+let model_config t =
+  match t.backend with Model cfg | Qoc (_, cfg) -> cfg
+
+let estimate_latency t g =
+  Latency_model.group_latency (model_config t) ~n_qubits:g.n_qubits
+    ~key:(key g) g.gates
+
+let avg_latency_for_size t nq =
+  Latency_model.avg_latency_for_size (model_config t) nq
+
+(* Coupled pairs present in the group's two-qubit gates; GRAPE only gets
+   exchange controls on pairs the target actually entangles. *)
+let coupled_pairs_of g =
+  let rec collect acc (gs : Gate.app list) =
+    List.fold_left
+      (fun acc (a : Gate.app) ->
+        match (a.Gate.kind, a.Gate.qubits) with
+        | Gate.Custom cu, qs ->
+          let wires = Array.of_list qs in
+          collect acc
+            (List.map
+               (fun (s : Gate.app) ->
+                 { s with
+                   Gate.qubits = List.map (fun q -> wires.(q)) s.Gate.qubits
+                 })
+               cu.Gate.body)
+        | _, [ x; y ] ->
+          let e = if x < y then (x, y) else (y, x) in
+          if List.mem e acc then acc else e :: acc
+        | _, [ x; y; z ] ->
+          (* 3-qubit primitive: couple along the operand chain *)
+          let add acc (a, b) =
+            let e = if a < b then (a, b) else (b, a) in
+            if List.mem e acc then acc else e :: acc
+          in
+          add (add acc (x, y)) (y, z)
+        | _ -> acc)
+      acc gs
+  in
+  List.rev (collect [] g.gates)
+
+let hamiltonian_of g =
+  Hamiltonian.make ~n_qubits:g.n_qubits ~coupled_pairs:(coupled_pairs_of g) ()
+
+let run_qoc search_cfg model_cfg g ~seed_pulse =
+  let h = hamiltonian_of g in
+  let target = Gate.unitary_of_apps ~n_qubits:g.n_qubits g.gates in
+  let lower_bound =
+    Float.max search_cfg.Duration_search.dt
+      (Latency_model.group_latency model_cfg ~n_qubits:g.n_qubits ~key:""
+         g.gates)
+  in
+  let t0 = Sys.time () in
+  let r =
+    Duration_search.minimal_duration ~config:search_cfg ?init:seed_pulse h
+      ~target ~lower_bound ()
+  in
+  let elapsed = Sys.time () -. t0 in
+  (r, elapsed)
+
+(* Warm-start sources, in preference order: a previously generated pulse of
+   the exact same shape (AccQOC's similarity reuse), or the pulse of this
+   group minus its last gate (the incremental seed PAQOC's iterative merges
+   produce naturally). *)
+(* the group with its last top-level gate dropped; a single merged custom
+   peels the last gate of its body, which is exactly the constituent the
+   iterative merger generated one commit earlier *)
+let drop_edge_apps ~drop_last g =
+  let peel gs =
+    let n = List.length gs in
+    if drop_last then List.filteri (fun i _ -> i < n - 1) gs
+    else List.tl gs
+  in
+  match g.gates with
+  | [ { Gate.kind = Gate.Custom cu; Gate.qubits } ]
+    when List.length cu.Gate.body >= 2 ->
+    let wires = Array.of_list qubits in
+    Some
+      (peel cu.Gate.body
+      |> List.map (fun (s : Gate.app) ->
+             { s with Gate.qubits = List.map (fun q -> wires.(q)) s.Gate.qubits }))
+  | gs when List.length gs >= 2 -> Some (peel gs)
+  | _ -> None
+
+let prefix_apps g = drop_edge_apps ~drop_last:true g
+let suffix_apps g = drop_edge_apps ~drop_last:false g
+
+type seed =
+  | Cold
+  | Prefix of float * Pulse.t option
+      (** the group minus its last gate is in the database: extend it *)
+  | Exact_shape of Pulse.t option
+      (** a pulse with the same gate shape (angles aside) exists *)
+  | Similar of Pulse.t option
+      (** a nearest-neighbour pulse exists (AccQOC's initial guess) *)
+
+(* token-level edit distance between shape signatures, used for the
+   nearest-neighbour warm start *)
+let shape_distance a b =
+  let ta = Array.of_list (String.split_on_char ';' a) in
+  let tb = Array.of_list (String.split_on_char ';' b) in
+  let la = Array.length ta and lb = Array.length tb in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if String.equal ta.(i - 1) tb.(j - 1) then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  (prev.(lb), max la lb)
+
+let find_seed t g =
+  let sign = shape_signature g in
+  match Hashtbl.find_opt t.by_shape sign with
+  | Some p -> Exact_shape p
+  | None -> (
+    let edge_hit apps_opt =
+      match apps_opt with
+      | None -> None
+      | Some apps -> (
+        let sub, _ = group_of_apps apps in
+        match Hashtbl.find_opt t.cache (key sub) with
+        | Some o -> Some (Prefix (o.latency, o.pulse))
+        | None ->
+          (* a single-primitive constituent is a calibration-table pulse:
+             always available as a warm start even though nothing
+             generated it *)
+          if is_table_entry sub then
+            Some (Prefix (estimate_latency t sub, None))
+          else None)
+    in
+    let prefix_hit =
+      match edge_hit (prefix_apps g) with
+      | Some s -> Some s
+      | None -> edge_hit (suffix_apps g)
+    in
+    match prefix_hit with
+    | Some s -> s
+    | None ->
+      (* nearest neighbour among cached shapes of the same qubit count *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun sign' p ->
+          if String.length sign' > 0 && sign'.[0] = sign.[0] then begin
+            let d, len = shape_distance sign sign' in
+            let threshold = max 1 (len * 2 / 5) in
+            if d <= threshold then
+              match !best with
+              | Some (d', _) when d' <= d -> ()
+              | _ -> best := Some (d, p)
+          end)
+        t.by_shape;
+      (match !best with Some (_, p) -> Similar p | None -> Cold))
+
+let peek t g =
+  match Hashtbl.find_opt t.cache (key g) with
+  | Some o -> Some { o with cache_hit = true; gen_seconds = 0.0 }
+  | None -> None
+
+let generate t g =
+  let k = key g in
+  match Hashtbl.find_opt t.cache k with
+  | Some o ->
+    t.hits <- t.hits + 1;
+    t.seconds <- t.seconds +. lookup_cost;
+    { o with cache_hit = true; gen_seconds = lookup_cost }
+  | None ->
+    let sign = shape_signature g in
+    let seed = find_seed t g in
+    (match seed with
+    | Cold -> t.n_cold <- t.n_cold + 1
+    | Prefix _ -> t.n_prefix <- t.n_prefix + 1
+    | Exact_shape _ -> t.n_shape <- t.n_shape + 1
+    | Similar _ -> t.n_similar <- t.n_similar + 1);
+    let seeded = seed <> Cold in
+    let seed_pulse =
+      match seed with
+      | Cold -> None
+      | Prefix (_, p) | Exact_shape p | Similar p -> p
+    in
+    let outcome =
+      match t.backend with
+      | Model cfg ->
+        let latency =
+          Latency_model.group_latency cfg ~n_qubits:g.n_qubits ~key:k g.gates
+        in
+        let error =
+          Latency_model.group_error cfg ~latency ~n_qubits:g.n_qubits
+        in
+        let gen_seconds =
+          if latency <= 0.0 || is_table_entry g then lookup_cost
+          else
+            match seed with
+            | Prefix (prefix_latency, _) ->
+              Latency_model.incremental_cost cfg ~latency ~prefix_latency
+                ~n_qubits:g.n_qubits
+            | Exact_shape _ ->
+              Latency_model.generation_cost cfg ~latency
+                ~n_qubits:g.n_qubits ~seeded:true
+            | Similar _ ->
+              Latency_model.similar_factor
+              *. Latency_model.generation_cost cfg ~latency
+                   ~n_qubits:g.n_qubits ~seeded:false
+            | Cold ->
+              Latency_model.generation_cost cfg ~latency
+                ~n_qubits:g.n_qubits ~seeded:false
+        in
+        Hashtbl.replace t.by_shape sign None;
+        { latency;
+          error;
+          gen_seconds;
+          cache_hit = false;
+          seeded;
+          fidelity = 1.0 -. error;
+          pulse = None
+        }
+      | Qoc (search_cfg, model_cfg) ->
+        let r, elapsed = run_qoc search_cfg model_cfg g ~seed_pulse in
+        let achieved = r.Duration_search.fidelity in
+        Hashtbl.replace t.by_shape sign (Some r.Duration_search.pulse);
+        { latency = r.Duration_search.latency;
+          error = 1.0 -. achieved;
+          gen_seconds = elapsed;
+          cache_hit = false;
+          seeded;
+          fidelity = achieved;
+          pulse = Some r.Duration_search.pulse
+        }
+    in
+    Hashtbl.replace t.cache k outcome;
+    t.generated <- t.generated + 1;
+    t.seconds <- t.seconds +. outcome.gen_seconds;
+    outcome
+
+let seed_breakdown t = (t.n_cold, t.n_prefix, t.n_shape, t.n_similar)
+
+let total_seconds t = t.seconds
+let pulses_generated t = t.generated
+let cache_hits t = t.hits
+
+let reset_accounting t =
+  t.seconds <- 0.0;
+  t.generated <- 0;
+  t.hits <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "paqoc-pulse-db v1"
+
+let save_database t path =
+  let oc = open_out path in
+  output_string oc (magic ^ "\n");
+  Hashtbl.iter
+    (fun key (o : outcome) ->
+      Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
+        o.fidelity key)
+    t.cache;
+  Hashtbl.iter (fun sign _ -> Printf.fprintf oc "S %s\n" sign) t.by_shape;
+  close_out oc
+
+let load_database t path =
+  let ic = open_in path in
+  let fail msg =
+    close_in ic;
+    failwith (Printf.sprintf "Generator.load_database: %s (%s)" msg path)
+  in
+  (match input_line ic with
+  | header when String.equal header magic -> ()
+  | _ -> fail "bad header"
+  | exception End_of_file -> fail "empty file");
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line >= 2 && line.[0] = 'K' then begin
+         match String.split_on_char ' ' line with
+         | "K" :: lat :: err :: fid :: key_parts when key_parts <> [] ->
+           let num name s =
+             match float_of_string_opt s with
+             | Some f -> f
+             | None -> fail ("bad " ^ name)
+           in
+           let key = String.concat " " key_parts in
+           if not (Hashtbl.mem t.cache key) then
+             Hashtbl.replace t.cache key
+               { latency = num "latency" lat;
+                 error = num "error" err;
+                 fidelity = num "fidelity" fid;
+                 gen_seconds = 0.0;
+                 cache_hit = false;
+                 seeded = false;
+                 pulse = None
+               }
+         | _ -> fail "bad K line"
+       end
+       else if String.length line >= 2 && line.[0] = 'S' then begin
+         let sign = String.sub line 2 (String.length line - 2) in
+         if not (Hashtbl.mem t.by_shape sign) then
+           Hashtbl.replace t.by_shape sign None
+       end
+       else if String.length line > 0 then fail "unrecognised line"
+     done
+   with End_of_file -> ());
+  close_in ic
+
+let database_size t = Hashtbl.length t.cache

@@ -1,0 +1,116 @@
+(** The pulse-generation backend interface.
+
+    Both AccQOC and PAQOC consume pulse generation through this one
+    interface; the engine behind it is either the analytic
+    {!Latency_model} (fast, used for the big sweeps) or the real
+    {!Grape}+{!Duration_search} QOC stack (used for Fig 2, Table II, tests
+    and examples). The generator also owns the paper's pulse database: a
+    lookup table keyed on the canonical form of a gate group (so permuted-
+    qubit repeats hit the cache) plus a shape-signature index that
+    warm-starts GRAPE from a similar previously generated pulse, AccQOC
+    style. *)
+
+(** A gate group over local wires [0 .. n_qubits-1] — the unit of pulse
+    generation (a customized gate, an APA gate, or a single basis gate). *)
+type group = { n_qubits : int; gates : Paqoc_circuit.Gate.app list }
+
+(** [group_of_apps apps] renames the global qubits touched by [apps] into
+    local first-appearance order, returning the canonical group and the
+    global qubits in local-wire order. *)
+val group_of_apps : Paqoc_circuit.Gate.app list -> group * int list
+
+(** [key g] is the canonical cache key of a group (stable under qubit
+    permutation thanks to {!group_of_apps} relabeling). *)
+val key : group -> string
+
+(** [shape_signature g] ignores rotation angles — groups with equal shapes
+    are "similar" and share GRAPE initial guesses. *)
+val shape_signature : group -> string
+
+type outcome = {
+  latency : float;  (** pulse duration in device dt *)
+  error : float;  (** per-group infidelity [ε] (for ESP) *)
+  gen_seconds : float;  (** QOC cost charged for this request *)
+  cache_hit : bool;
+  seeded : bool;  (** warm-started from a similar pulse *)
+  fidelity : float;  (** achieved gate fidelity *)
+  pulse : Pulse.t option;  (** concrete waveform (QOC backend only) *)
+}
+
+type backend =
+  | Model of Latency_model.config
+      (** analytic engine; no waveforms, instant *)
+  | Qoc of Duration_search.config * Latency_model.config
+      (** real GRAPE; the model config prices search bounds *)
+
+(** [hamiltonian_of g] is the control problem a QOC backend solves for
+    group [g]: X/Y drives on every wire plus one exchange control per pair
+    of wires that some (flattened) two-or-more-qubit gate of [g] couples.
+    Exposed so the simulator propagates pulses under the exact Hamiltonian
+    they were optimised against. *)
+val hamiltonian_of : group -> Hamiltonian.t
+
+type t
+
+val create : backend -> t
+
+(** [model_default ()] is a generator over {!Latency_model.default}. *)
+val model_default : unit -> t
+
+(** [qoc_default ()] is a real-GRAPE generator with bench-friendly search
+    settings. *)
+val qoc_default : unit -> t
+
+(** [generate t g] prices (and, on the QOC backend, synthesises) the pulse
+    for group [g], consulting and updating the pulse database. *)
+val generate : t -> group -> outcome
+
+(** [peek t g] consults the pulse database without generating anything and
+    without touching the accounting; [None] when [g]'s pulse has not been
+    generated yet. The criticality search schedules with
+    [peek]-or-{!estimate_latency} so that, per Algorithm 1, QOC runs only
+    for committed merges. *)
+val peek : t -> group -> outcome option
+
+(** [estimate_latency t g] is a free model-based latency estimate — the
+    quantity the criticality search uses when Observations 1/2 let it skip
+    pulse generation. Never touches the cache or the cost accounting. *)
+val estimate_latency : t -> group -> float
+
+(** [avg_latency_for_size t nq] is the corpus-average merged latency for an
+    [nq]-qubit customized gate (the paper's Observation-2 estimate for
+    size-growing merges). Free, like {!estimate_latency}. *)
+val avg_latency_for_size : t -> int -> float
+
+(** {1 Accounting} *)
+
+val total_seconds : t -> float
+
+(** [(cold, prefix, shape, similar)] counts of generation warm-start
+    classes since creation (diagnostics). *)
+val seed_breakdown : t -> int * int * int * int
+val pulses_generated : t -> int
+val cache_hits : t -> int
+
+(** [reset_accounting t] zeroes counters but keeps the pulse database (the
+    paper's offline/online split: APA pulses generated offline stay
+    available to later compilations at lookup cost). *)
+val reset_accounting : t -> unit
+
+(** {1 Persistence}
+
+    The offline component of the paper persists its pulse table across
+    compilations. [save_database] writes the priced entries (canonical
+    key, latency, error, fidelity) and the known shape signatures as a
+    line-oriented text file; [load_database] merges such a file into a
+    generator so subsequent compiles hit the table. Waveforms are not
+    persisted — a QOC backend regenerates them on demand (warm-started,
+    since the shapes are known). *)
+
+val save_database : t -> string -> unit
+
+(** @raise Failure on a malformed file. *)
+val load_database : t -> string -> unit
+
+(** Number of priced entries currently in the database. *)
+val database_size : t -> int

@@ -1,0 +1,268 @@
+module Cx = Paqoc_linalg.Cx
+module Cmat = Paqoc_linalg.Cmat
+module Expm = Paqoc_linalg.Expm
+
+type optimizer = Adam | Lbfgs of int
+
+type config = {
+  max_iters : int;
+  target_fidelity : float;
+  learning_rate : float;
+  seed : int;
+  power_penalty : float;
+  optimizer : optimizer;
+}
+
+let default_config =
+  { max_iters = 300;
+    target_fidelity = 0.999;
+    learning_rate = 0.08;
+    seed = 7;
+    power_penalty = 0.0;
+    optimizer = Adam
+  }
+
+type result = {
+  pulse : Pulse.t;
+  fidelity : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* Tr(a * b) without materialising the product. *)
+let trace_prod a b =
+  let n = Cmat.rows a in
+  let acc_re = ref 0.0 and acc_im = ref 0.0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let xr = Cmat.get_re a r c and xi = Cmat.get_im a r c in
+      let yr = Cmat.get_re b c r and yi = Cmat.get_im b c r in
+      acc_re := !acc_re +. (xr *. yr) -. (xi *. yi);
+      acc_im := !acc_im +. (xr *. yi) +. (xi *. yr)
+    done
+  done;
+  Cx.make !acc_re !acc_im
+
+(* One objective/gradient evaluation. Parameters are the unconstrained
+   [x]; amplitudes are [u = bound * tanh x]. The objective is the trace
+   fidelity minus the power regulariser; [grad] is d(objective)/dx. *)
+let evaluate config h target ~dt ~n_slices ~bounds x =
+  let dim = h.Hamiltonian.dim in
+  let nc = Array.length bounds in
+  let d = float_of_int dim in
+  let amps =
+    Array.map (fun row -> Array.mapi (fun k v -> bounds.(k) *. tanh v) row) x
+  in
+  let us = Array.map (fun a -> Expm.expm_i_h ~dt (Hamiltonian.at h a)) amps in
+  let xs = Array.make n_slices (Cmat.identity dim) in
+  Array.iteri
+    (fun j u -> xs.(j) <- (if j = 0 then u else Cmat.mul u xs.(j - 1)))
+    us;
+  let phi =
+    Cx.scale (1.0 /. d)
+      (Cmat.trace (Cmat.mul_adjoint_left target xs.(n_slices - 1)))
+  in
+  let fidelity = Cx.abs2 phi in
+  let power = ref 0.0 in
+  Array.iter (Array.iter (fun u -> power := !power +. (u *. u))) amps;
+  let objective = fidelity -. (config.power_penalty *. !power) in
+  (* backward pass: A_j = target† U_N ... U_{j+1} *)
+  let a = ref (Cmat.adjoint target) in
+  let grad = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+  for j = n_slices - 1 downto 0 do
+    let p = Cmat.mul xs.(j) !a in
+    for k = 0 to nc - 1 do
+      let t = trace_prod h.Hamiltonian.controls.(k).Hamiltonian.op p in
+      let dphi = Cx.mul (Cx.make 0.0 (-.dt /. d)) t in
+      let df = 2.0 *. ((Cx.re phi *. Cx.re dphi) +. (Cx.im phi *. Cx.im dphi)) in
+      let th = tanh x.(j).(k) in
+      let du_dx = bounds.(k) *. (1.0 -. (th *. th)) in
+      let u = bounds.(k) *. th in
+      grad.(j).(k) <- (df -. (2.0 *. config.power_penalty *. u)) *. du_dx
+    done;
+    a := Cmat.mul !a us.(j)
+  done;
+  (objective, fidelity, amps, grad)
+
+(* flat-vector helpers for L-BFGS *)
+let flatten rows =
+  Array.concat (Array.to_list (Array.map Array.copy rows))
+
+let unflatten ~n_slices ~nc v =
+  Array.init n_slices (fun j -> Array.sub v (j * nc) nc)
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let axpy alpha x y =
+  Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y
+
+let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
+  let dim = h.Hamiltonian.dim in
+  if Cmat.rows target <> dim || Cmat.cols target <> dim then
+    invalid_arg "Grape.optimize: target dimension mismatch";
+  if n_slices <= 0 then invalid_arg "Grape.optimize: need slices";
+  let nc = Hamiltonian.n_controls h in
+  let bounds = Array.map (fun c -> c.Hamiltonian.bound) h.Hamiltonian.controls in
+  let rng = Random.State.make [| config.seed; n_slices; dim |] in
+  let x = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+  (match init with
+  (* a warm start is only usable when it was optimised against the same
+     control channels; otherwise fall back to the random initial guess *)
+  | Some p when Pulse.n_controls p = nc ->
+    let p = Pulse.resample p ~slices:n_slices in
+    for j = 0 to n_slices - 1 do
+      for k = 0 to nc - 1 do
+        let u = p.Pulse.amplitudes.(j).(k) /. bounds.(k) in
+        let u = Float.max (-0.999) (Float.min 0.999 u) in
+        (* atanh *)
+        x.(j).(k) <- 0.5 *. log ((1.0 +. u) /. (1.0 -. u))
+      done
+    done
+  | Some _ | None ->
+    for j = 0 to n_slices - 1 do
+      for k = 0 to nc - 1 do
+        x.(j).(k) <- (Random.State.float rng 1.0 -. 0.5) *. 0.6
+      done
+    done);
+  let best_f = ref neg_infinity in
+  let best_amps = ref [||] in
+  let iters = ref 0 in
+  let converged = ref false in
+  let note_best fidelity amps =
+    if fidelity > !best_f then begin
+      best_f := fidelity;
+      best_amps := amps
+    end;
+    if fidelity >= config.target_fidelity then converged := true
+  in
+  (match config.optimizer with
+  | Adam ->
+    let m = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+    let v = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+    let beta1 = 0.9 and beta2 = 0.999 and adam_eps = 1e-8 in
+    (try
+       for it = 1 to config.max_iters do
+         iters := it;
+         let _, fidelity, amps, grad =
+           evaluate config h target ~dt ~n_slices ~bounds x
+         in
+         note_best fidelity amps;
+         if !converged then raise Exit;
+         let b1t = 1.0 -. (beta1 ** float_of_int it) in
+         let b2t = 1.0 -. (beta2 ** float_of_int it) in
+         for j = 0 to n_slices - 1 do
+           for k = 0 to nc - 1 do
+             let g = grad.(j).(k) in
+             m.(j).(k) <- (beta1 *. m.(j).(k)) +. ((1.0 -. beta1) *. g);
+             v.(j).(k) <- (beta2 *. v.(j).(k)) +. ((1.0 -. beta2) *. g *. g);
+             let mhat = m.(j).(k) /. b1t and vhat = v.(j).(k) /. b2t in
+             x.(j).(k) <-
+               x.(j).(k)
+               +. (config.learning_rate *. mhat /. (sqrt vhat +. adam_eps))
+           done
+         done
+       done
+     with Exit -> ())
+  | Lbfgs history ->
+    let history = max 1 history in
+    (* maximise the objective: two-loop recursion on the flattened vector
+       with Armijo backtracking *)
+    let eval_flat xv =
+      let xm = unflatten ~n_slices ~nc xv in
+      let obj, fidelity, amps, grad =
+        evaluate config h target ~dt ~n_slices ~bounds xm
+      in
+      (obj, fidelity, amps, flatten grad)
+    in
+    let xv = ref (flatten x) in
+    let s_hist = ref [] and y_hist = ref [] in
+    (try
+       let obj, fidelity, amps, grad =
+         eval_flat !xv
+       in
+       note_best fidelity amps;
+       if !converged then raise Exit;
+       let obj = ref obj and grad = ref grad in
+       while !iters < config.max_iters do
+         incr iters;
+         (* two-loop recursion: direction = H * grad (ascent) *)
+         let q = Array.copy !grad in
+         let pairs = List.combine !s_hist !y_hist in
+         let alphas =
+           List.map
+             (fun (s, y) ->
+               let rho = 1.0 /. Float.max 1e-12 (dot y s) in
+               let alpha = rho *. dot s q in
+               Array.iteri (fun i yi -> q.(i) <- q.(i) -. (alpha *. yi)) y;
+               (alpha, rho))
+             pairs
+         in
+         (* initial Hessian scaling *)
+         (match (!s_hist, !y_hist) with
+         | s :: _, y :: _ ->
+           let gamma = dot s y /. Float.max 1e-12 (dot y y) in
+           Array.iteri (fun i qi -> q.(i) <- qi *. abs_float gamma) q
+         | _ ->
+           Array.iteri (fun i qi -> q.(i) <- qi *. config.learning_rate) q);
+         List.iter2
+           (fun (s, y) (alpha, rho) ->
+             let beta = rho *. dot y q in
+             Array.iteri (fun i si -> q.(i) <- q.(i) +. ((alpha -. beta) *. si)) s)
+           (List.rev pairs) (List.rev alphas);
+         (* Armijo backtracking along the ascent direction q *)
+         let g_dot_d = dot !grad q in
+         let direction, g_dot_d =
+           if g_dot_d > 0.0 then (q, g_dot_d)
+           else (Array.copy !grad, dot !grad !grad)
+         in
+         let step = ref 1.0 and accepted = ref false in
+         let backtracks = ref 0 in
+         while (not !accepted) && !backtracks < 15 do
+           let candidate = axpy !step direction !xv in
+           let obj', fidelity', amps', grad' = eval_flat candidate in
+           if obj' >= !obj +. (1e-4 *. !step *. g_dot_d) then begin
+             accepted := true;
+             note_best fidelity' amps';
+             let s = Array.mapi (fun i c -> c -. !xv.(i)) candidate in
+             let y = Array.mapi (fun i g' -> g' -. !grad.(i)) grad' in
+             (* gradient-ascent curvature pair: flip signs so the standard
+                minimisation update applies *)
+             let y = Array.map (fun v -> -.v) y in
+             let s_for = s and y_for = y in
+             if dot s_for y_for > 1e-12 then begin
+               s_hist := s_for :: !s_hist;
+               y_hist := y_for :: !y_hist;
+               if List.length !s_hist > history then begin
+                 s_hist := List.filteri (fun i _ -> i < history) !s_hist;
+                 y_hist := List.filteri (fun i _ -> i < history) !y_hist
+               end
+             end;
+             xv := candidate;
+             obj := obj';
+             grad := grad';
+             if !converged then raise Exit
+           end
+           else begin
+             step := !step /. 2.0;
+             incr backtracks
+           end
+         done;
+         if not !accepted then raise Exit
+       done
+     with Exit -> ());
+    if !best_amps = [||] then begin
+      let _, fidelity, amps, _ = eval_flat !xv in
+      note_best fidelity amps
+    end);
+  let amplitudes =
+    if !best_amps = [||] then
+      Array.map
+        (fun row -> Array.mapi (fun k v -> bounds.(k) *. tanh v) row)
+        x
+    else !best_amps
+  in
+  let pulse = { Pulse.dt; amplitudes } in
+  { pulse; fidelity = !best_f; iterations = !iters; converged = !converged }

@@ -1,0 +1,64 @@
+module Cx = Paqoc_linalg.Cx
+module Cmat = Paqoc_linalg.Cmat
+
+type control = { label : string; op : Cmat.t; bound : float }
+
+type t = {
+  n_qubits : int;
+  dim : int;
+  drift : Cmat.t;
+  controls : control array;
+}
+
+let mu_max = 0.02
+let drive_max = 5.0 *. mu_max
+
+let sigma_x = Cmat.of_real_lists [ [ 0.; 1. ]; [ 1.; 0. ] ]
+
+let sigma_y =
+  Cmat.of_lists [ [ Cx.zero; Cx.make 0. (-1.) ]; [ Cx.make 0. 1.; Cx.zero ] ]
+
+let sigma_z = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; -1. ] ]
+
+let make ?(mu = mu_max) ~n_qubits ~coupled_pairs () =
+  if n_qubits <= 0 then invalid_arg "Hamiltonian.make: need qubits";
+  let dim = 1 lsl n_qubits in
+  let half m = Cmat.scale_re 0.5 m in
+  let drive q (pauli, tag) =
+    { label = Printf.sprintf "%s%d" tag q;
+      op = Cmat.embed ~n_qubits (half pauli) ~on:[ q ];
+      bound = 5.0 *. mu
+    }
+  in
+  let drives =
+    List.concat_map
+      (fun q -> [ drive q (sigma_x, "x"); drive q (sigma_y, "y") ])
+      (List.init n_qubits Fun.id)
+  in
+  let exchange (a, b) =
+    if a < 0 || a >= n_qubits || b < 0 || b >= n_qubits || a = b then
+      invalid_arg "Hamiltonian.make: bad coupled pair";
+    let xx = Cmat.kron sigma_x sigma_x and yy = Cmat.kron sigma_y sigma_y in
+    { label = Printf.sprintf "xy%d_%d" a b;
+      op = Cmat.embed ~n_qubits (half (Cmat.add xx yy)) ~on:[ a; b ];
+      bound = mu
+    }
+  in
+  let couplings = List.map exchange coupled_pairs in
+  { n_qubits;
+    dim;
+    drift = Cmat.create dim dim;
+    controls = Array.of_list (drives @ couplings)
+  }
+
+let n_controls h = Array.length h.controls
+
+let at h amps =
+  if Array.length amps <> n_controls h then
+    invalid_arg "Hamiltonian.at: amplitude count mismatch";
+  let acc = ref (Cmat.copy h.drift) in
+  Array.iteri
+    (fun k u ->
+      if u <> 0.0 then acc := Cmat.add !acc (Cmat.scale_re u h.controls.(k).op))
+    amps;
+  !acc

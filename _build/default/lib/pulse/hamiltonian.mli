@@ -1,0 +1,53 @@
+(** Device Hamiltonian model.
+
+    The control problem follows the paper's platform: a transmon lattice
+    with XY (exchange) two-qubit interaction, a two-qubit control-field
+    bound [mu_max] and single-qubit drives five times stronger. In the
+    rotating frame the drift vanishes and
+
+    [H(t) = sum_k u_k(t) H_k],  [|u_k| <= bound_k]
+
+    with one X and one Y drive per qubit ([sigma/2]) and one
+    [(XX + YY)/2] exchange term per coupled pair.
+
+    Units: time is measured in device [dt]; amplitudes in rad/dt. The
+    default [mu_max = 0.02 rad/dt] puts a GRAPE-optimised CX near the
+    ~110 dt the paper reports. *)
+
+type control = {
+  label : string;
+  op : Paqoc_linalg.Cmat.t;  (** Hermitian control operator *)
+  bound : float;  (** max |amplitude| in rad/dt *)
+}
+
+type t = {
+  n_qubits : int;
+  dim : int;  (** [2^n_qubits] *)
+  drift : Paqoc_linalg.Cmat.t;
+  controls : control array;
+}
+
+(** Default two-qubit control bound, rad/dt. *)
+val mu_max : float
+
+(** Single-qubit drive bound: [5 * mu_max], per the paper's setup. *)
+val drive_max : float
+
+(** [make ~n_qubits ~coupled_pairs] builds the control problem for a gate
+    group: X and Y drives on every qubit, an XY exchange control on each
+    listed pair (local indices).
+    @raise Invalid_argument on out-of-range pairs. *)
+val make : ?mu:float -> n_qubits:int -> coupled_pairs:(int * int) list -> unit -> t
+
+val n_controls : t -> int
+
+(** [at h amps] assembles [H = drift + sum_k amps.(k) * H_k].
+    @raise Invalid_argument when [amps] length differs from the control
+    count. *)
+val at : t -> float array -> Paqoc_linalg.Cmat.t
+
+(** Pauli matrices, exposed for tests. *)
+val sigma_x : Paqoc_linalg.Cmat.t
+
+val sigma_y : Paqoc_linalg.Cmat.t
+val sigma_z : Paqoc_linalg.Cmat.t

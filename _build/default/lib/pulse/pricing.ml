@@ -1,0 +1,25 @@
+module Circuit = Paqoc_circuit.Circuit
+module Dag = Paqoc_circuit.Dag
+
+let episode t g =
+  let group, _ = Generator.group_of_apps [ g ] in
+  Generator.generate t group
+
+let episode_latency_estimate t g =
+  let group, _ = Generator.group_of_apps [ g ] in
+  match Generator.peek t group with
+  | Some o -> o.Generator.latency
+  | None -> Generator.estimate_latency t group
+
+let gate_latency t g = (episode t g).Generator.latency
+
+let schedule t c =
+  let dag = Dag.of_circuit c in
+  Dag.schedule dag ~latency:(gate_latency t)
+
+let circuit_latency t c = (schedule t c).Dag.total
+
+let circuit_esp t (c : Circuit.t) =
+  List.fold_left
+    (fun acc g -> acc *. (1.0 -. (episode t g).Generator.error))
+    1.0 c.Circuit.gates

@@ -1,0 +1,1 @@
+lib/topology/coupling.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/topology/sabre.ml: Array Coupling Float Layout List Paqoc_circuit

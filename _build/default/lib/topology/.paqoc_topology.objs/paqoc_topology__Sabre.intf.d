@@ -1,0 +1,1 @@
+lib/topology/sabre.mli: Coupling Layout Paqoc_circuit

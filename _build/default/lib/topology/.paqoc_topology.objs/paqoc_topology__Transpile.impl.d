@@ -1,0 +1,1 @@
+lib/topology/transpile.ml: Coupling Layout List Paqoc_circuit Sabre

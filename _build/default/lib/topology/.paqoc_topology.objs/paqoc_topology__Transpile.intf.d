@@ -1,0 +1,1 @@
+lib/topology/transpile.mli: Coupling Layout Paqoc_circuit

@@ -1,0 +1,94 @@
+type t = { n : int; adj : int list array; dist : int array array }
+
+let bfs_dist n adj src =
+  let d = Array.make n max_int in
+  d.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    List.iter
+      (fun w ->
+        if d.(w) = max_int then begin
+          d.(w) <- d.(v) + 1;
+          Queue.add w q
+        end)
+      adj.(v)
+  done;
+  d
+
+let of_adj n adj =
+  { n; adj; dist = Array.init n (fun src -> bfs_dist n adj src) }
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Coupling.of_edges: empty device";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Coupling.of_edges: qubit out of range";
+      if a = b then invalid_arg "Coupling.of_edges: self loop";
+      if not (List.mem b adj.(a)) then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  of_adj n adj
+
+let grid ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Coupling.grid: empty grid";
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let q = (r * cols) + c in
+      if c + 1 < cols then edges := (q, q + 1) :: !edges;
+      if r + 1 < rows then edges := (q, q + cols) :: !edges
+    done
+  done;
+  of_edges ~n:(rows * cols) !edges
+
+let line n = of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Coupling.ring: need at least 3 qubits";
+  of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let heavy_hex ~distance =
+  if distance < 3 || distance mod 2 = 0 then
+    invalid_arg "Coupling.heavy_hex: distance must be odd and >= 3";
+  let cols = (2 * distance) - 1 in
+  let rows = distance in
+  (* row qubits first (row-major), then bridge qubits *)
+  let row_q r c = (r * cols) + c in
+  let n_row = rows * cols in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      edges := (row_q r c, row_q r (c + 1)) :: !edges
+    done
+  done;
+  let next_bridge = ref n_row in
+  for r = 0 to rows - 2 do
+    let offset = if r mod 2 = 0 then 0 else 2 in
+    let c = ref offset in
+    while !c < cols do
+      let b = !next_bridge in
+      incr next_bridge;
+      edges := (row_q r !c, b) :: (b, row_q (r + 1) !c) :: !edges;
+      c := !c + 4
+    done
+  done;
+  of_edges ~n:!next_bridge !edges
+
+let n_qubits g = g.n
+let neighbors g q = g.adj.(q)
+let are_coupled g a b = List.mem b g.adj.(a)
+let distance g a b = g.dist.(a).(b)
+
+let edges g =
+  let acc = ref [] in
+  for a = 0 to g.n - 1 do
+    List.iter (fun b -> if a < b then acc := (a, b) :: !acc) g.adj.(a)
+  done;
+  List.rev !acc

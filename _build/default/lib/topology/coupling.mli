@@ -1,0 +1,36 @@
+(** Device coupling graphs.
+
+    The evaluation platform is the paper's 5x5 grid of superconducting
+    qubits with nearest-neighbour XY coupling; line and ring topologies are
+    provided for tests and ablations. Distances are all-pairs BFS hop
+    counts, precomputed at construction. *)
+
+type t
+
+(** [grid ~rows ~cols] is the rows x cols nearest-neighbour lattice, qubits
+    numbered row-major. *)
+val grid : rows:int -> cols:int -> t
+
+(** [line n] is the path topology on [n] qubits. *)
+val line : int -> t
+
+(** [ring n] is the cycle topology on [n] qubits. *)
+val ring : int -> t
+
+(** [heavy_hex ~distance] is IBM's heavy-hexagon lattice of code distance
+    [distance] (odd, >= 3): rows of qubits joined by bridge qubits, the
+    topology of the Eagle/Heron processors. *)
+val heavy_hex : distance:int -> t
+
+(** [of_edges ~n edges] builds an arbitrary undirected coupling graph.
+    @raise Invalid_argument on out-of-range or self-loop edges. *)
+val of_edges : n:int -> (int * int) list -> t
+
+val n_qubits : t -> int
+val neighbors : t -> int -> int list
+val are_coupled : t -> int -> int -> bool
+
+(** [distance g a b] is the BFS hop distance; [max_int] when disconnected. *)
+val distance : t -> int -> int -> int
+
+val edges : t -> (int * int) list

@@ -1,0 +1,35 @@
+module Gate = Paqoc_circuit.Gate
+module Circuit = Paqoc_circuit.Circuit
+module Decompose = Paqoc_circuit.Decompose
+
+type t = {
+  physical : Circuit.t;
+  coupling : Coupling.t;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+  swaps_added : int;
+}
+
+let default_device = Coupling.grid ~rows:5 ~cols:5
+
+(* Routing only understands 1- and 2-qubit gates; SWAP survives as a
+   primitive so the router can also see program-level SWAPs, and everything
+   else with 3+ operands (or a custom body) is lowered first. *)
+let pre_route_lower (c : Circuit.t) =
+  let rec lower (g : Gate.app) =
+    match g.Gate.kind with
+    | Gate.Custom _ | Gate.CCX -> List.concat_map lower (Decompose.lower_app g)
+    | _ -> [ g ]
+  in
+  { c with Circuit.gates = List.concat_map lower c.Circuit.gates }
+
+let run ?(coupling = default_device) c =
+  let lowered = pre_route_lower c in
+  let routed = Sabre.route lowered coupling in
+  let physical = Decompose.to_basis routed.Sabre.physical in
+  { physical;
+    coupling;
+    initial_layout = routed.Sabre.initial;
+    final_layout = routed.Sabre.final;
+    swaps_added = routed.Sabre.swaps_added
+  }

@@ -1,0 +1,21 @@
+(** End-to-end transpilation: logical circuit -> physical circuit.
+
+    Mirrors the paper's platform pipeline: lower multi-qubit non-native
+    gates, route with SABRE onto the device, then lower to the
+    [{RZ, SX, X, CX}] basis and run the peephole cleanup. The output is the
+    "physical circuit" every PAQOC / AccQOC experiment consumes. *)
+
+type t = {
+  physical : Paqoc_circuit.Circuit.t;
+  coupling : Coupling.t;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+  swaps_added : int;
+}
+
+(** [run ?coupling c] transpiles [c]; the default device is the paper's 5x5
+    grid. *)
+val run : ?coupling:Coupling.t -> Paqoc_circuit.Circuit.t -> t
+
+(** The paper's evaluation device: a 5x5 nearest-neighbour grid. *)
+val default_device : Coupling.t

@@ -1,0 +1,1 @@
+test/test_accqoc.ml: Alcotest Angle Circuit Fun Gate Hashtbl List Option Paqoc_accqoc Paqoc_circuit Paqoc_pulse QCheck Test_util

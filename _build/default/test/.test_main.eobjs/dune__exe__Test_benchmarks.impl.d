@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Angle Array Circuit Cmat Cx Gate List Paqoc_benchmarks Paqoc_circuit Paqoc_linalg Paqoc_pulse Paqoc_topology Printf Test_util

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Angle Array Circuit Cmat Cx Fun Gate List Paqoc_circuit QCheck String Test_util

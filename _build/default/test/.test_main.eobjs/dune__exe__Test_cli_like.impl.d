@@ -1,0 +1,1 @@
+test/test_cli_like.ml: Angle Array Circuit Filename Gate List Paqoc_circuit Paqoc_pulse String Sys Test_util

@@ -1,0 +1,1 @@
+test/test_commutation.ml: Angle Array Circuit Cmat Gate Hashtbl List Paqoc_circuit QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Angle Circuit Gate List Paqoc Paqoc_accqoc Paqoc_benchmarks Paqoc_circuit Paqoc_mining Paqoc_pulse Paqoc_topology Printf QCheck Test_util

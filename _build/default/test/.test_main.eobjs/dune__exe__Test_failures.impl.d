@@ -1,0 +1,1 @@
+test/test_failures.ml: Angle Circuit Gate List Paqoc Paqoc_mining Paqoc_pulse Paqoc_topology String Test_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Angle Circuit Gate List Paqoc Paqoc_accqoc Paqoc_benchmarks Paqoc_linalg Paqoc_pulse Paqoc_topology Printf Test_util

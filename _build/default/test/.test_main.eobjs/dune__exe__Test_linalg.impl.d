@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Circuit Cmat Cx Gate Paqoc_linalg QCheck Test_util

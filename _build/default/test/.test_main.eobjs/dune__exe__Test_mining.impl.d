@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Angle Array Circuit Fun Gate List Paqoc_circuit Paqoc_mining QCheck String Test_util

@@ -1,0 +1,1 @@
+test/test_pulse.ml: Angle Array Circuit Cmat Cx Filename Gate List Paqoc_linalg Paqoc_pulse Printf String Sys Test_util

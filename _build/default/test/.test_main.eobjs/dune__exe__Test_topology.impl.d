@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Angle Circuit Cmat Gate List Paqoc_circuit Paqoc_topology QCheck Test_util

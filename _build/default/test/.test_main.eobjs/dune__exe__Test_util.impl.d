@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Paqoc_circuit Paqoc_linalg QCheck QCheck_alcotest

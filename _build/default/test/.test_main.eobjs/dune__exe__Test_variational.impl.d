@@ -1,0 +1,1 @@
+test/test_variational.ml: Circuit Paqoc Paqoc_benchmarks Paqoc_pulse Test_util

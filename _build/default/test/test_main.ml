@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "paqoc"
+    [ ("linalg", Test_linalg.suite);
+      ("circuit", Test_circuit.suite);
+      ("topology", Test_topology.suite);
+      ("commutation", Test_commutation.suite);
+      ("pulse", Test_pulse.suite);
+      ("mining", Test_mining.suite);
+      ("accqoc", Test_accqoc.suite);
+      ("core", Test_core.suite);
+      ("variational", Test_variational.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("integration", Test_integration.suite);
+      ("surfaces", Test_cli_like.suite);
+      ("failures", Test_failures.suite)
+    ]

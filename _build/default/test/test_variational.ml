@@ -1,0 +1,47 @@
+open Test_util
+module V = Paqoc.Variational
+module Gen = Paqoc_pulse.Generator
+module Qaoa = Paqoc_benchmarks.Qaoa
+
+let ansatz = Qaoa.circuit ~symbolic:true ~n:6 ~p:1 ()
+
+let bindings k = [ ("gamma_0", 0.3 +. (0.1 *. float_of_int k)); ("beta_0", 0.8) ]
+
+let suite =
+  [ case "offline phase mines the symbolic ansatz" (fun () ->
+        let p = V.prepare ansatz in
+        check_true "found APA gates" (V.apa_gates p <> []));
+    case "online compile matches direct compilation semantics" (fun () ->
+        let p = V.prepare ansatz in
+        let gen = Gen.model_default () in
+        let r = V.compile p gen (bindings 0) in
+        let direct = Circuit.bind_params (bindings 0) ansatz in
+        check_true "equivalent"
+          (Circuit.equivalent direct (Circuit.flatten r.Paqoc.grouped)));
+    case "iterations amortise the pulse database" (fun () ->
+        let p = V.prepare ansatz in
+        let gen = Gen.model_default () in
+        let r1 = V.compile p gen (bindings 1) in
+        let r2 = V.compile p gen (bindings 1) in
+        (* identical parameters: everything cache-hits *)
+        check_true "second iteration cheaper"
+          (r2.Paqoc.compile_seconds < r1.Paqoc.compile_seconds);
+        check_int "no new pulses" 0 r2.Paqoc.pulses_generated;
+        (* different parameters: structure warm starts still help *)
+        let r3 = V.compile p gen (bindings 2) in
+        check_true "new params still cheaper than cold"
+          (r3.Paqoc.compile_seconds < r1.Paqoc.compile_seconds +. 1e-9));
+    case "unbound parameters are rejected" (fun () ->
+        let p = V.prepare ansatz in
+        let gen = Gen.model_default () in
+        check_true "raises"
+          (try ignore (V.compile p gen [ ("gamma_0", 0.1) ]); false
+           with Failure _ -> true));
+    case "latency does not depend on the iteration" (fun () ->
+        let p = V.prepare ansatz in
+        let gen = Gen.model_default () in
+        let r1 = V.compile p gen (bindings 3) in
+        let gen2 = Gen.model_default () in
+        let r2 = V.compile p gen2 (bindings 3) in
+        check_float "deterministic" r1.Paqoc.latency r2.Paqoc.latency)
+  ]
