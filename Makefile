@@ -1,0 +1,13 @@
+# Tier-1 gate in one command.
+check:
+	dune build && dune runtest
+
+# Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
+bench-scaling:
+	dune exec bench/micro_main.exe
+
+# Full evaluation harness (tables, figures, bechamel kernels).
+bench:
+	dune exec bench/main.exe
+
+.PHONY: check bench bench-scaling

@@ -1,0 +1,1 @@
+bench/micro_main.mli:

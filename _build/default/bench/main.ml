@@ -5,7 +5,10 @@
      dune exec bench/main.exe -- --only fig10 -- one experiment
      dune exec bench/main.exe -- --fast       -- trim the slow QOC parts
      dune exec bench/main.exe -- --skip-micro -- skip bechamel kernels
-     dune exec bench/main.exe -- --list       -- list experiment ids *)
+     dune exec bench/main.exe -- --list       -- list experiment ids
+
+   The worker-scaling benchmark (real GRAPE at 1/2/4 domains) is opt-in:
+   run it with --only scaling, or standalone via bench/micro_main.exe. *)
 
 let experiments fast : (string * (unit -> unit)) list =
   [ ("table1", Experiments.table1);
@@ -42,7 +45,8 @@ let () =
   let exps = experiments fast in
   if has "--list" then begin
     List.iter (fun (id, _) -> print_endline id) exps;
-    print_endline "micro"
+    print_endline "micro";
+    print_endline "scaling"
   end
   else begin
     let t0 = Sys.time () in
@@ -51,6 +55,7 @@ let () =
       match List.assoc_opt id exps with
       | Some f -> f ()
       | None when id = "micro" -> Micro.run ()
+      | None when id = "scaling" -> Micro.run_scaling ()
       | None ->
         Printf.eprintf "unknown experiment %s (try --list)\n" id;
         exit 1)

@@ -100,6 +100,73 @@ let tests =
                 (Lazy.force simon_physical))))
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Worker-scaling benchmark: the same QOC batch at 1/2/4 domains        *)
+(* ------------------------------------------------------------------ *)
+
+(* Structurally distinct 2-qubit groups (pairwise shape distance above the
+   similarity threshold) so the batch is embarrassingly parallel: every
+   synthesis is a cold GRAPE run with no in-batch seed dependency. *)
+let scaling_batch () =
+  let rz a = Gate.app1 (Gate.RZ (Angle.const a)) in
+  List.map
+    (fun apps -> fst (Gen.group_of_apps apps))
+    [ [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1; Gate.app1 Gate.H 1 ];
+      [ Gate.app1 Gate.X 0; Gate.app1 Gate.X 1; Gate.app2 Gate.CX 0 1;
+        rz 0.3 0 ];
+      [ Gate.app1 Gate.SX 0; Gate.app2 Gate.CX 0 1; Gate.app1 Gate.SX 1;
+        Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app1 Gate.T 0; Gate.app1 Gate.T 1; Gate.app2 Gate.CX 0 1;
+        Gate.app1 Gate.X 0 ];
+      [ Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 1 0; Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app1 Gate.H 0; Gate.app1 Gate.H 1; Gate.app2 Gate.CX 0 1;
+        Gate.app1 Gate.T 1 ];
+      [ rz 1.1 0; Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 0 1;
+        Gate.app1 Gate.X 1 ];
+      [ Gate.app1 Gate.SX 1; Gate.app1 Gate.T 0; Gate.app2 Gate.CX 0 1;
+        Gate.app1 Gate.H 0 ]
+    ]
+
+let db_bytes gen =
+  let path = Filename.temp_file "paqoc_scaling" ".db" in
+  Gen.save_database gen path;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let run_scaling ?(workers = [ 1; 2; 4 ]) () =
+  Printf.printf "\n%s\nSCALING  parallel pulse generation (QOC backend)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  Printf.printf "host: %d recommended domain(s)\n"
+    (Domain.recommended_domain_count ());
+  let batch = scaling_batch () in
+  Printf.printf "batch: %d independent 2-qubit gate groups\n%!"
+    (List.length batch);
+  let runs =
+    List.map
+      (fun jobs ->
+        let gen = Gen.qoc_default () in
+        let t0 = Unix.gettimeofday () in
+        let outs = Gen.generate_batch ~jobs gen batch in
+        let wall = Unix.gettimeofday () -. t0 in
+        (jobs, wall, outs, db_bytes gen))
+      workers
+  in
+  (match runs with
+  | (_, base, _, base_db) :: _ ->
+    List.iter
+      (fun (jobs, wall, outs, db) ->
+        Printf.printf
+          "  jobs=%d  wall %6.2f s  speedup %5.2fx  (%d pulses, db %s)\n%!"
+          jobs wall (base /. wall) (List.length outs)
+          (if String.equal db base_db then "identical" else "DIVERGED"))
+      runs
+  | [] -> ());
+  Printf.printf
+    "  (speedup tracks physical cores; determinism holds at any count)\n"
+
 let run () =
   Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"
     (String.make 78 '=') (String.make 78 '=');

@@ -1,0 +1,17 @@
+(* Standalone entry point for the worker-scaling benchmark:
+
+     dune exec bench/micro_main.exe               -- scale at 1/2/4 workers
+     dune exec bench/micro_main.exe -- 1 2 4 8    -- custom worker counts
+     dune exec bench/micro_main.exe -- --kernels  -- also run the bechamel
+                                                     kernels *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let kernels = List.mem "--kernels" args in
+  let workers =
+    match List.filter_map int_of_string_opt args with
+    | [] -> [ 1; 2; 4 ]
+    | ws -> ws
+  in
+  Micro.run_scaling ~workers ();
+  if kernels then Micro.run ()

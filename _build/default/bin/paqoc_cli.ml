@@ -89,6 +89,14 @@ let compile_cmd =
   let show_groups =
     Arg.(value & flag & info [ "show-groups" ] ~doc:"Print the final gate groups.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel pulse generation (deterministic: \
+             any N produces the same schedule and pulse database as N=1).")
+  in
   let db =
     Arg.(
       value & opt (some string) None
@@ -96,7 +104,11 @@ let compile_cmd =
           ~doc:
             "Pulse-database file: loaded before compiling (if it exists)              and saved afterwards — the paper's persistent offline table.")
   in
-  let run input scheme device max_n top_k show_groups db =
+  let run input scheme device max_n top_k show_groups jobs db =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
     let logical = load_circuit input in
     let coupling = device_of device in
     let t = Transpile.run ~coupling logical in
@@ -118,7 +130,7 @@ let compile_cmd =
       match scheme with
       | `Acc3 | `Acc5 ->
         let slicer = if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5 in
-        let r = Accqoc.compile ~slicer gen physical in
+        let r = Accqoc.compile ~slicer ~jobs gen physical in
         ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
           r.Accqoc.n_groups, r.Accqoc.grouped )
       | (`M0 | `Mtuned | `Minf) as m ->
@@ -131,7 +143,7 @@ let compile_cmd =
             merger = { Paqoc.Merger.default_config with max_n; top_k }
           }
         in
-        let r = Paqoc.compile ~scheme gen physical in
+        let r = Paqoc.compile ~scheme ~jobs gen physical in
         ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
           r.Paqoc.n_groups, r.Paqoc.grouped )
     in
@@ -153,7 +165,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
-    Term.(const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ db)
+    Term.(
+      const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ jobs
+      $ db)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)

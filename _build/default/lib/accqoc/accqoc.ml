@@ -12,19 +12,22 @@ type report = {
   cache_hits : int;
 }
 
-let compile ?(slicer = Slicer.accqoc_n3d3) gen (c : Circuit.t) =
+let compile ?(slicer = Slicer.accqoc_n3d3) ?(jobs = 1) gen (c : Circuit.t) =
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
   let hits0 = Generator.cache_hits gen in
   let grouped = Slicer.group_circuit slicer c in
-  (* similarity-MST generation order maximises warm starts *)
+  (* similarity-MST generation order maximises warm starts; the batch
+     planner keeps that seeding (each slice still warm-starts from its
+     MST neighbour) while letting independent MST branches synthesise in
+     parallel *)
   let groups =
     List.map
       (fun g -> fst (Generator.group_of_apps [ g ]))
       grouped.Circuit.gates
   in
   let ordered = Similarity.generation_order groups in
-  List.iter (fun g -> ignore (Generator.generate gen g)) ordered;
+  ignore (Generator.generate_batch ~jobs gen ordered);
   let latency = Pricing.circuit_latency gen grouped in
   let esp = Pricing.circuit_esp gen grouped in
   { grouped;

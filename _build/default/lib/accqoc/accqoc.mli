@@ -16,10 +16,14 @@ type report = {
   cache_hits : int;
 }
 
-(** [compile ?slicer gen c] runs the baseline on physical circuit [c]
-    through generator [gen]. Default slicing is [accqoc_n3d3]. *)
+(** [compile ?slicer ?jobs gen c] runs the baseline on physical circuit
+    [c] through generator [gen]. Default slicing is [accqoc_n3d3].
+    [jobs] (default 1) parallelises slice pricing across worker domains;
+    the MST warm-start order is preserved and the result is identical to
+    the serial run. *)
 val compile :
   ?slicer:Slicer.config ->
+  ?jobs:int ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->
   report

@@ -38,7 +38,7 @@ type report = {
   merge_stats : Merger.stats;
 }
 
-let compile ?(scheme = paqoc_m0) gen (c : Circuit.t) =
+let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
   let wall0 = Sys.time () in
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
@@ -50,6 +50,23 @@ let compile ?(scheme = paqoc_m0) gen (c : Circuit.t) =
   in
   (* 1. frequent subcircuits miner -> APA-basis substitution *)
   let apa = Apa.apply ~miner:scheme.miner ~mode:scheme.apa_mode c in
+  (* 1b. offline APA phase: every substituted APA gate is committed by
+     definition, and the candidates are mutually independent, so their
+     pulses are synthesised up front as one parallel batch (the paper's
+     offline pre-computation; the criticality search then hits the
+     table) *)
+  let apa_names = List.map fst apa.Apa.apa_gates in
+  let apa_groups =
+    List.filter_map
+      (fun (g : Paqoc_circuit.Gate.app) ->
+        match g.Paqoc_circuit.Gate.kind with
+        | Paqoc_circuit.Gate.Custom cu
+          when List.mem cu.Paqoc_circuit.Gate.cname apa_names ->
+          Some (fst (Generator.group_of_apps [ g ]))
+        | _ -> None)
+      apa.Apa.circuit.Circuit.gates
+  in
+  ignore (Generator.generate_batch ~jobs gen apa_groups);
   (* 2. Observation-1 pre-processing, then the criticality search *)
   let pre = Candidates.preprocess apa.Apa.circuit ~maxN:scheme.merger.Merger.max_n in
   let grouped, merge_stats =
@@ -65,12 +82,14 @@ let compile ?(scheme = paqoc_m0) gen (c : Circuit.t) =
         } )
     end
   in
-  (* 3. make sure every episode of the final schedule has its pulse *)
-  List.iter
-    (fun g ->
-      let group, _ = Generator.group_of_apps [ g ] in
-      ignore (Generator.generate gen group))
-    grouped.Circuit.gates;
+  (* 3. make sure every episode of the final schedule has its pulse; the
+     episodes are independent so the leftover (non-merged, non-APA) ones
+     synthesise in parallel too *)
+  ignore
+    (Generator.generate_batch ~jobs gen
+       (List.map
+          (fun g -> fst (Generator.group_of_apps [ g ]))
+          grouped.Circuit.gates));
   let latency = Pricing.circuit_latency gen grouped in
   let esp = Pricing.circuit_esp gen grouped in
   let qoc_seconds = Generator.total_seconds gen -. seconds0 in

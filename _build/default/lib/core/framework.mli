@@ -50,7 +50,15 @@ type report = {
   merge_stats : Merger.stats;
 }
 
-(** [compile ?scheme gen c] compiles physical circuit [c]. Default scheme
-    is [paqoc_m0]. *)
+(** [compile ?scheme ?jobs gen c] compiles physical circuit [c]. Default
+    scheme is [paqoc_m0]. [jobs] (default 1) is the worker-domain count
+    for the parallel batches — the offline APA pulse pre-computation and
+    the final episode sweep, both embarrassingly parallel; results are
+    identical to the serial run ({!Paqoc_pulse.Generator.generate_batch}'s
+    determinism guarantee). *)
 val compile :
-  ?scheme:scheme -> Paqoc_pulse.Generator.t -> Paqoc_circuit.Circuit.t -> report
+  ?scheme:scheme ->
+  ?jobs:int ->
+  Paqoc_pulse.Generator.t ->
+  Paqoc_circuit.Circuit.t ->
+  report

@@ -1,1 +1,1 @@
-lib/pulse/generator.ml: Array Buffer Duration_search Float Fun Grape Hamiltonian Hashtbl Latency_model List Paqoc_circuit Paqoc_linalg Printf Pulse String Sys
+lib/pulse/generator.ml: Array Buffer Duration_search Float Fun Grape Hamiltonian Hashtbl Latency_model List Mutex Paqoc_circuit Paqoc_linalg Pool Printf Pulse String Sys

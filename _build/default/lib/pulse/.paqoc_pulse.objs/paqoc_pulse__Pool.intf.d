@@ -1,0 +1,1 @@
+lib/pulse/pool.mli:

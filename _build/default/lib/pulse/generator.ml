@@ -74,6 +74,10 @@ type backend =
 
 type t = {
   backend : backend;
+  lock : Mutex.t;
+      (** guards the two tables and every mutable counter below; the
+          serial entry points hold it for their whole call, the batch
+          entry point only while planning and committing *)
   cache : (string, outcome) Hashtbl.t;
   by_shape : (string, Pulse.t option) Hashtbl.t;
       (** every generated shape; waveform present on the QOC backend *)
@@ -85,6 +89,10 @@ type t = {
   mutable n_shape : int;
   mutable n_similar : int;
 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Reading a previously generated pulse out of the database is an in-memory
    lookup; the paper attributes ~95% of compilation to QOC runs and treats
@@ -102,6 +110,7 @@ let is_table_entry g =
 
 let create backend =
   { backend;
+    lock = Mutex.create ();
     cache = Hashtbl.create 256;
     by_shape = Hashtbl.create 256;
     seconds = 0.0;
@@ -211,15 +220,6 @@ let drop_edge_apps ~drop_last g =
 let prefix_apps g = drop_edge_apps ~drop_last:true g
 let suffix_apps g = drop_edge_apps ~drop_last:false g
 
-type seed =
-  | Cold
-  | Prefix of float * Pulse.t option
-      (** the group minus its last gate is in the database: extend it *)
-  | Exact_shape of Pulse.t option
-      (** a pulse with the same gate shape (angles aside) exists *)
-  | Similar of Pulse.t option
-      (** a nearest-neighbour pulse exists (AccQOC's initial guess) *)
-
 (* token-level edit distance between shape signatures, used for the
    nearest-neighbour warm start *)
 let shape_distance a b =
@@ -238,139 +238,310 @@ let shape_distance a b =
   done;
   (prev.(lb), max la lb)
 
-let find_seed t g =
-  let sign = shape_signature g in
-  match Hashtbl.find_opt t.by_shape sign with
-  | Some p -> Exact_shape p
-  | None -> (
-    let edge_hit apps_opt =
-      match apps_opt with
-      | None -> None
-      | Some apps -> (
-        let sub, _ = group_of_apps apps in
-        match Hashtbl.find_opt t.cache (key sub) with
-        | Some o -> Some (Prefix (o.latency, o.pulse))
-        | None ->
-          (* a single-primitive constituent is a calibration-table pulse:
-             always available as a warm start even though nothing
-             generated it *)
-          if is_table_entry sub then
-            Some (Prefix (estimate_latency t sub, None))
-          else None)
-    in
-    let prefix_hit =
-      match edge_hit (prefix_apps g) with
-      | Some s -> Some s
-      | None -> edge_hit (suffix_apps g)
-    in
-    match prefix_hit with
-    | Some s -> s
-    | None ->
-      (* nearest neighbour among cached shapes of the same qubit count *)
-      let best = ref None in
-      Hashtbl.iter
-        (fun sign' p ->
-          if String.length sign' > 0 && sign'.[0] = sign.[0] then begin
-            let d, len = shape_distance sign sign' in
-            let threshold = max 1 (len * 2 / 5) in
-            if d <= threshold then
-              match !best with
-              | Some (d', _) when d' <= d -> ()
-              | _ -> best := Some (d, p)
-          end)
-        t.by_shape;
-      (match !best with Some (_, p) -> Similar p | None -> Cold))
+(* ------------------------------------------------------------------ *)
+(* Deterministic batch planner                                         *)
+(* ------------------------------------------------------------------ *)
 
-let peek t g =
-  match Hashtbl.find_opt t.cache (key g) with
-  | Some o -> Some { o with cache_hit = true; gen_seconds = 0.0 }
-  | None -> None
+(* [generate] and [generate_batch] share one engine built from three
+   phases:
+
+     plan    — replay the serial seeding decisions for the whole batch
+               using only keys and shape signatures (both computable
+               before any synthesis), recording for every task whether it
+               is a cache hit or a synthesis and, for a synthesis, where
+               its warm-start pulse comes from: the database as of plan
+               time ([Src_db], captured immediately) or an
+               earlier-in-batch task ([Src_batch j], a dependency);
+     execute — run the syntheses on a {!Pool}, level by level along the
+               [Src_batch] dependency edges (most batches are a single
+               level: independent APA candidates, cold slices);
+     commit  — apply outcomes to the tables and the accounting in input
+               order, exactly as the serial loop would have.
+
+   Because the plan is a function of the input order and the pre-batch
+   database only, and every warm start is resolved against the same
+   provider the serial loop would have used, a parallel run commits the
+   same priced entries, latencies and seed classes as the serial run —
+   [jobs] only changes wall-clock time. The nearest-neighbour scan
+   iterates signatures in sorted order so ties break identically on every
+   run. *)
+
+(* who provides a key/signature needed by a later task *)
+type provider = Db | Batch of int
+
+type seed_class = C_cold | C_prefix | C_shape | C_similar
+
+type seed_source =
+  | Src_none
+  | Src_db of Pulse.t option * float
+      (** warm-start pulse and (for prefixes) the prefix latency, captured
+          from the tables while planning *)
+  | Src_batch of int  (** outcome of an earlier task in this batch *)
+
+type plan =
+  | P_hit_db of outcome  (** already priced before this batch *)
+  | P_hit_batch of int  (** duplicate of an earlier task in this batch *)
+  | P_synth of {
+      g : group;
+      k : string;
+      sign : string;
+      cls : seed_class;
+      src : seed_source;
+    }
+
+(* Serial-order seed planning; call with [t.lock] held. *)
+let plan_batch t groups =
+  let n = Array.length groups in
+  (* in-batch providers, replace semantics like the real tables *)
+  let batch_cache = Hashtbl.create (2 * n) in
+  let batch_shape = Hashtbl.create (2 * n) in
+  let find_cache k =
+    match Hashtbl.find_opt batch_cache k with
+    | Some j -> Some (Batch j)
+    | None -> if Hashtbl.mem t.cache k then Some Db else None
+  in
+  let find_shape s =
+    match Hashtbl.find_opt batch_shape s with
+    | Some j -> Some (Batch j)
+    | None -> if Hashtbl.mem t.by_shape s then Some Db else None
+  in
+  let shape_src sign = function
+    | Batch j -> Src_batch j
+    | Db -> Src_db (Hashtbl.find t.by_shape sign, 0.0)
+  in
+  let shape_candidates () =
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.iter (fun s _ -> Hashtbl.replace tbl s Db) t.by_shape;
+    Hashtbl.iter (fun s j -> Hashtbl.replace tbl s (Batch j)) batch_shape;
+    Hashtbl.fold (fun s p acc -> (s, p) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let plan_seed g sign =
+    match find_shape sign with
+    | Some p -> (C_shape, shape_src sign p)
+    | None -> (
+      let edge_hit apps_opt =
+        match apps_opt with
+        | None -> None
+        | Some apps -> (
+          let sub, _ = group_of_apps apps in
+          let ksub = key sub in
+          match find_cache ksub with
+          | Some (Batch j) -> Some (C_prefix, Src_batch j)
+          | Some Db ->
+            let o = Hashtbl.find t.cache ksub in
+            Some (C_prefix, Src_db (o.pulse, o.latency))
+          | None ->
+            (* a single-primitive constituent is a calibration-table pulse:
+               always available as a warm start even though nothing
+               generated it *)
+            if is_table_entry sub then
+              Some (C_prefix, Src_db (None, estimate_latency t sub))
+            else None)
+      in
+      let prefix_hit =
+        match edge_hit (prefix_apps g) with
+        | Some s -> Some s
+        | None -> edge_hit (suffix_apps g)
+      in
+      match prefix_hit with
+      | Some s -> s
+      | None ->
+        (* nearest neighbour among known shapes of the same qubit count;
+           candidates are visited in sorted signature order so the
+           tie-break is deterministic *)
+        let best = ref None in
+        List.iter
+          (fun (sign', p) ->
+            if String.length sign' > 0 && sign'.[0] = sign.[0] then begin
+              let d, len = shape_distance sign sign' in
+              let threshold = max 1 (len * 2 / 5) in
+              if d <= threshold then
+                match !best with
+                | Some (d', _, _) when d' <= d -> ()
+                | _ -> best := Some (d, sign', p)
+            end)
+          (shape_candidates ());
+        (match !best with
+        | Some (_, sign', p) -> (C_similar, shape_src sign' p)
+        | None -> (C_cold, Src_none)))
+  in
+  Array.mapi
+    (fun i g ->
+      let k = key g in
+      match find_cache k with
+      | Some Db -> P_hit_db (Hashtbl.find t.cache k)
+      | Some (Batch j) -> P_hit_batch j
+      | None ->
+        let sign = shape_signature g in
+        let cls, src = plan_seed g sign in
+        Hashtbl.replace batch_cache k i;
+        Hashtbl.replace batch_shape sign i;
+        P_synth { g; k; sign; cls; src })
+    groups
+
+(* One synthesis; touches neither the tables nor the accounting, so it is
+   safe to run on a worker domain without [t.lock]. *)
+let synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency =
+  let seeded = cls <> C_cold in
+  match t.backend with
+  | Model cfg ->
+    let latency =
+      Latency_model.group_latency cfg ~n_qubits:g.n_qubits ~key:k g.gates
+    in
+    let error = Latency_model.group_error cfg ~latency ~n_qubits:g.n_qubits in
+    let gen_seconds =
+      if latency <= 0.0 || is_table_entry g then lookup_cost
+      else
+        match cls with
+        | C_prefix ->
+          Latency_model.incremental_cost cfg ~latency ~prefix_latency
+            ~n_qubits:g.n_qubits
+        | C_shape ->
+          Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+            ~seeded:true
+        | C_similar ->
+          Latency_model.similar_factor
+          *. Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+               ~seeded:false
+        | C_cold ->
+          Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+            ~seeded:false
+    in
+    { latency;
+      error;
+      gen_seconds;
+      cache_hit = false;
+      seeded;
+      fidelity = 1.0 -. error;
+      pulse = None
+    }
+  | Qoc (search_cfg, model_cfg) ->
+    let r, elapsed = run_qoc search_cfg model_cfg g ~seed_pulse in
+    let achieved = r.Duration_search.fidelity in
+    { latency = r.Duration_search.latency;
+      error = 1.0 -. achieved;
+      gen_seconds = elapsed;
+      cache_hit = false;
+      seeded;
+      fidelity = achieved;
+      pulse = Some r.Duration_search.pulse
+    }
+
+(* Fan the syntheses out across the pool, level by level along the
+   in-batch seed dependencies (level 0 tasks only need the pre-batch
+   database; a task seeded by task [j] runs one level after [j]). *)
+let execute pool t plans =
+  let n = Array.length plans in
+  let results = Array.make n None in
+  let level = Array.make n (-1) in
+  let max_level = ref (-1) in
+  Array.iteri
+    (fun i p ->
+      (match p with
+      | P_synth { src = Src_batch j; _ } -> level.(i) <- level.(j) + 1
+      | P_synth _ -> level.(i) <- 0
+      | P_hit_db _ | P_hit_batch _ -> ());
+      if level.(i) > !max_level then max_level := level.(i))
+    plans;
+  let outcome_of j =
+    match results.(j) with Some o -> o | None -> assert false
+  in
+  for l = 0 to !max_level do
+    let futures = ref [] in
+    Array.iteri
+      (fun i p ->
+        if level.(i) = l then
+          match p with
+          | P_synth { g; k; cls; src; _ } ->
+            let seed_pulse, prefix_latency =
+              match src with
+              | Src_none -> (None, 0.0)
+              | Src_db (pulse, lat) -> (pulse, lat)
+              | Src_batch j ->
+                let o = outcome_of j in
+                (o.pulse, o.latency)
+            in
+            let fut =
+              Pool.submit pool (fun () ->
+                  results.(i) <-
+                    Some (synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency))
+            in
+            futures := fut :: !futures
+          | P_hit_db _ | P_hit_batch _ -> ())
+      plans;
+    List.iter Pool.await (List.rev !futures)
+  done;
+  results
+
+(* Apply outcomes in input order; call with [t.lock] held. This replays the
+   serial loop's side effects exactly, so accounting and tables end up
+   independent of how the execution interleaved. *)
+let commit_batch t plans results =
+  let outcome_of j =
+    match results.(j) with Some o -> o | None -> assert false
+  in
+  Array.mapi
+    (fun i p ->
+      match p with
+      | P_hit_db o ->
+        t.hits <- t.hits + 1;
+        t.seconds <- t.seconds +. lookup_cost;
+        { o with cache_hit = true; gen_seconds = lookup_cost }
+      | P_hit_batch j ->
+        t.hits <- t.hits + 1;
+        t.seconds <- t.seconds +. lookup_cost;
+        { (outcome_of j) with cache_hit = true; gen_seconds = lookup_cost }
+      | P_synth { k; sign; cls; _ } ->
+        let o = outcome_of i in
+        (match cls with
+        | C_cold -> t.n_cold <- t.n_cold + 1
+        | C_prefix -> t.n_prefix <- t.n_prefix + 1
+        | C_shape -> t.n_shape <- t.n_shape + 1
+        | C_similar -> t.n_similar <- t.n_similar + 1);
+        Hashtbl.replace t.cache k o;
+        Hashtbl.replace t.by_shape sign o.pulse;
+        t.generated <- t.generated + 1;
+        t.seconds <- t.seconds +. o.gen_seconds;
+        o)
+    plans
+
+let generate_batch ?(jobs = 1) t groups =
+  let groups = Array.of_list groups in
+  if Array.length groups = 0 then []
+  else if jobs <= 1 then
+    (* fully serial: one lock for the whole batch, inline pool *)
+    locked t (fun () ->
+        let plans = plan_batch t groups in
+        let results = Pool.with_pool (fun pool -> execute pool t plans) in
+        Array.to_list (commit_batch t plans results))
+  else begin
+    let plans = locked t (fun () -> plan_batch t groups) in
+    let results = Pool.with_pool ~jobs (fun pool -> execute pool t plans) in
+    locked t (fun () -> Array.to_list (commit_batch t plans results))
+  end
 
 let generate t g =
-  let k = key g in
-  match Hashtbl.find_opt t.cache k with
-  | Some o ->
-    t.hits <- t.hits + 1;
-    t.seconds <- t.seconds +. lookup_cost;
-    { o with cache_hit = true; gen_seconds = lookup_cost }
-  | None ->
-    let sign = shape_signature g in
-    let seed = find_seed t g in
-    (match seed with
-    | Cold -> t.n_cold <- t.n_cold + 1
-    | Prefix _ -> t.n_prefix <- t.n_prefix + 1
-    | Exact_shape _ -> t.n_shape <- t.n_shape + 1
-    | Similar _ -> t.n_similar <- t.n_similar + 1);
-    let seeded = seed <> Cold in
-    let seed_pulse =
-      match seed with
-      | Cold -> None
-      | Prefix (_, p) | Exact_shape p | Similar p -> p
-    in
-    let outcome =
-      match t.backend with
-      | Model cfg ->
-        let latency =
-          Latency_model.group_latency cfg ~n_qubits:g.n_qubits ~key:k g.gates
-        in
-        let error =
-          Latency_model.group_error cfg ~latency ~n_qubits:g.n_qubits
-        in
-        let gen_seconds =
-          if latency <= 0.0 || is_table_entry g then lookup_cost
-          else
-            match seed with
-            | Prefix (prefix_latency, _) ->
-              Latency_model.incremental_cost cfg ~latency ~prefix_latency
-                ~n_qubits:g.n_qubits
-            | Exact_shape _ ->
-              Latency_model.generation_cost cfg ~latency
-                ~n_qubits:g.n_qubits ~seeded:true
-            | Similar _ ->
-              Latency_model.similar_factor
-              *. Latency_model.generation_cost cfg ~latency
-                   ~n_qubits:g.n_qubits ~seeded:false
-            | Cold ->
-              Latency_model.generation_cost cfg ~latency
-                ~n_qubits:g.n_qubits ~seeded:false
-        in
-        Hashtbl.replace t.by_shape sign None;
-        { latency;
-          error;
-          gen_seconds;
-          cache_hit = false;
-          seeded;
-          fidelity = 1.0 -. error;
-          pulse = None
-        }
-      | Qoc (search_cfg, model_cfg) ->
-        let r, elapsed = run_qoc search_cfg model_cfg g ~seed_pulse in
-        let achieved = r.Duration_search.fidelity in
-        Hashtbl.replace t.by_shape sign (Some r.Duration_search.pulse);
-        { latency = r.Duration_search.latency;
-          error = 1.0 -. achieved;
-          gen_seconds = elapsed;
-          cache_hit = false;
-          seeded;
-          fidelity = achieved;
-          pulse = Some r.Duration_search.pulse
-        }
-    in
-    Hashtbl.replace t.cache k outcome;
-    t.generated <- t.generated + 1;
-    t.seconds <- t.seconds +. outcome.gen_seconds;
-    outcome
+  match generate_batch t [ g ] with [ o ] -> o | _ -> assert false
 
-let seed_breakdown t = (t.n_cold, t.n_prefix, t.n_shape, t.n_similar)
+let peek t g =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache (key g) with
+      | Some o -> Some { o with cache_hit = true; gen_seconds = 0.0 }
+      | None -> None)
 
-let total_seconds t = t.seconds
-let pulses_generated t = t.generated
-let cache_hits t = t.hits
+let seed_breakdown t =
+  locked t (fun () -> (t.n_cold, t.n_prefix, t.n_shape, t.n_similar))
+
+let total_seconds t = locked t (fun () -> t.seconds)
+let pulses_generated t = locked t (fun () -> t.generated)
+let cache_hits t = locked t (fun () -> t.hits)
 
 let reset_accounting t =
-  t.seconds <- 0.0;
-  t.generated <- 0;
-  t.hits <- 0
+  locked t (fun () ->
+      t.seconds <- 0.0;
+      t.generated <- 0;
+      t.hits <- 0)
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
@@ -378,59 +549,72 @@ let reset_accounting t =
 
 let magic = "paqoc-pulse-db v1"
 
+(* Entries are written in sorted key order so the file is a canonical
+   function of the database contents — serial and parallel runs over the
+   same batch produce byte-identical files. *)
 let save_database t path =
-  let oc = open_out path in
-  output_string oc (magic ^ "\n");
-  Hashtbl.iter
-    (fun key (o : outcome) ->
-      Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
-        o.fidelity key)
-    t.cache;
-  Hashtbl.iter (fun sign _ -> Printf.fprintf oc "S %s\n" sign) t.by_shape;
-  close_out oc
+  locked t (fun () ->
+      let entries =
+        Hashtbl.fold (fun key o acc -> (key, o) :: acc) t.cache []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let shapes =
+        Hashtbl.fold (fun sign _ acc -> sign :: acc) t.by_shape []
+        |> List.sort String.compare
+      in
+      let oc = open_out path in
+      output_string oc (magic ^ "\n");
+      List.iter
+        (fun (key, (o : outcome)) ->
+          Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
+            o.fidelity key)
+        entries;
+      List.iter (fun sign -> Printf.fprintf oc "S %s\n" sign) shapes;
+      close_out oc)
 
 let load_database t path =
-  let ic = open_in path in
-  let fail msg =
-    close_in ic;
-    failwith (Printf.sprintf "Generator.load_database: %s (%s)" msg path)
-  in
-  (match input_line ic with
-  | header when String.equal header magic -> ()
-  | _ -> fail "bad header"
-  | exception End_of_file -> fail "empty file");
-  (try
-     while true do
-       let line = input_line ic in
-       if String.length line >= 2 && line.[0] = 'K' then begin
-         match String.split_on_char ' ' line with
-         | "K" :: lat :: err :: fid :: key_parts when key_parts <> [] ->
-           let num name s =
-             match float_of_string_opt s with
-             | Some f -> f
-             | None -> fail ("bad " ^ name)
-           in
-           let key = String.concat " " key_parts in
-           if not (Hashtbl.mem t.cache key) then
-             Hashtbl.replace t.cache key
-               { latency = num "latency" lat;
-                 error = num "error" err;
-                 fidelity = num "fidelity" fid;
-                 gen_seconds = 0.0;
-                 cache_hit = false;
-                 seeded = false;
-                 pulse = None
-               }
-         | _ -> fail "bad K line"
-       end
-       else if String.length line >= 2 && line.[0] = 'S' then begin
-         let sign = String.sub line 2 (String.length line - 2) in
-         if not (Hashtbl.mem t.by_shape sign) then
-           Hashtbl.replace t.by_shape sign None
-       end
-       else if String.length line > 0 then fail "unrecognised line"
-     done
-   with End_of_file -> ());
-  close_in ic
+  locked t (fun () ->
+      let ic = open_in path in
+      let fail msg =
+        close_in ic;
+        failwith (Printf.sprintf "Generator.load_database: %s (%s)" msg path)
+      in
+      (match input_line ic with
+      | header when String.equal header magic -> ()
+      | _ -> fail "bad header"
+      | exception End_of_file -> fail "empty file");
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 2 && line.[0] = 'K' then begin
+             match String.split_on_char ' ' line with
+             | "K" :: lat :: err :: fid :: key_parts when key_parts <> [] ->
+               let num name s =
+                 match float_of_string_opt s with
+                 | Some f -> f
+                 | None -> fail ("bad " ^ name)
+               in
+               let key = String.concat " " key_parts in
+               if not (Hashtbl.mem t.cache key) then
+                 Hashtbl.replace t.cache key
+                   { latency = num "latency" lat;
+                     error = num "error" err;
+                     fidelity = num "fidelity" fid;
+                     gen_seconds = 0.0;
+                     cache_hit = false;
+                     seeded = false;
+                     pulse = None
+                   }
+             | _ -> fail "bad K line"
+           end
+           else if String.length line >= 2 && line.[0] = 'S' then begin
+             let sign = String.sub line 2 (String.length line - 2) in
+             if not (Hashtbl.mem t.by_shape sign) then
+               Hashtbl.replace t.by_shape sign None
+           end
+           else if String.length line > 0 then fail "unrecognised line"
+         done
+       with End_of_file -> ());
+      close_in ic)
 
-let database_size t = Hashtbl.length t.cache
+let database_size t = locked t (fun () -> Hashtbl.length t.cache)

@@ -8,7 +8,13 @@
     lookup table keyed on the canonical form of a gate group (so permuted-
     qubit repeats hit the cache) plus a shape-signature index that
     warm-starts GRAPE from a similar previously generated pulse, AccQOC
-    style. *)
+    style.
+
+    The database is concurrency-safe: every entry point that touches the
+    tables or the accounting takes the generator's internal mutex, so any
+    number of domains may share one generator. Batches of independent
+    groups go through {!generate_batch}, which synthesises on a {!Pool} of
+    worker domains while guaranteeing the serial result. *)
 
 (** A gate group over local wires [0 .. n_qubits-1] — the unit of pulse
     generation (a customized gate, an APA gate, or a single basis gate). *)
@@ -62,8 +68,27 @@ val model_default : unit -> t
 val qoc_default : unit -> t
 
 (** [generate t g] prices (and, on the QOC backend, synthesises) the pulse
-    for group [g], consulting and updating the pulse database. *)
+    for group [g], consulting and updating the pulse database. Atomic:
+    the whole call holds the generator's mutex, so concurrent callers
+    never synthesise the same group twice. *)
 val generate : t -> group -> outcome
+
+(** [generate_batch ~jobs t groups] generates every group of the batch,
+    fanning independent syntheses out across [jobs] worker domains
+    (default 1 = fully serial, equivalent to [List.map (generate t)]).
+
+    {b Determinism guarantee}: the batch is planned up front by replaying
+    the serial loop's warm-start decisions over keys and shape signatures
+    (both known before any synthesis), so every task is seeded by exactly
+    the provider the serial run would have used; outcomes are committed to
+    the database in input order. A run with [jobs = 4] therefore produces
+    the same outcomes, the same priced entries and latencies, the same
+    accounting (up to QOC wall-clock seconds) and a byte-identical
+    {!save_database} file as the serial run — [jobs] only changes
+    wall-clock time. The guarantee assumes no concurrent mutation of [t]
+    while the batch is in flight (concurrent use stays memory-safe, only
+    the serial-equivalence claim is void). *)
+val generate_batch : ?jobs:int -> t -> group list -> outcome list
 
 (** [peek t g] consults the pulse database without generating anything and
     without touching the accounting; [None] when [g]'s pulse has not been
@@ -105,7 +130,8 @@ val reset_accounting : t -> unit
     line-oriented text file; [load_database] merges such a file into a
     generator so subsequent compiles hit the table. Waveforms are not
     persisted — a QOC backend regenerates them on demand (warm-started,
-    since the shapes are known). *)
+    since the shapes are known). Files are written in sorted key order, so
+    the bytes are a canonical function of the database contents. *)
 
 val save_database : t -> string -> unit
 

@@ -1,0 +1,128 @@
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Error of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  n_jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  work : Condition.t;  (** signalled on push and on shutdown *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  counts : int array;
+}
+
+let jobs t = t.n_jobs
+
+(* Workers drain the queue until it is both empty and closed; tasks queued
+   before shutdown still run, so [shutdown] never drops work. *)
+let worker t idx =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work t.m
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.m
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      task ();
+      Mutex.lock t.m;
+      t.counts.(idx) <- t.counts.(idx) + 1;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    { n_jobs = jobs;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      work = Condition.create ();
+      closed = false;
+      workers = [];
+      counts = Array.make jobs 0
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let fulfill fut v =
+  Mutex.lock fut.fm;
+  fut.state <- v;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    match f () with
+    | v -> fulfill fut (Value v)
+    | exception e -> fulfill fut (Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if t.n_jobs <= 1 then begin
+    run ();
+    t.counts.(0) <- t.counts.(0) + 1
+  end
+  else begin
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push run t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.m
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fc fut.fm;
+      wait ()
+    | Value v ->
+      Mutex.unlock fut.fm;
+      v
+    | Error (e, bt) ->
+      Mutex.unlock fut.fm;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let map t f arr =
+  let futs = Array.map (fun x -> submit t (fun () -> f x)) arr in
+  Array.map await futs
+
+let task_counts t =
+  Mutex.lock t.m;
+  let c = Array.copy t.counts in
+  Mutex.unlock t.m;
+  c
+
+let shutdown t =
+  if t.n_jobs > 1 then begin
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,50 @@
+(** Fixed-size Domain worker pool.
+
+    QOC pulse generation dominates PAQOC's compilation cost and the batch
+    workloads (APA candidates, AccQOC slices, the final episode sweep) are
+    collections of independent GRAPE problems. This pool fans such batches
+    out across OCaml 5 Domains: a bounded set of worker domains drains a
+    shared work queue guarded by a [Mutex]/[Condition] pair; each submitted
+    task yields a future the caller awaits.
+
+    [jobs] counts the worker domains. With [jobs <= 1] the pool spawns no
+    domains at all and runs every task inline on the submitting domain, in
+    submission order — so code written against the pool degrades to the
+    exact serial execution, which is what the generator's determinism
+    guarantee is stated against. *)
+
+type t
+
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]: none).
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+(** Worker-domain count the pool was created with (>= 1). *)
+val jobs : t -> int
+
+type 'a future
+
+(** [submit t f] enqueues [f]; workers execute tasks in FIFO order. With
+    [jobs <= 1] the task runs inline before [submit] returns.
+    @raise Invalid_argument when the pool has been shut down. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** [await fut] blocks until the task finishes, returning its value or
+    re-raising its exception (with the worker's backtrace). *)
+val await : 'a future -> 'a
+
+(** [map t f arr] runs [f] over [arr] on the pool and returns the results
+    in input order (a submission fan-out plus an in-order await). *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Per-worker completed-task counts, merged on read (diagnostics; slot 0
+    is the submitting domain when [jobs <= 1]). *)
+val task_counts : t -> int array
+
+(** [shutdown t] drains the queue, stops the workers and joins their
+    domains. Idempotent. Tasks already queued still run. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] over a fresh pool and shuts it down even
+    if [f] raises. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

@@ -1,1 +1,1 @@
-test/test_failures.ml: Angle Circuit Gate List Paqoc Paqoc_mining Paqoc_pulse Paqoc_topology String Test_util
+test/test_failures.ml: Angle Circuit Filename Gate List Paqoc Paqoc_mining Paqoc_pulse Paqoc_topology String Sys Test_util

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Angle Array Domain Filename Fun Gate List Paqoc_pulse String Sys Test_util

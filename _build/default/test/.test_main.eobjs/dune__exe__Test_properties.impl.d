@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Angle Array Filename Fun Gate List Paqoc_pulse Random String Sys Test_util

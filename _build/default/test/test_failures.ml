@@ -71,6 +71,34 @@ let suite =
         let r = Paqoc.compile gen c in
         check_int "one episode" 1 r.Paqoc.n_groups;
         check_true "equivalent" (Circuit.equivalent c (Circuit.flatten r.Paqoc.grouped)));
+    case "pulse database rejects malformed files" (fun () ->
+        (* every corruption class must raise Failure, never load junk *)
+        let attempt content =
+          let path = Filename.temp_file "paqoc_db" ".txt" in
+          let oc = open_out path in
+          output_string oc content;
+          close_out oc;
+          let t = Gen.model_default () in
+          let raised =
+            try
+              Gen.load_database t path;
+              false
+            with Failure _ -> true
+          in
+          Sys.remove path;
+          raised
+        in
+        let header = "paqoc-pulse-db v1\n" in
+        check_true "empty file" (attempt "");
+        check_true "wrong header" (attempt "paqoc-pulse-db v9\nK 1 2 3 k\n");
+        check_true "K line missing fields" (attempt (header ^ "K 1.0 2.0\n"));
+        check_true "K line with bad float"
+          (attempt (header ^ "K 1.0 nope 3.0 2;cx@0,1\n"));
+        check_true "unrecognised record"
+          (attempt (header ^ "X something\n"));
+        (* a well-formed file still loads after all those rejections *)
+        check_true "control: valid file loads"
+          (not (attempt (header ^ "K 96 0.001 0.999 2;cx@0,1\nS 2;cx@0,1\n"))));
     case "merger max_iterations bound is honoured" (fun () ->
         let c =
           Circuit.make ~n_qubits:3

@@ -5,6 +5,8 @@ let () =
       ("topology", Test_topology.suite);
       ("commutation", Test_commutation.suite);
       ("pulse", Test_pulse.suite);
+      ("properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
       ("mining", Test_mining.suite);
       ("accqoc", Test_accqoc.suite);
       ("core", Test_core.suite);

@@ -1,0 +1,215 @@
+(* Concurrency: the worker pool, the mutex-protected pulse database under
+   domain fire, and the serial-equivalence guarantee of the batch API. *)
+open Test_util
+module Gen = Paqoc_pulse.Generator
+module Pool = Paqoc_pulse.Pool
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let db_bytes gen =
+  let path = Filename.temp_file "paqoc_par" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gen.save_database gen path;
+      read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [ case "pool map preserves input order" (fun () ->
+        let input = Array.init 50 Fun.id in
+        let out =
+          Pool.with_pool ~jobs:4 (fun p -> Pool.map p (fun x -> x * x) input)
+        in
+        check_true "squares in order"
+          (out = Array.map (fun x -> x * x) input));
+    case "pool runs inline at jobs=1" (fun () ->
+        let p = Pool.create () in
+        let side = ref [] in
+        List.iter
+          (fun i -> ignore (Pool.submit p (fun () -> side := i :: !side)))
+          [ 1; 2; 3 ];
+        Pool.shutdown p;
+        check_true "submission order" (!side = [ 3; 2; 1 ]);
+        check_int "one slot" 1 (Array.length (Pool.task_counts p));
+        check_int "three tasks" 3 (Pool.task_counts p).(0));
+    case "pool propagates worker exceptions" (fun () ->
+        Pool.with_pool ~jobs:2 (fun p ->
+            let fut = Pool.submit p (fun () -> failwith "boom") in
+            check_true "raises"
+              (try
+                 ignore (Pool.await fut);
+                 false
+               with Failure msg -> String.equal msg "boom")));
+    case "pool accounts every task across workers" (fun () ->
+        let total =
+          Pool.with_pool ~jobs:3 (fun p ->
+              ignore (Pool.map p (fun x -> x + 1) (Array.init 40 Fun.id));
+              Array.fold_left ( + ) 0 (Pool.task_counts p))
+        in
+        check_int "40 tasks merged over workers" 40 total);
+    case "pool rejects bad worker counts" (fun () ->
+        check_true "raises"
+          (try
+             ignore (Pool.create ~jobs:0 ());
+             false
+           with Invalid_argument _ -> true))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared-generator stress                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a deterministic family of overlapping groups: 12 distinct shapes, many
+   permuted-qubit repeats so domains race on the same keys *)
+let stress_groups () =
+  let base =
+    [ [ Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app2 Gate.CX 1 0 ];
+      [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app2 Gate.CX 0 1; Gate.app1 Gate.H 1 ];
+      [ Gate.app1 Gate.X 0 ];
+      [ Gate.app1 Gate.SX 0 ];
+      [ Gate.app1 (Gate.RZ (Angle.const 0.4)) 0; Gate.app1 Gate.H 0 ];
+      [ Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 1 2 ];
+      [ Gate.app2 Gate.CZ 0 1; Gate.app1 Gate.T 0 ];
+      [ Gate.app1 Gate.H 0; Gate.app1 Gate.H 1; Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 0 1 ];
+      [ Gate.app1 Gate.T 2; Gate.app2 Gate.CX 2 3 ]
+    ]
+  in
+  (* permuted-qubit copies share cache keys with their originals *)
+  let shift k apps =
+    List.map
+      (fun (a : Gate.app) ->
+        { a with Gate.qubits = List.map (fun q -> q + k) a.Gate.qubits })
+      apps
+  in
+  List.concat_map
+    (fun apps -> [ apps; shift 5 apps; shift 11 apps ])
+    base
+  |> List.map (fun apps -> fst (Gen.group_of_apps apps))
+
+let stress_test () =
+  let gen = Gen.model_default () in
+  let groups = Array.of_list (stress_groups ()) in
+  let n = Array.length groups in
+  let n_domains = 4 in
+  let rounds = 5 in
+  (* each domain hammers every group, starting at a different offset so
+     the interleavings differ *)
+  let worker d () =
+    for r = 0 to rounds - 1 do
+      for i = 0 to n - 1 do
+        let g = groups.((i + (d * 7) + r) mod n) in
+        ignore (Gen.generate gen g)
+      done
+    done
+  in
+  let domains =
+    List.init n_domains (fun d -> Domain.spawn (worker d))
+  in
+  List.iter Domain.join domains;
+  let calls = n_domains * rounds * n in
+  check_int "every call is a hit or a generation" calls
+    (Gen.cache_hits gen + Gen.pulses_generated gen);
+  (* atomic generate: a key can never be priced twice *)
+  check_int "no duplicate priced entries" (Gen.database_size gen)
+    (Gen.pulses_generated gen);
+  (* the database equals a serial run over the same groups *)
+  let serial = Gen.model_default () in
+  Array.iter (fun g -> ignore (Gen.generate serial g)) groups;
+  check_int "same entry count as serial" (Gen.database_size serial)
+    (Gen.database_size gen);
+  check_true "database bytes equal serial"
+    (String.equal (db_bytes serial) (db_bytes gen))
+
+(* ------------------------------------------------------------------ *)
+(* Batch determinism                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let batch = stress_groups ()
+
+let batch_determinism_model () =
+  let run jobs =
+    let gen = Gen.model_default () in
+    let outs = Gen.generate_batch ~jobs gen batch in
+    (gen, outs)
+  in
+  let gen1, outs1 = run 1 in
+  let gen4, outs4 = run 4 in
+  check_int "same batch size" (List.length outs1) (List.length outs4);
+  List.iter2
+    (fun (a : Gen.outcome) (b : Gen.outcome) ->
+      check_float "latency" a.Gen.latency b.Gen.latency;
+      check_float "error" a.Gen.error b.Gen.error;
+      check_float "gen_seconds" a.Gen.gen_seconds b.Gen.gen_seconds;
+      check_true "seeded flag" (a.Gen.seeded = b.Gen.seeded);
+      check_true "cache_hit flag" (a.Gen.cache_hit = b.Gen.cache_hit))
+    outs1 outs4;
+  check_float "total_seconds" (Gen.total_seconds gen1)
+    (Gen.total_seconds gen4);
+  check_int "pulses_generated" (Gen.pulses_generated gen1)
+    (Gen.pulses_generated gen4);
+  check_int "cache_hits" (Gen.cache_hits gen1) (Gen.cache_hits gen4);
+  check_true "seed breakdown"
+    (Gen.seed_breakdown gen1 = Gen.seed_breakdown gen4);
+  check_true "byte-identical database"
+    (String.equal (db_bytes gen1) (db_bytes gen4))
+
+let batch_matches_serial_loop () =
+  (* the batch API at jobs=1 must equal the plain serial loop *)
+  let looped = Gen.model_default () in
+  List.iter (fun g -> ignore (Gen.generate looped g)) batch;
+  let batched = Gen.model_default () in
+  ignore (Gen.generate_batch batched batch);
+  check_float "total_seconds" (Gen.total_seconds looped)
+    (Gen.total_seconds batched);
+  check_true "seed breakdown"
+    (Gen.seed_breakdown looped = Gen.seed_breakdown batched);
+  check_true "byte-identical database"
+    (String.equal (db_bytes looped) (db_bytes batched))
+
+let batch_determinism_qoc () =
+  (* small 1-qubit targets keep real GRAPE affordable; distinct shapes on
+     purpose so both runs do cold synthesis *)
+  let groups =
+    List.map
+      (fun apps -> fst (Gen.group_of_apps apps))
+      [ [ Gate.app1 Gate.X 0 ];
+        [ Gate.app1 Gate.H 0 ];
+        [ Gate.app1 Gate.SX 0; Gate.app1 Gate.T 0 ];
+        [ Gate.app1 (Gate.RZ (Angle.const 0.7)) 0; Gate.app1 Gate.H 0 ]
+      ]
+  in
+  let run jobs =
+    let gen = Gen.qoc_default () in
+    let outs = Gen.generate_batch ~jobs gen groups in
+    (db_bytes gen, outs)
+  in
+  let db1, outs1 = run 1 in
+  let db2, outs2 = run 2 in
+  List.iter2
+    (fun (a : Gen.outcome) (b : Gen.outcome) ->
+      check_float "latency" a.Gen.latency b.Gen.latency;
+      check_float "fidelity" a.Gen.fidelity b.Gen.fidelity)
+    outs1 outs2;
+  check_true "byte-identical database" (String.equal db1 db2)
+
+let suite =
+  pool_tests
+  @ [ case "4 domains share one generator safely" stress_test;
+      case "generate_batch: jobs=4 equals jobs=1 (model backend)"
+        batch_determinism_model;
+      case "generate_batch at jobs=1 equals the serial loop"
+        batch_matches_serial_loop;
+      slow_case "generate_batch: jobs=2 equals jobs=1 (QOC backend)"
+        batch_determinism_qoc
+    ]

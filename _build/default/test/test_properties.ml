@@ -1,0 +1,196 @@
+(* Seeded property tests over the pulse database's canonical forms and
+   persistence. A self-contained [Random.State] PRNG (fixed seeds, no
+   qcheck shrinking) drives every case, so a failure reproduces exactly
+   from the printed seed. *)
+open Test_util
+module Gen = Paqoc_pulse.Generator
+
+(* ------------------------------------------------------------------ *)
+(* Random gate groups                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_gate st n =
+  let q () = Random.State.int st n in
+  let angle () = Angle.const (Random.State.float st 6.28) in
+  let distinct2 () =
+    let a = q () in
+    let b = (a + 1 + Random.State.int st (max 1 (n - 1))) mod n in
+    (a, b)
+  in
+  match Random.State.int st 9 with
+  | 0 -> Gate.app1 Gate.H (q ())
+  | 1 -> Gate.app1 Gate.X (q ())
+  | 2 -> Gate.app1 Gate.T (q ())
+  | 3 -> Gate.app1 Gate.SX (q ())
+  | 4 -> Gate.app1 (Gate.RZ (angle ())) (q ())
+  | 5 -> Gate.app1 (Gate.RX (angle ())) (q ())
+  | 6 ->
+    let a, b = distinct2 () in
+    Gate.app2 Gate.CX a b
+  | 7 ->
+    let a, b = distinct2 () in
+    Gate.app2 Gate.CZ a b
+  | _ ->
+    let a, b = distinct2 () in
+    Gate.app2 (Gate.CPhase (angle ())) a b
+
+(* a random app list over qubits [0 .. n-1], n in 2..4, 1..6 gates *)
+let random_apps st =
+  let n = 2 + Random.State.int st 3 in
+  let len = 1 + Random.State.int st 6 in
+  (n, List.init len (fun _ -> random_gate st n))
+
+(* a random injective renaming of 0..n-1 into a scattered global range *)
+let random_renaming st n =
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let offset = Random.State.int st 20 in
+  let stride = 1 + Random.State.int st 3 in
+  Array.map (fun p -> offset + (stride * p)) perm
+
+let rename perm (a : Gate.app) =
+  { a with Gate.qubits = List.map (fun q -> perm.(q)) a.Gate.qubits }
+
+let iterations = 200
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-form properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+let key_permutation_invariant () =
+  let st = Random.State.make [| 0x5eed; 1 |] in
+  for trial = 1 to iterations do
+    let n, apps = random_apps st in
+    let perm = random_renaming st n in
+    let g, _ = Gen.group_of_apps apps in
+    let g', _ = Gen.group_of_apps (List.map (rename perm) apps) in
+    if not (String.equal (Gen.key g) (Gen.key g')) then
+      Alcotest.failf "trial %d: key not invariant under renaming:@.%s@.%s"
+        trial (Gen.key g) (Gen.key g');
+    if not (String.equal (Gen.shape_signature g) (Gen.shape_signature g'))
+    then
+      Alcotest.failf "trial %d: shape signature not invariant" trial
+  done
+
+let first_appearance_relabeling () =
+  let st = Random.State.make [| 0x5eed; 2 |] in
+  for trial = 1 to iterations do
+    let n, apps = random_apps st in
+    let perm = random_renaming st n in
+    let apps = List.map (rename perm) apps in
+    let g, order = Gen.group_of_apps apps in
+    (* wires named by the group, in order of first appearance *)
+    let firsts = ref [] in
+    List.iter
+      (fun (a : Gate.app) ->
+        List.iter
+          (fun w -> if not (List.mem w !firsts) then firsts := w :: !firsts)
+          a.Gate.qubits)
+      g.Gen.gates;
+    let firsts = List.rev !firsts in
+    if not (firsts = List.init (List.length firsts) Fun.id) then
+      Alcotest.failf "trial %d: local wires not in first-appearance order"
+        trial;
+    check_int "n_qubits counts distinct wires" (List.length firsts)
+      g.Gen.n_qubits;
+    check_int "order has one global per wire" g.Gen.n_qubits
+      (List.length order);
+    (* [order] maps local wire -> original qubit: renaming back must
+       reproduce the input *)
+    let back = Array.of_list order in
+    let restored = List.map (rename back) g.Gen.gates in
+    if restored <> apps then
+      Alcotest.failf "trial %d: order does not invert the relabeling" trial
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Persistence round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let save_load_round_trip () =
+  let st = Random.State.make [| 0x5eed; 3 |] in
+  let t = Gen.model_default () in
+  let groups =
+    List.init 30 (fun _ -> fst (Gen.group_of_apps (snd (random_apps st))))
+  in
+  List.iter (fun g -> ignore (Gen.generate t g)) groups;
+  let path = Filename.temp_file "paqoc_props" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gen.save_database t path;
+      let t' = Gen.model_default () in
+      Gen.load_database t' path;
+      check_int "database_size survives" (Gen.database_size t)
+        (Gen.database_size t');
+      List.iter
+        (fun g ->
+          match (Gen.peek t g, Gen.peek t' g) with
+          | Some o, Some o' ->
+            check_float "latency survives" o.Gen.latency o'.Gen.latency;
+            check_float "error survives" o.Gen.error o'.Gen.error;
+            check_float "fidelity survives" o.Gen.fidelity o'.Gen.fidelity
+          | None, None -> ()
+          | Some _, None -> Alcotest.fail "entry lost in round-trip"
+          | None, Some _ -> Alcotest.fail "entry invented in round-trip")
+        groups;
+      check_int "nothing regenerated on load" 0 (Gen.pulses_generated t');
+      (* the sorted writer makes the file a canonical function of the
+         contents: re-saving the loaded copy reproduces it byte for byte *)
+      let path' = Filename.temp_file "paqoc_props" ".db" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path')
+        (fun () ->
+          Gen.save_database t' path';
+          let read p =
+            let ic = open_in_bin p in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          check_true "canonical bytes" (String.equal (read path) (read path'))))
+
+(* ------------------------------------------------------------------ *)
+(* The Algorithm-1 "free estimate" contract                            *)
+(* ------------------------------------------------------------------ *)
+
+let estimate_and_peek_are_free () =
+  let st = Random.State.make [| 0x5eed; 4 |] in
+  let t = Gen.model_default () in
+  (* a populated database, so [peek] exercises both hit and miss paths *)
+  List.iter
+    (fun g -> ignore (Gen.generate t g))
+    (List.init 10 (fun _ -> fst (Gen.group_of_apps (snd (random_apps st)))));
+  let snapshot () =
+    ( Gen.database_size t,
+      Gen.total_seconds t,
+      Gen.pulses_generated t,
+      Gen.cache_hits t,
+      Gen.seed_breakdown t )
+  in
+  let before = snapshot () in
+  for _ = 1 to iterations do
+    let g = fst (Gen.group_of_apps (snd (random_apps st))) in
+    ignore (Gen.estimate_latency t g);
+    ignore (Gen.avg_latency_for_size t g.Gen.n_qubits);
+    ignore (Gen.peek t g)
+  done;
+  let after = snapshot () in
+  check_true "estimate/peek mutate neither database nor accounting"
+    (before = after)
+
+let suite =
+  [ case "key is invariant under qubit renaming (200 seeded trials)"
+      key_permutation_invariant;
+    case "group_of_apps relabels to first-appearance order (200 trials)"
+      first_appearance_relabeling;
+    case "save/load round-trip preserves entries and canonical bytes"
+      save_load_round_trip;
+    case "estimate_latency and peek never mutate state"
+      estimate_and_peek_are_free
+  ]
