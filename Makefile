@@ -1,6 +1,10 @@
-# Tier-1 gate in one command.
+# Tier-1 gate in one command: build, tests, and a CLI metrics smoke run.
 check:
 	dune build && dune runtest
+	dune exec bin/paqoc_cli.exe -- compile bv --jobs 2 \
+	  --metrics /tmp/paqoc_metrics.json --trace /tmp/paqoc_trace.json \
+	  > /dev/null
+	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:

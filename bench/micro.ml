@@ -15,6 +15,8 @@ module Grape = Paqoc_pulse.Grape
 module LM = Paqoc_pulse.Latency_model
 module Gen = Paqoc_pulse.Generator
 module Suite = Paqoc_benchmarks.Suite
+module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
 
 let qaoa_physical =
   lazy
@@ -166,6 +168,57 @@ let run_scaling ?(workers = [ 1; 2; 4 ]) () =
   | [] -> ());
   Printf.printf
     "  (speedup tracks physical cores; determinism holds at any count)\n"
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_*.json: the perf trajectory, fed from the metrics layer        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the scaling batch at each worker count with the observability
+   sink enabled and writes one self-contained JSON entry: per-jobs wall
+   clock, the per-task accounted generation seconds (wall, so the sums are
+   comparable across worker counts), and the full merged metrics report.
+   The accounted sum staying flat while wall drops is the whole point of
+   the wall-clock accounting fix. *)
+let run_bench_json ?(path = "BENCH_scaling.json") ?(workers = [ 1; 2; 4 ]) () =
+  Obs.enable ();
+  let batch = scaling_batch () in
+  let runs =
+    List.map
+      (fun jobs ->
+        let gen = Gen.qoc_default () in
+        let t0 = Clock.now_s () in
+        let outs = Gen.generate_batch ~jobs gen batch in
+        let wall = Clock.now_s () -. t0 in
+        let sum_gen =
+          List.fold_left
+            (fun acc (o : Gen.outcome) -> acc +. o.Gen.gen_seconds)
+            0.0 outs
+        in
+        Printf.printf "  jobs=%d  wall %6.2f s  accounted %6.2f s\n%!" jobs
+          wall sum_gen;
+        (jobs, wall, sum_gen))
+      workers
+  in
+  let buf = Buffer.create 2048 in
+  Printf.bprintf buf
+    "{\"schema\":\"paqoc-bench v1\",\"bench\":\"scaling\",\"tasks\":%d,\"runs\":["
+    (List.length batch);
+  List.iteri
+    (fun i (jobs, wall, sum_gen) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"jobs\":%d,\"wall_s\":%.6f,\"accounted_gen_s\":%.6f}" jobs wall
+        sum_gen)
+    runs;
+  Printf.bprintf buf "],\"metrics\":%s}\n" (Obs.report_json ());
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path;
+  Obs.reset ();
+  Printf.printf "  bench entry written to %s\n%!" path
 
 let run () =
   Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"

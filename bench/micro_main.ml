@@ -3,15 +3,34 @@
      dune exec bench/micro_main.exe               -- scale at 1/2/4 workers
      dune exec bench/micro_main.exe -- 1 2 4 8    -- custom worker counts
      dune exec bench/micro_main.exe -- --kernels  -- also run the bechamel
-                                                     kernels *)
+                                                     kernels
+     dune exec bench/micro_main.exe -- --bench-json[=PATH]
+                                                  -- emit a BENCH_*.json
+                                                     perf-trajectory entry
+                                                     from the metrics layer
+                                                     (default
+                                                     BENCH_scaling.json)
+                                                     instead of the
+                                                     human-readable run *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let kernels = List.mem "--kernels" args in
+  let bench_json =
+    List.find_map
+      (fun a ->
+        if String.equal a "--bench-json" then Some None
+        else if String.length a > 13 && String.starts_with ~prefix:"--bench-json=" a
+        then Some (Some (String.sub a 13 (String.length a - 13)))
+        else None)
+      args
+  in
   let workers =
     match List.filter_map int_of_string_opt args with
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  Micro.run_scaling ~workers ();
+  (match bench_json with
+  | Some path -> Micro.run_bench_json ?path ~workers ()
+  | None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

@@ -19,6 +19,53 @@ module Accqoc = Paqoc_accqoc.Accqoc
 module Slicer = Paqoc_accqoc.Slicer
 module Apa = Paqoc_mining.Apa
 module Miner = Paqoc_mining.Miner
+module Obs = Paqoc_obs.Obs
+
+(* Shared --metrics/--trace plumbing: enable the sink before the work,
+   dump the reports after it. Dumps are atomic (tmp + rename); a bad path
+   is a clean CLI error, not a half-written file. *)
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write an aggregated JSON metrics report (spans, counters, \
+           gauges, histograms; schema paqoc-metrics v1) to $(docv) after \
+           the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event span dump to $(docv) after the run \
+           (open in about:tracing or ui.perfetto.dev; one track per \
+           domain).")
+
+let with_observability ~metrics ~trace f =
+  if metrics <> None || trace <> None then Obs.enable ();
+  let r = f () in
+  (match metrics with
+  | Some path -> (
+    try
+      Obs.write_report path;
+      Printf.printf "metrics report  : %s\n" path
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1)
+  | None -> ());
+  (match trace with
+  | Some path -> (
+    try
+      Obs.write_trace path;
+      Printf.printf "trace dump      : %s\n" path
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1)
+  | None -> ());
+  r
 
 let load_circuit input =
   if Sys.file_exists input then Qasm.parse_file input
@@ -104,11 +151,12 @@ let compile_cmd =
           ~doc:
             "Pulse-database file: loaded before compiling (if it exists)              and saved afterwards — the paper's persistent offline table.")
   in
-  let run input scheme device max_n top_k show_groups jobs db =
+  let run input scheme device max_n top_k show_groups jobs db metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
     end;
+    with_observability ~metrics ~trace @@ fun () ->
     let logical = load_circuit input in
     let coupling = device_of device in
     let t = Transpile.run ~coupling logical in
@@ -167,7 +215,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
       const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ jobs
-      $ db)
+      $ db $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)
@@ -260,7 +308,8 @@ let pulse_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII waveform plot.")
   in
-  let run gate fidelity dump plot =
+  let run gate fidelity dump plot metrics trace =
+    with_observability ~metrics ~trace @@ fun () ->
     let kind, qubits, pairs =
       match gate with
       | "x" -> (Gate.X, [ 0 ], [])
@@ -328,7 +377,7 @@ let pulse_cmd =
   in
   Cmd.v
     (Cmd.info "pulse" ~doc:"Run GRAPE for a single gate and summarise the pulse.")
-    Term.(const run $ gate $ fidelity $ dump $ plot)
+    Term.(const run $ gate $ fidelity $ dump $ plot $ metrics_arg $ trace_arg)
 
 let () =
   let doc = "PAQOC: program-aware QOC pulse generation" in

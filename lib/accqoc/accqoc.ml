@@ -13,10 +13,14 @@ type report = {
 }
 
 let compile ?(slicer = Slicer.accqoc_n3d3) ?(jobs = 1) gen (c : Circuit.t) =
+  Paqoc_obs.Obs.with_span "accqoc.compile" @@ fun () ->
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
   let hits0 = Generator.cache_hits gen in
-  let grouped = Slicer.group_circuit slicer c in
+  let grouped =
+    Paqoc_obs.Obs.with_span "accqoc.slice" (fun () ->
+        Slicer.group_circuit slicer c)
+  in
   (* similarity-MST generation order maximises warm starts; the batch
      planner keeps that seeding (each slice still warm-starts from its
      MST neighbour) while letting independent MST branches synthesise in

@@ -6,6 +6,7 @@ module Generator = Paqoc_pulse.Generator
 type t = { circuit : Circuit.t; dag : Dag.t; sched : Dag.schedule }
 
 let analyze gen c =
+  Paqoc_obs.Obs.with_span "criticality.analyze" @@ fun () ->
   let dag = Dag.of_circuit c in
   (* schedule with database-or-estimate latencies: per Algorithm 1, the
      search itself never triggers pulse generation — only committed merges

@@ -3,6 +3,8 @@ module Generator = Paqoc_pulse.Generator
 module Pricing = Paqoc_pulse.Pricing
 module Apa = Paqoc_mining.Apa
 module Miner = Paqoc_mining.Miner
+module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
 
 type scheme = {
   apa_mode : Apa.mode;
@@ -39,7 +41,10 @@ type report = {
 }
 
 let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
-  let wall0 = Sys.time () in
+  Obs.with_span "paqoc.compile" @@ fun () ->
+  (* wall time on the monotonic clock — [Sys.time] (CPU time) would count
+     every worker domain's work again on top of the elapsed time *)
+  let wall0 = Clock.now_s () in
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
   let hits0 = Generator.cache_hits gen in
@@ -49,7 +54,10 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
     else c
   in
   (* 1. frequent subcircuits miner -> APA-basis substitution *)
-  let apa = Apa.apply ~miner:scheme.miner ~mode:scheme.apa_mode c in
+  let apa =
+    Obs.with_span "paqoc.apa" (fun () ->
+        Apa.apply ~miner:scheme.miner ~mode:scheme.apa_mode c)
+  in
   (* 1b. offline APA phase: every substituted APA gate is committed by
      definition, and the candidates are mutually independent, so their
      pulses are synthesised up front as one parallel batch (the paper's
@@ -66,11 +74,14 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
         | _ -> None)
       apa.Apa.circuit.Circuit.gates
   in
-  ignore (Generator.generate_batch ~jobs gen apa_groups);
+  Obs.with_span "paqoc.offline_batch" (fun () ->
+      ignore (Generator.generate_batch ~jobs gen apa_groups));
   (* 2. Observation-1 pre-processing, then the criticality search *)
   let pre = Candidates.preprocess apa.Apa.circuit ~maxN:scheme.merger.Merger.max_n in
   let grouped, merge_stats =
-    if scheme.enable_merger then Merger.run ~config:scheme.merger gen pre
+    if scheme.enable_merger then
+      Obs.with_span "paqoc.search" (fun () ->
+          Merger.run ~config:scheme.merger gen pre)
     else begin
       let crit = Criticality.analyze gen pre in
       ( pre,
@@ -85,15 +96,16 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
   (* 3. make sure every episode of the final schedule has its pulse; the
      episodes are independent so the leftover (non-merged, non-APA) ones
      synthesise in parallel too *)
-  ignore
-    (Generator.generate_batch ~jobs gen
-       (List.map
-          (fun g -> fst (Generator.group_of_apps [ g ]))
-          grouped.Circuit.gates));
+  Obs.with_span "paqoc.finalize" (fun () ->
+      ignore
+        (Generator.generate_batch ~jobs gen
+           (List.map
+              (fun g -> fst (Generator.group_of_apps [ g ]))
+              grouped.Circuit.gates)));
   let latency = Pricing.circuit_latency gen grouped in
   let esp = Pricing.circuit_esp gen grouped in
   let qoc_seconds = Generator.total_seconds gen -. seconds0 in
-  let wall = Sys.time () -. wall0 in
+  let wall = Clock.now_s () -. wall0 in
   (* search time is the wall clock minus time spent inside real QOC; with
      the analytic backend the generator cost is virtual, so the whole wall
      time is search *)

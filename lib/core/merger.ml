@@ -3,6 +3,7 @@ module Circuit = Paqoc_circuit.Circuit
 module Dag = Paqoc_circuit.Dag
 module Rewrite = Paqoc_circuit.Rewrite
 module Generator = Paqoc_pulse.Generator
+module Obs = Paqoc_obs.Obs
 
 type config = {
   max_n : int;
@@ -62,6 +63,7 @@ let run ?(config = default_config) gen c =
     if !iterations >= config.max_iterations then c
     else begin
       incr iterations;
+      Obs.count "merger.iterations";
       let crit = Criticality.analyze gen c in
       let cands =
         Candidates.enumerate
@@ -131,8 +133,10 @@ let run ?(config = default_config) gen c =
       end
     end
   in
-  let final = loop c initial_latency in
+  let final = Obs.with_span "merger.search" (fun () -> loop c initial_latency) in
   let final_latency = Criticality.total (Criticality.analyze gen final) in
+  Obs.count ~n:!committed "merger.committed";
+  Obs.count ~n:!rolled_back "merger.rolled_back";
   ( final,
     { iterations = !iterations;
       merges_committed = !committed;

@@ -1,3 +1,5 @@
+module Obs = Paqoc_obs.Obs
+
 type config = {
   grape : Grape.config;
   dt : float;
@@ -21,6 +23,7 @@ type result = {
 }
 
 let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () =
+  Obs.with_span "duration_search" @@ fun () ->
   let total_iters = ref 0 and probes = ref 0 in
   let quantum = max 1 config.slice_quantum in
   let slices_of_duration dur =
@@ -51,7 +54,9 @@ let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () 
   let best = ref hi_result in
   let lo = ref (max 1 (slices_of_duration (lo_guess *. 0.5))) in
   let hi = ref hi_slices in
+  let bisect_steps = ref 0 in
   while !hi - !lo > quantum do
+    incr bisect_steps;
     let mid = (!lo + !hi) / 2 / quantum * quantum in
     let mid = max (!lo + 1) mid in
     let r = try_slices ~init:(Some !best.Grape.pulse) mid in
@@ -61,6 +66,10 @@ let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () 
     end
     else lo := mid
   done;
+  Obs.observe "duration_search.bisect_steps" (float_of_int !bisect_steps);
+  Obs.observe "duration_search.probes" (float_of_int !probes);
+  Obs.observe "duration_search.slices"
+    (float_of_int (Pulse.slices !best.Grape.pulse));
   { pulse = !best.Grape.pulse;
     fidelity = !best.Grape.fidelity;
     latency = Pulse.duration !best.Grape.pulse;

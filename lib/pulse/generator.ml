@@ -1,6 +1,8 @@
 module Gate = Paqoc_circuit.Gate
 module Cmat = Paqoc_linalg.Cmat
 module Fidelity = Paqoc_linalg.Fidelity
+module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
 
 type group = { n_qubits : int; gates : Gate.app list }
 
@@ -185,12 +187,16 @@ let run_qoc search_cfg model_cfg g ~seed_pulse =
       (Latency_model.group_latency model_cfg ~n_qubits:g.n_qubits ~key:""
          g.gates)
   in
-  let t0 = Sys.time () in
+  (* per-task wall time on the monotonic clock. [Sys.time] would be wrong
+     here: it reads process-wide CPU time, so with [--jobs N] every task's
+     [gen_seconds] would also charge the CPU the other N-1 domains burned
+     while this task ran — inflating the total accounted seconds by ~N. *)
+  let t0 = Clock.now_s () in
   let r =
     Duration_search.minimal_duration ~config:search_cfg ?init:seed_pulse h
       ~target ~lower_bound ()
   in
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = Clock.now_s () -. t0 in
   (r, elapsed)
 
 (* Warm-start sources, in preference order: a previously generated pulse of
@@ -383,6 +389,7 @@ let plan_batch t groups =
 (* One synthesis; touches neither the tables nor the accounting, so it is
    safe to run on a worker domain without [t.lock]. *)
 let synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency =
+  Obs.with_span "generator.synthesize" @@ fun () ->
   let seeded = cls <> C_cold in
   match t.backend with
   | Model cfg ->
@@ -430,7 +437,12 @@ let synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency =
 
 (* Fan the syntheses out across the pool, level by level along the
    in-batch seed dependencies (level 0 tasks only need the pre-batch
-   database; a task seeded by task [j] runs one level after [j]). *)
+   database; a task seeded by task [j] runs one level after [j]).
+
+   Outcomes flow back through the pool's value-carrying futures: only the
+   submitting domain writes [results], at [Pool.await] — worker domains
+   never touch shared mutable state, so there is no unsynchronized
+   cross-domain access to the array. *)
 let execute pool t plans =
   let n = Array.length plans in
   let results = Array.make n None in
@@ -464,13 +476,14 @@ let execute pool t plans =
             in
             let fut =
               Pool.submit pool (fun () ->
-                  results.(i) <-
-                    Some (synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency))
+                  synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency)
             in
-            futures := fut :: !futures
+            futures := (i, fut) :: !futures
           | P_hit_db _ | P_hit_batch _ -> ())
       plans;
-    List.iter Pool.await (List.rev !futures)
+    List.iter
+      (fun (i, fut) -> results.(i) <- Some (Pool.await fut))
+      (List.rev !futures)
   done;
   results
 
@@ -487,38 +500,58 @@ let commit_batch t plans results =
       | P_hit_db o ->
         t.hits <- t.hits + 1;
         t.seconds <- t.seconds +. lookup_cost;
+        Obs.count "generator.cache_hit";
         { o with cache_hit = true; gen_seconds = lookup_cost }
       | P_hit_batch j ->
         t.hits <- t.hits + 1;
         t.seconds <- t.seconds +. lookup_cost;
+        Obs.count "generator.cache_hit";
         { (outcome_of j) with cache_hit = true; gen_seconds = lookup_cost }
       | P_synth { k; sign; cls; _ } ->
         let o = outcome_of i in
         (match cls with
-        | C_cold -> t.n_cold <- t.n_cold + 1
-        | C_prefix -> t.n_prefix <- t.n_prefix + 1
-        | C_shape -> t.n_shape <- t.n_shape + 1
-        | C_similar -> t.n_similar <- t.n_similar + 1);
+        | C_cold ->
+          t.n_cold <- t.n_cold + 1;
+          Obs.count "generator.seed.cold"
+        | C_prefix ->
+          t.n_prefix <- t.n_prefix + 1;
+          Obs.count "generator.seed.prefix"
+        | C_shape ->
+          t.n_shape <- t.n_shape + 1;
+          Obs.count "generator.seed.shape"
+        | C_similar ->
+          t.n_similar <- t.n_similar + 1;
+          Obs.count "generator.seed.similar");
         Hashtbl.replace t.cache k o;
         Hashtbl.replace t.by_shape sign o.pulse;
         t.generated <- t.generated + 1;
         t.seconds <- t.seconds +. o.gen_seconds;
+        Obs.count "generator.generated";
         o)
     plans
 
 let generate_batch ?(jobs = 1) t groups =
   let groups = Array.of_list groups in
+  let plan () = Obs.with_span "generator.plan" (fun () -> plan_batch t groups) in
+  let exec ~jobs plans =
+    Obs.with_span "generator.execute" (fun () ->
+        Pool.with_pool ~jobs (fun pool -> execute pool t plans))
+  in
+  let commit plans results =
+    Obs.with_span "generator.commit" (fun () ->
+        Array.to_list (commit_batch t plans results))
+  in
   if Array.length groups = 0 then []
   else if jobs <= 1 then
     (* fully serial: one lock for the whole batch, inline pool *)
     locked t (fun () ->
-        let plans = plan_batch t groups in
-        let results = Pool.with_pool (fun pool -> execute pool t plans) in
-        Array.to_list (commit_batch t plans results))
+        let plans = plan () in
+        let results = exec ~jobs:1 plans in
+        commit plans results)
   else begin
-    let plans = locked t (fun () -> plan_batch t groups) in
-    let results = Pool.with_pool ~jobs (fun pool -> execute pool t plans) in
-    locked t (fun () -> Array.to_list (commit_batch t plans results))
+    let plans = locked t plan in
+    let results = exec ~jobs plans in
+    locked t (fun () -> commit plans results)
   end
 
 let generate t g =
@@ -551,7 +584,12 @@ let magic = "paqoc-pulse-db v1"
 
 (* Entries are written in sorted key order so the file is a canonical
    function of the database contents — serial and parallel runs over the
-   same batch produce byte-identical files. *)
+   same batch produce byte-identical files.
+
+   The write is atomic: everything goes to [path.tmp] which is renamed
+   over [path] only once fully written, and the channel is closed (and the
+   temporary removed) on any failure — a crashed compile can never leave a
+   truncated or corrupt pulse database behind. *)
 let save_database t path =
   locked t (fun () ->
       let entries =
@@ -562,15 +600,29 @@ let save_database t path =
         Hashtbl.fold (fun sign _ acc -> sign :: acc) t.by_shape []
         |> List.sort String.compare
       in
-      let oc = open_out path in
-      output_string oc (magic ^ "\n");
-      List.iter
-        (fun (key, (o : outcome)) ->
-          Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
-            o.fidelity key)
-        entries;
-      List.iter (fun sign -> Printf.fprintf oc "S %s\n" sign) shapes;
-      close_out oc)
+      let fail msg =
+        failwith (Printf.sprintf "Generator.save_database: %s (%s)" msg path)
+      in
+      let tmp = path ^ ".tmp" in
+      let oc =
+        try open_out tmp with Sys_error msg -> fail msg
+      in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             output_string oc (magic ^ "\n");
+             List.iter
+               (fun (key, (o : outcome)) ->
+                 Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
+                   o.fidelity key)
+               entries;
+             List.iter (fun sign -> Printf.fprintf oc "S %s\n" sign) shapes;
+             flush oc)
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      try Sys.rename tmp path with Sys_error msg -> fail msg)
 
 let load_database t path =
   locked t (fun () ->

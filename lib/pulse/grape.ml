@@ -1,6 +1,7 @@
 module Cx = Paqoc_linalg.Cx
 module Cmat = Paqoc_linalg.Cmat
 module Expm = Paqoc_linalg.Expm
+module Obs = Paqoc_obs.Obs
 
 type optimizer = Adam | Lbfgs of int
 
@@ -47,6 +48,7 @@ let trace_prod a b =
    [x]; amplitudes are [u = bound * tanh x]. The objective is the trace
    fidelity minus the power regulariser; [grad] is d(objective)/dx. *)
 let evaluate config h target ~dt ~n_slices ~bounds x =
+  Obs.count "grape.evaluations";
   let dim = h.Hamiltonian.dim in
   let nc = Array.length bounds in
   let d = float_of_int dim in
@@ -104,6 +106,11 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
   if Cmat.rows target <> dim || Cmat.cols target <> dim then
     invalid_arg "Grape.optimize: target dimension mismatch";
   if n_slices <= 0 then invalid_arg "Grape.optimize: need slices";
+  Obs.with_span "grape.optimize" @@ fun () ->
+  Obs.count
+    (match config.optimizer with
+    | Adam -> "grape.start.adam"
+    | Lbfgs _ -> "grape.start.lbfgs");
   let nc = Hamiltonian.n_controls h in
   let bounds = Array.map (fun c -> c.Hamiltonian.bound) h.Hamiltonian.controls in
   let rng = Random.State.make [| config.seed; n_slices; dim |] in
@@ -265,4 +272,6 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
     else !best_amps
   in
   let pulse = { Pulse.dt; amplitudes } in
+  Obs.count ~n:!iters "grape.iterations";
+  if !converged then Obs.count "grape.converged";
   { pulse; fidelity = !best_f; iterations = !iters; converged = !converged }

@@ -1,3 +1,6 @@
+module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
+
 type 'a state =
   | Pending
   | Value of 'a
@@ -22,25 +25,42 @@ type t = {
 let jobs t = t.n_jobs
 
 (* Workers drain the queue until it is both empty and closed; tasks queued
-   before shutdown still run, so [shutdown] never drops work. *)
+   before shutdown still run, so [shutdown] never drops work. Busy/idle
+   wall time per worker is recorded when metrics are on: each executed
+   task becomes a "pool.task" span on the worker's domain, and the totals
+   land in the "pool.worker.busy_s"/"pool.worker.idle_s" histograms (one
+   observation per worker) when the worker exits. *)
 let worker t idx =
+  let busy = ref 0.0 and idle = ref 0.0 in
+  let now () = if Obs.enabled () then Clock.now_s () else 0.0 in
   let rec loop () =
+    let w0 = now () in
     Mutex.lock t.m;
     while Queue.is_empty t.queue && not t.closed do
       Condition.wait t.work t.m
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.m
+    if Queue.is_empty t.queue then begin
+      Mutex.unlock t.m;
+      idle := !idle +. (now () -. w0)
+    end
     else begin
       let task = Queue.pop t.queue in
       Mutex.unlock t.m;
-      task ();
+      idle := !idle +. (now () -. w0);
+      let t0 = now () in
+      Obs.with_span "pool.task" task;
+      busy := !busy +. (now () -. t0);
       Mutex.lock t.m;
       t.counts.(idx) <- t.counts.(idx) + 1;
       Mutex.unlock t.m;
       loop ()
     end
   in
-  loop ()
+  loop ();
+  if Obs.enabled () then begin
+    Obs.observe "pool.worker.busy_s" !busy;
+    Obs.observe "pool.worker.idle_s" !idle
+  end
 
 let create ?(jobs = 1) () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -72,7 +92,7 @@ let submit t f =
     | exception e -> fulfill fut (Error (e, Printexc.get_raw_backtrace ()))
   in
   if t.n_jobs <= 1 then begin
-    run ();
+    Obs.with_span "pool.task" run;
     t.counts.(0) <- t.counts.(0) + 1
   end
   else begin
@@ -82,6 +102,8 @@ let submit t f =
       invalid_arg "Pool.submit: pool is shut down"
     end;
     Queue.push run t.queue;
+    if Obs.enabled () then
+      Obs.gauge "pool.queue_depth" (float_of_int (Queue.length t.queue));
     Condition.signal t.work;
     Mutex.unlock t.m
   end;

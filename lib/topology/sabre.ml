@@ -1,6 +1,7 @@
 module Gate = Paqoc_circuit.Gate
 module Circuit = Paqoc_circuit.Circuit
 module Dag = Paqoc_circuit.Dag
+module Obs = Paqoc_obs.Obs
 
 type result = {
   physical : Circuit.t;
@@ -17,6 +18,7 @@ let decay_delta = 0.001
 let decay_reset = 5
 
 let route ?initial (c : Circuit.t) (cg : Coupling.t) =
+  Obs.with_span "sabre.route" @@ fun () ->
   let np = Coupling.n_qubits cg in
   if c.Circuit.n_qubits > np then
     invalid_arg "Sabre.route: device smaller than circuit";
@@ -158,4 +160,5 @@ let route ?initial (c : Circuit.t) (cg : Coupling.t) =
     end
   done;
   let physical = Circuit.make ~n_qubits:np (List.rev !emitted) in
+  Obs.count ~n:!swaps "sabre.swaps";
   { physical; initial = initial_layout; final = layout; swaps_added = !swaps }

@@ -99,6 +99,71 @@ let suite =
         (* a well-formed file still loads after all those rejections *)
         check_true "control: valid file loads"
           (not (attempt (header ^ "K 96 0.001 0.999 2;cx@0,1\nS 2;cx@0,1\n"))));
+    case "pulse DB save fails loudly on an unwritable path" (fun () ->
+        let gen = Gen.model_default () in
+        check_true "raises Failure"
+          (try
+             Gen.save_database gen "/nonexistent_paqoc_dir/pulse.db";
+             false
+           with Failure msg -> String.length msg > 0));
+    case "a failing save never corrupts an existing database" (fun () ->
+        (* force the write to fail after the target exists: the atomic
+           save goes through <path>.tmp, so planting a directory there
+           makes open_out fail while <path> must stay intact *)
+        let path = Filename.temp_file "paqoc_db" ".txt" in
+        let tmp = path ^ ".tmp" in
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists tmp then Sys.rmdir tmp;
+            Sys.remove path)
+          (fun () ->
+            let gen = Gen.model_default () in
+            ignore
+              (Gen.generate gen
+                 (fst (Gen.group_of_apps [ Gate.app2 Gate.CX 0 1 ])));
+            Gen.save_database gen path;
+            let read () =
+              let ic = open_in_bin path in
+              let s = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              s
+            in
+            let before = read () in
+            Sys.mkdir tmp 0o755;
+            check_true "raises Failure"
+              (try
+                 Gen.save_database gen path;
+                 false
+               with Failure _ -> true);
+            check_true "existing database untouched"
+              (String.equal before (read ()))));
+    case "successful save leaves no temporary file" (fun () ->
+        let path = Filename.temp_file "paqoc_db" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let gen = Gen.model_default () in
+            Gen.save_database gen path;
+            check_true "no .tmp left" (not (Sys.file_exists (path ^ ".tmp")));
+            let gen2 = Gen.model_default () in
+            Gen.load_database gen2 path;
+            check_int "round-trips" (Gen.database_size gen)
+              (Gen.database_size gen2)));
+    case "metrics dumps fail loudly on an unwritable path" (fun () ->
+        let module Obs = Paqoc_obs.Obs in
+        Fun.protect ~finally:Obs.reset (fun () ->
+            Obs.enable ();
+            Obs.count "c";
+            check_true "report raises Failure"
+              (try
+                 Obs.write_report "/nonexistent_paqoc_dir/metrics.json";
+                 false
+               with Failure _ -> true);
+            check_true "trace raises Failure"
+              (try
+                 Obs.write_trace "/nonexistent_paqoc_dir/trace.json";
+                 false
+               with Failure _ -> true)));
     case "merger max_iterations bound is honoured" (fun () ->
         let c =
           Circuit.make ~n_qubits:3

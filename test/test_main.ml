@@ -5,6 +5,7 @@ let () =
       ("topology", Test_topology.suite);
       ("commutation", Test_commutation.suite);
       ("pulse", Test_pulse.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
       ("mining", Test_mining.suite);

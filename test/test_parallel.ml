@@ -203,6 +203,45 @@ let batch_determinism_qoc () =
     outs1 outs2;
   check_true "byte-identical database" (String.equal db1 db2)
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock accounting                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the Sys.time bug: [gen_seconds] must be per-task wall
+   time on the monotonic clock. [Sys.time] reads process-wide CPU time,
+   so with [jobs = N] every task was also charged the CPU the other N-1
+   domains burned while it ran, inflating the accounted sum by ~N× — the
+   exact numbers the reproduction exists to report. With wall-clock
+   accounting the parallel sum stays within a small factor of the serial
+   sum. True parallel hardware keeps per-task wall time flat; when the
+   host has fewer cores than workers, oversubscription legitimately
+   stretches per-task wall time, so the test caps [jobs] at the host's
+   core count. *)
+let wall_clock_accounting () =
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  let groups =
+    List.map
+      (fun apps -> fst (Gen.group_of_apps apps))
+      [ [ Gate.app1 Gate.X 0 ];
+        [ Gate.app1 Gate.H 0 ];
+        [ Gate.app1 Gate.SX 0; Gate.app1 Gate.T 0 ];
+        [ Gate.app1 (Gate.RZ (Angle.const 0.7)) 0; Gate.app1 Gate.H 0 ]
+      ]
+  in
+  let accounted_sum jobs =
+    let gen = Gen.qoc_default () in
+    let outs = Gen.generate_batch ~jobs gen groups in
+    List.fold_left
+      (fun acc (o : Gen.outcome) -> acc +. o.Gen.gen_seconds)
+      0.0 outs
+  in
+  let serial = accounted_sum 1 in
+  let parallel = accounted_sum jobs in
+  check_true "tasks account positive wall time" (serial > 0.0);
+  (* CPU-time accounting would put this at ~[jobs]x; allow 2x for noise *)
+  check_true "parallel accounted sum stays wall-clock-consistent"
+    (parallel <= (serial *. 2.0) +. 0.05)
+
 let suite =
   pool_tests
   @ [ case "4 domains share one generator safely" stress_test;
@@ -211,5 +250,7 @@ let suite =
       case "generate_batch at jobs=1 equals the serial loop"
         batch_matches_serial_loop;
       slow_case "generate_batch: jobs=2 equals jobs=1 (QOC backend)"
-        batch_determinism_qoc
+        batch_determinism_qoc;
+      slow_case "gen_seconds is per-task wall time under parallelism"
+        wall_clock_accounting
     ]
