@@ -1,10 +1,22 @@
-# Tier-1 gate in one command: build, tests, and a CLI metrics smoke run.
+# Tier-1 gate in one command: build, tests, and CLI smoke runs (one clean
+# metrics run, one fault-injected run that must still succeed via the
+# decomposed-basis fallback).
 check:
 	dune build && dune runtest
 	dune exec bin/paqoc_cli.exe -- compile bv --jobs 2 \
 	  --metrics /tmp/paqoc_metrics.json --trace /tmp/paqoc_trace.json \
 	  > /dev/null
+	dune exec bin/paqoc_cli.exe -- compile bv --inject grape-diverge \
+	  --metrics /tmp/paqoc_metrics.json > /dev/null
+	@grep -q '"generator.fallback"' /tmp/paqoc_metrics.json \
+	  || (echo "check: injected run emitted no fallback counter" && exit 1)
 	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json
+
+# Refresh the pinned 17-benchmark latency table (test/golden/). Run after
+# an intentional change to latencies or episode counts, and commit the
+# result; the golden test renders through the same code path.
+update-golden:
+	dune exec test/update_golden.exe -- test/golden/latency_table.txt
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:
@@ -14,4 +26,4 @@ bench-scaling:
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check bench bench-scaling
+.PHONY: check bench bench-scaling update-golden

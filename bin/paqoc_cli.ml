@@ -44,6 +44,34 @@ let trace_arg =
            (open in about:tracing or ui.perfetto.dev; one track per \
            domain).")
 
+(* Shared --inject plumbing: arm the fault-injection layer before the work
+   runs. A malformed spec is a clean CLI error. *)
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault injection: comma-separated \
+           point[:first=N|:every=N|:prob=P:seed=S] clauses, e.g. \
+           $(b,grape-diverge) or $(b,timeout:first=2). Points: \
+           grape-diverge, db-save-error, pool-task-crash, timeout. \
+           Injected QOC failures are retried and then degrade to \
+           decomposed default-basis pulses, so compilation still \
+           succeeds.")
+
+let arm_injection = function
+  | None -> ()
+  | Some spec -> (
+    match Paqoc_pulse.Faultin.parse_spec spec with
+    | Ok pts ->
+      Paqoc_pulse.Faultin.configure pts;
+      Printf.printf "fault injection : %s\n"
+        (Paqoc_pulse.Faultin.spec_to_string pts)
+    | Error msg ->
+      Printf.eprintf "error: --inject: %s\n" msg;
+      exit 1)
+
 let with_observability ~metrics ~trace f =
   if metrics <> None || trace <> None then Obs.enable ();
   let r = f () in
@@ -151,11 +179,43 @@ let compile_cmd =
           ~doc:
             "Pulse-database file: loaded before compiling (if it exists)              and saved afterwards — the paper's persistent offline table.")
   in
-  let run input scheme device max_n top_k show_groups jobs db metrics trace =
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("model", `Model); ("qoc", `Qoc) ]) `Model
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Pulse engine: $(b,model) (analytic latency model, instant) or \
+             $(b,qoc) (real GRAPE searches; slow, small circuits only).")
+  in
+  let retries =
+    Arg.(
+      value & opt int Gen.default_retry.Gen.max_attempts
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Synthesis attempts per gate group before degrading to \
+             decomposed default-basis pulses (>= 1; 1 disables retries). \
+             Retries restart QOC with deterministically perturbed seeds.")
+  in
+  let task_seconds =
+    Arg.(
+      value & opt (some float) None
+      & info [ "task-seconds" ] ~docv:"S"
+          ~doc:
+            "Wall-clock budget per synthesis task; once exceeded the task \
+             degrades to the fallback instead of retrying.")
+  in
+  let run input scheme device max_n top_k show_groups jobs db backend retries
+      task_seconds inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
     end;
+    if retries < 1 then begin
+      Printf.eprintf "error: --retries must be >= 1 (got %d)\n" retries;
+      exit 1
+    end;
+    arm_injection inject;
     with_observability ~metrics ~trace @@ fun () ->
     let logical = load_circuit input in
     let coupling = device_of device in
@@ -167,20 +227,34 @@ let compile_cmd =
       input logical.Circuit.n_qubits
       (Coupling.n_qubits coupling)
       (Circuit.n_gates physical) t.Transpile.swaps_added;
-    let gen = Gen.model_default () in
+    let retry =
+      { Gen.default_retry with
+        Gen.max_attempts = retries;
+        Gen.task_seconds
+      }
+    in
+    let gen =
+      match backend with
+      | `Model -> Gen.model_default ~retry ()
+      | `Qoc -> Gen.qoc_default ~retry ()
+    in
     (match db with
-    | Some file when Sys.file_exists file ->
-      Gen.load_database gen file;
-      Printf.printf "pulse database: loaded %d entries from %s\n"
-        (Gen.database_size gen) file
+    | Some file when Sys.file_exists file -> (
+      try
+        Gen.load_database gen file;
+        Printf.printf "pulse database: loaded %d entries from %s\n"
+          (Gen.database_size gen) file
+      with Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
     | _ -> ());
-    let latency, esp, seconds, groups, grouped =
+    let latency, esp, seconds, groups, fallbacks, grouped =
       match scheme with
       | `Acc3 | `Acc5 ->
         let slicer = if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5 in
         let r = Accqoc.compile ~slicer ~jobs gen physical in
         ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
-          r.Accqoc.n_groups, r.Accqoc.grouped )
+          r.Accqoc.n_groups, r.Accqoc.fallbacks, r.Accqoc.grouped )
       | (`M0 | `Mtuned | `Minf) as m ->
         let mode =
           match m with `M0 -> Apa.M_zero | `Mtuned -> Apa.M_tuned | `Minf -> Apa.M_inf
@@ -193,29 +267,41 @@ let compile_cmd =
         in
         let r = Paqoc.compile ~scheme ~jobs gen physical in
         ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
-          r.Paqoc.n_groups, r.Paqoc.grouped )
+          r.Paqoc.n_groups, r.Paqoc.fallbacks, r.Paqoc.grouped )
     in
     Printf.printf "circuit latency : %.0f dt\n" latency;
     Printf.printf "estimated ESP   : %.4f\n" esp;
     Printf.printf "compile cost    : %.1f s (modeled QOC time)\n" seconds;
     Printf.printf "pulse episodes  : %d\n" groups;
+    if fallbacks > 0 then
+      Printf.printf
+        "fallback groups : %d (QOC failed; decomposed default-basis pulses, \
+         latency penalty included above)\n"
+        fallbacks;
     if show_groups then
       List.iteri
         (fun i (g : Gate.app) ->
           Printf.printf "  group %3d: %s\n" i (Gate.app_to_string g))
         grouped.Circuit.gates;
     match db with
-    | Some file ->
-      Gen.save_database gen file;
-      Printf.printf "pulse database: saved %d entries to %s\n"
-        (Gen.database_size gen) file
+    | Some file -> (
+      try
+        Gen.save_database gen file;
+        Printf.printf "pulse database: saved %d entries to %s\n"
+          (Gen.database_size gen) file
+      with Failure msg ->
+        (* the save is atomic, so a failure (I/O or injected) leaves any
+           existing database intact; report it and fail the run *)
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
     | None -> ()
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
       const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ jobs
-      $ db $ metrics_arg $ trace_arg)
+      $ db $ backend $ retries $ task_seconds $ inject_arg $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)
@@ -308,7 +394,8 @@ let pulse_cmd =
   let plot =
     Arg.(value & flag & info [ "plot" ] ~doc:"Render an ASCII waveform plot.")
   in
-  let run gate fidelity dump plot metrics trace =
+  let run gate fidelity dump plot inject metrics trace =
+    arm_injection inject;
     with_observability ~metrics ~trace @@ fun () ->
     let kind, qubits, pairs =
       match gate with
@@ -332,8 +419,15 @@ let pulse_cmd =
       }
     in
     let r =
-      Paqoc_pulse.Duration_search.minimal_duration ~config h ~target
-        ~lower_bound:30.0 ()
+      match
+        Paqoc_pulse.Duration_search.search ~config ~gate h ~target
+          ~lower_bound:30.0 ()
+      with
+      | Ok r -> r
+      | Error e ->
+        Printf.eprintf "error: %s\n"
+          (Paqoc_pulse.Duration_search.error_to_string e);
+        exit 1
     in
     Printf.printf "gate %s: latency %.0f dt, fidelity %.5f (%d GRAPE probes, \
                    %d iterations)\n"
@@ -377,7 +471,9 @@ let pulse_cmd =
   in
   Cmd.v
     (Cmd.info "pulse" ~doc:"Run GRAPE for a single gate and summarise the pulse.")
-    Term.(const run $ gate $ fidelity $ dump $ plot $ metrics_arg $ trace_arg)
+    Term.(
+      const run $ gate $ fidelity $ dump $ plot $ inject_arg $ metrics_arg
+      $ trace_arg)
 
 let () =
   let doc = "PAQOC: program-aware QOC pulse generation" in

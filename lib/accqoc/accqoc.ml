@@ -10,6 +10,7 @@ type report = {
   n_groups : int;
   pulses_generated : int;
   cache_hits : int;
+  fallbacks : int;
 }
 
 let compile ?(slicer = Slicer.accqoc_n3d3) ?(jobs = 1) gen (c : Circuit.t) =
@@ -17,6 +18,7 @@ let compile ?(slicer = Slicer.accqoc_n3d3) ?(jobs = 1) gen (c : Circuit.t) =
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
   let hits0 = Generator.cache_hits gen in
+  let fallbacks0 = Generator.fallbacks gen in
   let grouped =
     Paqoc_obs.Obs.with_span "accqoc.slice" (fun () ->
         Slicer.group_circuit slicer c)
@@ -40,5 +42,6 @@ let compile ?(slicer = Slicer.accqoc_n3d3) ?(jobs = 1) gen (c : Circuit.t) =
     compile_seconds = Generator.total_seconds gen -. seconds0;
     n_groups = Circuit.n_gates grouped;
     pulses_generated = Generator.pulses_generated gen - generated0;
-    cache_hits = Generator.cache_hits gen - hits0
+    cache_hits = Generator.cache_hits gen - hits0;
+    fallbacks = Generator.fallbacks gen - fallbacks0
   }

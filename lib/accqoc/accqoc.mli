@@ -14,6 +14,7 @@ type report = {
   n_groups : int;  (** customized gates in the schedule *)
   pulses_generated : int;  (** distinct QOC runs *)
   cache_hits : int;
+  fallbacks : int;  (** slices that degraded to decomposed-basis pulses *)
 }
 
 (** [compile ?slicer ?jobs gen c] runs the baseline on physical circuit

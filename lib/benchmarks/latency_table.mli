@@ -1,0 +1,25 @@
+(** The pinned 17-benchmark latency table.
+
+    Computes, renders and parses the golden regression table: for every
+    Table I benchmark, the PAQOC-M0 compiled latency and pulse-episode
+    count on the paper's 5x5 grid (analytic backend, fresh generator per
+    benchmark — fully deterministic). The golden test compares
+    {!render}[ (compute ())] byte-for-byte against the checked-in file;
+    [make update-golden] refreshes it through the same code path, so the
+    file can never drift from what the test computes. *)
+
+type row = { name : string; latency : float; n_groups : int }
+
+(** [compute ()] compiles all seventeen benchmarks and returns their rows
+    in Table I order. [jobs] parallelises each compile's pulse batches
+    (the result is jobs-independent). *)
+val compute : ?jobs:int -> unit -> row list
+
+(** [render rows] is the canonical text form: a fixed header plus one
+    [name latency n_groups] line per row. Byte-stable across runs and
+    [jobs] counts. *)
+val render : row list -> string
+
+(** [parse s] reads {!render} output back.
+    @raise Failure on a malformed table. *)
+val parse : string -> row list

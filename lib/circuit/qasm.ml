@@ -422,7 +422,12 @@ let parse src =
               List.rev (q :: acc)
             | _ -> error lx "expected , or ; after wire"
           in
-          body := Gate.app kind (operands []) :: !body;
+          let qs = operands [] in
+          (* Gate.app validates arity and operand distinctness; surface
+             its rejection as a positioned parse error, not a leaked
+             Invalid_argument *)
+          (try body := Gate.app kind qs :: !body
+           with Invalid_argument msg -> error lx msg);
           body_loop ()
         | _ -> error lx "expected gate application or } in gate body"
       in
@@ -466,7 +471,8 @@ let parse src =
         | _ -> error lx "expected , or ; after qubit operand"
       in
       let qs = operands [] in
-      gates := Gate.app kind qs :: !gates
+      (try gates := Gate.app kind qs :: !gates
+       with Invalid_argument msg -> error lx msg)
     | _ -> error lx "expected statement"
   done;
   if !total_qubits = 0 then raise (Parse_error "no qreg declared");

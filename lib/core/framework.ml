@@ -36,6 +36,7 @@ type report = {
   n_groups : int;
   pulses_generated : int;
   cache_hits : int;
+  fallbacks : int;
   apa : Apa.result;
   merge_stats : Merger.stats;
 }
@@ -48,6 +49,7 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
   let seconds0 = Generator.total_seconds gen in
   let generated0 = Generator.pulses_generated gen in
   let hits0 = Generator.cache_hits gen in
+  let fallbacks0 = Generator.fallbacks gen in
   (* 0. optional commutativity-aware reordering (future-work extension) *)
   let c =
     if scheme.commutation_aware then Paqoc_circuit.Commutation.normalize c
@@ -119,6 +121,7 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
     n_groups = Circuit.n_gates grouped;
     pulses_generated = Generator.pulses_generated gen - generated0;
     cache_hits = Generator.cache_hits gen - hits0;
+    fallbacks = Generator.fallbacks gen - fallbacks0;
     apa;
     merge_stats
   }

@@ -46,6 +46,9 @@ type report = {
   n_groups : int;
   pulses_generated : int;
   cache_hits : int;
+  fallbacks : int;
+      (** groups that degraded to decomposed default-basis pulses because
+          every QOC attempt failed; 0 on a healthy compile *)
   apa : Paqoc_mining.Apa.result;  (** miner outcome *)
   merge_stats : Merger.stats;
 }

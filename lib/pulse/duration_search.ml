@@ -1,18 +1,29 @@
 module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
 
 type config = {
   grape : Grape.config;
   dt : float;
   slice_quantum : int;
   max_duration : float;
+  max_total_iters : int;
 }
 
 let default_config =
   { grape = Grape.default_config;
     dt = 2.0;
     slice_quantum = 2;
-    max_duration = 2000.0
+    max_duration = 2000.0;
+    max_total_iters = 1_000_000
   }
+
+type status = Converged | Unreachable | Budget_exhausted | Injected_fault
+
+let status_name = function
+  | Converged -> "converged"
+  | Unreachable -> "unreachable"
+  | Budget_exhausted -> "budget-exhausted"
+  | Injected_fault -> "injected-fault"
 
 type result = {
   pulse : Pulse.t;
@@ -20,11 +31,40 @@ type result = {
   latency : float;
   grape_iterations : int;
   probes : int;
+  status : status;
 }
 
-let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () =
+type error = {
+  gate : string;
+  n_qubits : int;
+  max_duration_tried : float;
+  best_fidelity : float;
+  failed_probes : int;
+  status : status;
+}
+
+exception Search_failed of error
+
+let error_to_string e =
+  Printf.sprintf
+    "Duration_search: target unreachable for gate %s (%d qubit%s): %s after \
+     %d probe%s up to %.0f dt (best fidelity %.5f)"
+    e.gate e.n_qubits
+    (if e.n_qubits = 1 then "" else "s")
+    (status_name e.status) e.failed_probes
+    (if e.failed_probes = 1 then "" else "s")
+    e.max_duration_tried e.best_fidelity
+
+(* internal control-flow: abort the search with a failure status *)
+exception Stop of status
+
+let search ?(config = default_config) ?(gate = "?") ?deadline ?init h ~target
+    ~lower_bound () =
   Obs.with_span "duration_search" @@ fun () ->
   let total_iters = ref 0 and probes = ref 0 in
+  let best_failed_fid = ref 0.0 in
+  let max_tried = ref 0.0 in
+  let any_injected = ref false in
   let quantum = max 1 config.slice_quantum in
   let slices_of_duration dur =
     let s = int_of_float (ceil (dur /. config.dt)) in
@@ -32,47 +72,86 @@ let minimal_duration ?(config = default_config) ?init h ~target ~lower_bound () 
     (* round up to the quantum *)
     (s + quantum - 1) / quantum * quantum
   in
+  (* per-probe gate: injected timeouts first (they simulate the deadline),
+     then the real deadline, then the iteration budget *)
+  let check_before_probe () =
+    if Faultin.fire Faultin.Timeout then begin
+      any_injected := true;
+      raise (Stop Injected_fault)
+    end;
+    (match deadline with
+    | Some d when Clock.now_s () > d -> raise (Stop Budget_exhausted)
+    | _ -> ());
+    if !total_iters >= config.max_total_iters then
+      raise (Stop Budget_exhausted)
+  in
   let try_slices ~init n_slices =
+    check_before_probe ();
     incr probes;
+    max_tried := Float.max !max_tried (float_of_int n_slices *. config.dt);
     let r = Grape.optimize ~config:config.grape ?init h ~target ~n_slices
               ~dt:config.dt () in
     total_iters := !total_iters + r.Grape.iterations;
+    if r.Grape.injected then any_injected := true;
+    if not r.Grape.converged then
+      best_failed_fid := Float.max !best_failed_fid r.Grape.fidelity;
     r
   in
   (* 1. bracket: grow geometrically until GRAPE converges *)
   let lo_guess = Float.max config.dt (lower_bound *. 0.5) in
   let rec bracket dur init =
     if dur > config.max_duration then
-      failwith "Duration_search: target unreachable within max_duration";
+      raise (Stop (if !any_injected then Injected_fault else Unreachable));
     let n = slices_of_duration dur in
     let r = try_slices ~init n in
     if r.Grape.converged then (n, r)
     else bracket (dur *. 1.5) (Some r.Grape.pulse)
   in
-  let hi_slices, hi_result = bracket lo_guess init in
-  (* 2. binary search the slice count in [1, hi] *)
-  let best = ref hi_result in
-  let lo = ref (max 1 (slices_of_duration (lo_guess *. 0.5))) in
-  let hi = ref hi_slices in
-  let bisect_steps = ref 0 in
-  while !hi - !lo > quantum do
-    incr bisect_steps;
-    let mid = (!lo + !hi) / 2 / quantum * quantum in
-    let mid = max (!lo + 1) mid in
-    let r = try_slices ~init:(Some !best.Grape.pulse) mid in
-    if r.Grape.converged then begin
-      best := r;
-      hi := mid
-    end
-    else lo := mid
-  done;
-  Obs.observe "duration_search.bisect_steps" (float_of_int !bisect_steps);
-  Obs.observe "duration_search.probes" (float_of_int !probes);
-  Obs.observe "duration_search.slices"
-    (float_of_int (Pulse.slices !best.Grape.pulse));
-  { pulse = !best.Grape.pulse;
-    fidelity = !best.Grape.fidelity;
-    latency = Pulse.duration !best.Grape.pulse;
-    grape_iterations = !total_iters;
-    probes = !probes
-  }
+  match bracket lo_guess init with
+  | hi_slices, hi_result ->
+    (* 2. binary search the slice count in [1, hi]; once a converged pulse
+       exists, running out of budget only stops the refinement *)
+    let best = ref hi_result in
+    let lo = ref (max 1 (slices_of_duration (lo_guess *. 0.5))) in
+    let hi = ref hi_slices in
+    let bisect_steps = ref 0 in
+    (try
+       while !hi - !lo > quantum do
+         incr bisect_steps;
+         let mid = (!lo + !hi) / 2 / quantum * quantum in
+         let mid = max (!lo + 1) mid in
+         let r = try_slices ~init:(Some !best.Grape.pulse) mid in
+         if r.Grape.converged then begin
+           best := r;
+           hi := mid
+         end
+         else lo := mid
+       done
+     with Stop _ -> ());
+    Obs.observe "duration_search.bisect_steps" (float_of_int !bisect_steps);
+    Obs.observe "duration_search.probes" (float_of_int !probes);
+    Obs.observe "duration_search.slices"
+      (float_of_int (Pulse.slices !best.Grape.pulse));
+    Ok
+      { pulse = !best.Grape.pulse;
+        fidelity = !best.Grape.fidelity;
+        latency = Pulse.duration !best.Grape.pulse;
+        grape_iterations = !total_iters;
+        probes = !probes;
+        status = Converged
+      }
+  | exception Stop status ->
+    Obs.count ("duration_search.fail." ^ status_name status);
+    Error
+      { gate;
+        n_qubits = h.Hamiltonian.n_qubits;
+        max_duration_tried = !max_tried;
+        best_fidelity = !best_failed_fid;
+        failed_probes = !probes;
+        status
+      }
+
+let minimal_duration ?config ?gate ?deadline ?init h ~target ~lower_bound () =
+  match search ?config ?gate ?deadline ?init h ~target ~lower_bound () with
+  | Ok r -> r
+  | Error e -> raise (Search_failed e)

@@ -4,16 +4,32 @@
     GRAPE still reaches the target fidelity. This module brackets that time
     (geometric growth from a physics-informed lower bound) and then binary
     searches the slice count, warm-starting each probe from the best pulse
-    found so far. *)
+    found so far.
+
+    Failure is a typed outcome, not a bare [Failure]: a search that cannot
+    reach the target reports {e why} ({!status}) together with the gate it
+    was searching for, the qubit count, the largest duration probed and the
+    best fidelity seen — everything a retry policy or an operator needs.
+    {!search} returns a [result]/[error] sum; {!minimal_duration} is the
+    raising convenience wrapper ({!Search_failed}). *)
 
 type config = {
   grape : Grape.config;
   dt : float;  (** slice width in device dt units *)
   slice_quantum : int;  (** resolution of the search, in slices *)
   max_duration : float;  (** bail-out bound, device dt units *)
+  max_total_iters : int;
+      (** per-search GRAPE iteration budget across all probes; once
+          exceeded the search stops — with the best converged pulse if one
+          exists, as [Budget_exhausted] otherwise *)
 }
 
 val default_config : config
+
+(** Why a search ended. [Converged] is the only success. *)
+type status = Converged | Unreachable | Budget_exhausted | Injected_fault
+
+val status_name : status -> string
 
 type result = {
   pulse : Pulse.t;
@@ -21,15 +37,47 @@ type result = {
   latency : float;  (** duration of [pulse] in device dt units *)
   grape_iterations : int;  (** total GRAPE steps across all probes *)
   probes : int;  (** GRAPE invocations performed *)
+  status : status;  (** always [Converged] on the [Ok] branch *)
 }
 
-(** [minimal_duration ?config ?init h ~target ~lower_bound ()] finds the
-    shortest pulse implementing [target] at the configured fidelity.
+type error = {
+  gate : string;  (** what was being synthesised, for operators *)
+  n_qubits : int;
+  max_duration_tried : float;  (** largest duration actually probed, dt *)
+  best_fidelity : float;  (** best fidelity any failed probe reached *)
+  failed_probes : int;
+  status : status;  (** never [Converged] *)
+}
+
+exception Search_failed of error
+
+val error_to_string : error -> string
+
+(** [search ?config ?gate ?deadline ?init h ~target ~lower_bound ()] finds
+    the shortest pulse implementing [target] at the configured fidelity.
     [lower_bound] (device dt) seeds the bracket — use the latency model's
-    estimate. [init] warm-starts the first probe.
-    @raise Failure if even [max_duration] cannot reach the fidelity. *)
+    estimate. [init] warm-starts the first probe. [gate] labels errors.
+    [deadline] (absolute {!Paqoc_obs.Clock} seconds) bounds the search's
+    wall clock: past it, no further probe starts. An armed
+    {!Faultin.Timeout} or {!Faultin.Grape_diverge} surfaces as
+    [Injected_fault]. *)
+val search :
+  ?config:config ->
+  ?gate:string ->
+  ?deadline:float ->
+  ?init:Pulse.t ->
+  Hamiltonian.t ->
+  target:Paqoc_linalg.Cmat.t ->
+  lower_bound:float ->
+  unit ->
+  (result, error) Stdlib.result
+
+(** Raising form of {!search}.
+    @raise Search_failed when the target cannot be reached. *)
 val minimal_duration :
   ?config:config ->
+  ?gate:string ->
+  ?deadline:float ->
   ?init:Pulse.t ->
   Hamiltonian.t ->
   target:Paqoc_linalg.Cmat.t ->

@@ -60,6 +60,12 @@ let serialize ~label g =
 let key g = serialize ~label:Gate.mining_label g
 let shape_signature g = serialize ~label:Gate.name g
 
+type provenance = Synthesized | Fallback
+
+let provenance_name = function
+  | Synthesized -> "synthesized"
+  | Fallback -> "fallback"
+
 type outcome = {
   latency : float;
   error : float;
@@ -68,14 +74,30 @@ type outcome = {
   seeded : bool;
   fidelity : float;
   pulse : Pulse.t option;
+  provenance : provenance;
+  attempts : int;
 }
 
 type backend =
   | Model of Latency_model.config
   | Qoc of Duration_search.config * Latency_model.config
 
+(* Per-task resilience policy: how many perturbed restarts a failing QOC
+   synthesis gets before the task degrades to the decomposed default-basis
+   fallback, and what each attempt may spend. *)
+type retry = {
+  max_attempts : int;
+  jitter_seed : int;
+  iter_budget : int;
+  task_seconds : float option;
+}
+
+let default_retry =
+  { max_attempts = 3; jitter_seed = 0x5eed; iter_budget = 0; task_seconds = None }
+
 type t = {
   backend : backend;
+  retry : retry;
   lock : Mutex.t;
       (** guards the two tables and every mutable counter below; the
           serial entry points hold it for their whole call, the batch
@@ -90,6 +112,7 @@ type t = {
   mutable n_prefix : int;
   mutable n_shape : int;
   mutable n_similar : int;
+  mutable n_fallback : int;
 }
 
 let locked t f =
@@ -110,8 +133,11 @@ let is_table_entry g =
   | [ _ ] -> true
   | _ -> false
 
-let create backend =
+let create ?(retry = default_retry) backend =
+  if retry.max_attempts < 1 then
+    invalid_arg "Generator.create: retry.max_attempts must be >= 1";
   { backend;
+    retry;
     lock = Mutex.create ();
     cache = Hashtbl.create 256;
     by_shape = Hashtbl.create 256;
@@ -121,19 +147,22 @@ let create backend =
     n_cold = 0;
     n_prefix = 0;
     n_shape = 0;
-    n_similar = 0
+    n_similar = 0;
+    n_fallback = 0
   }
 
-let model_default () = create (Model Latency_model.default)
+let model_default ?retry () = create ?retry (Model Latency_model.default)
 
-let qoc_default () =
+let qoc_default ?retry () =
   let search =
     { Duration_search.default_config with
       grape =
         { Grape.default_config with max_iters = 200; target_fidelity = 0.995 }
     }
   in
-  create (Qoc (search, Latency_model.default))
+  create ?retry (Qoc (search, Latency_model.default))
+
+let retry_policy t = t.retry
 
 let model_config t =
   match t.backend with Model cfg | Qoc (_, cfg) -> cfg
@@ -179,7 +208,29 @@ let coupled_pairs_of g =
 let hamiltonian_of g =
   Hamiltonian.make ~n_qubits:g.n_qubits ~coupled_pairs:(coupled_pairs_of g) ()
 
-let run_qoc search_cfg model_cfg g ~seed_pulse =
+(* Human-readable label for a group, used by typed search errors. *)
+let group_label g =
+  match g.gates with
+  | [ { Gate.kind = Gate.Custom cu; _ } ] -> cu.Gate.cname
+  | [ a ] -> Gate.name a.Gate.kind
+  | gs -> Printf.sprintf "group(%d gates, %dq)" (List.length gs) g.n_qubits
+
+(* Seeded multiplicative jitter on a warm-start pulse, the "perturbed
+   restart" of the retry policy: a warm start that steered GRAPE into a
+   bad basin would fail identically on a bare re-run (the whole stack is
+   deterministic), so each retry nudges the envelope reproducibly. *)
+let perturb_pulse ~seed ~attempt (p : Pulse.t) =
+  let rng = Random.State.make [| seed; attempt; Array.length p.Pulse.amplitudes |] in
+  let amplitudes =
+    Array.map
+      (Array.map (fun u ->
+           let noise = (Random.State.float rng 0.2 -. 0.1) in
+           u *. (1.0 +. noise)))
+      p.Pulse.amplitudes
+  in
+  { p with Pulse.amplitudes }
+
+let run_qoc search_cfg model_cfg g ~seed_pulse ~retry ~attempt ~deadline =
   let h = hamiltonian_of g in
   let target = Gate.unitary_of_apps ~n_qubits:g.n_qubits g.gates in
   let lower_bound =
@@ -187,14 +238,39 @@ let run_qoc search_cfg model_cfg g ~seed_pulse =
       (Latency_model.group_latency model_cfg ~n_qubits:g.n_qubits ~key:""
          g.gates)
   in
+  let search_cfg =
+    if retry.iter_budget > 0 then
+      { search_cfg with Duration_search.max_total_iters = retry.iter_budget }
+    else search_cfg
+  in
+  (* perturbed restarts: attempt 0 runs exactly as planned; later attempts
+     re-seed GRAPE and jitter (then drop, on the final attempt) the warm
+     start, all deterministically *)
+  let search_cfg, seed_pulse =
+    if attempt = 0 then (search_cfg, seed_pulse)
+    else
+      let grape =
+        { search_cfg.Duration_search.grape with
+          Grape.seed =
+            search_cfg.Duration_search.grape.Grape.seed
+            + retry.jitter_seed + (attempt * 7919)
+        }
+      in
+      let seed_pulse =
+        if attempt + 1 >= retry.max_attempts then None (* cold last resort *)
+        else
+          Option.map (perturb_pulse ~seed:retry.jitter_seed ~attempt) seed_pulse
+      in
+      ({ search_cfg with Duration_search.grape }, seed_pulse)
+  in
   (* per-task wall time on the monotonic clock. [Sys.time] would be wrong
      here: it reads process-wide CPU time, so with [--jobs N] every task's
      [gen_seconds] would also charge the CPU the other N-1 domains burned
      while this task ran — inflating the total accounted seconds by ~N. *)
   let t0 = Clock.now_s () in
   let r =
-    Duration_search.minimal_duration ~config:search_cfg ?init:seed_pulse h
-      ~target ~lower_bound ()
+    Duration_search.search ~config:search_cfg ~gate:(group_label g) ?deadline
+      ?init:seed_pulse h ~target ~lower_bound ()
   in
   let elapsed = Clock.now_s () -. t0 in
   (r, elapsed)
@@ -386,54 +462,138 @@ let plan_batch t groups =
         P_synth { g; k; sign; cls; src })
     groups
 
+(* Graceful degradation: price the group as its decomposed default-basis
+   (calibration-table) pulses, scheduled ASAP on per-qubit clocks. Always
+   succeeds — the table pulses exist before any circuit is compiled — but
+   forfeits the merged pulse's latency win, which is why the penalty is
+   surfaced through [provenance] rather than silently folded in. *)
+let fallback_outcome t g =
+  let cfg = model_config t in
+  let clock = Array.make (max 1 g.n_qubits) 0.0 in
+  let keep = ref 1.0 in
+  List.iter
+    (fun (a : Gate.app) ->
+      let l = Latency_model.fixed_gate_latency cfg a in
+      let start =
+        List.fold_left (fun m q -> Float.max m clock.(q)) 0.0 a.Gate.qubits
+      in
+      List.iter (fun q -> clock.(q) <- start +. l) a.Gate.qubits;
+      let e =
+        Latency_model.group_error cfg ~latency:l
+          ~n_qubits:(List.length a.Gate.qubits)
+      in
+      keep := !keep *. (1.0 -. e))
+    (flatten_for_key g.gates);
+  let latency = Array.fold_left Float.max 0.0 clock in
+  let error = 1.0 -. !keep in
+  { latency;
+    error;
+    gen_seconds = 0.0;  (* table lookups; the wasted QOC attempts are
+                           charged by the retry loop *)
+    cache_hit = false;
+    seeded = false;
+    fidelity = 1.0 -. error;
+    pulse = None;
+    provenance = Fallback;
+    attempts = 0
+  }
+
 (* One synthesis; touches neither the tables nor the accounting, so it is
-   safe to run on a worker domain without [t.lock]. *)
+   safe to run on a worker domain without [t.lock].
+
+   Resilience lives here: each task gets up to [retry.max_attempts]
+   perturbed tries at QOC, and when they all fail it degrades to
+   {!fallback_outcome} — compile always returns a schedule. Wasted attempt
+   seconds are carried into whichever outcome finally wins. *)
 let synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency =
   Obs.with_span "generator.synthesize" @@ fun () ->
   let seeded = cls <> C_cold in
-  match t.backend with
-  | Model cfg ->
-    let latency =
-      Latency_model.group_latency cfg ~n_qubits:g.n_qubits ~key:k g.gates
-    in
-    let error = Latency_model.group_error cfg ~latency ~n_qubits:g.n_qubits in
-    let gen_seconds =
-      if latency <= 0.0 || is_table_entry g then lookup_cost
+  let policy = t.retry in
+  let deadline =
+    Option.map (fun s -> Clock.now_s () +. s) policy.task_seconds
+  in
+  let attempt_once attempt =
+    match t.backend with
+    | Model cfg ->
+      let latency =
+        Latency_model.group_latency cfg ~n_qubits:g.n_qubits ~key:k g.gates
+      in
+      let error = Latency_model.group_error cfg ~latency ~n_qubits:g.n_qubits in
+      let gen_seconds =
+        if latency <= 0.0 || is_table_entry g then lookup_cost
+        else
+          match cls with
+          | C_prefix ->
+            Latency_model.incremental_cost cfg ~latency ~prefix_latency
+              ~n_qubits:g.n_qubits
+          | C_shape ->
+            Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+              ~seeded:true
+          | C_similar ->
+            Latency_model.similar_factor
+            *. Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+                 ~seeded:false
+          | C_cold ->
+            Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
+              ~seeded:false
+      in
+      (* the model backend simulates the QOC engine's cost, so injected
+         engine faults fire here exactly as they would inside a real
+         search — the failed attempt is charged its simulated cost *)
+      if Faultin.fire Faultin.Grape_diverge || Faultin.fire Faultin.Timeout
+      then Error (Duration_search.Injected_fault, gen_seconds)
       else
-        match cls with
-        | C_prefix ->
-          Latency_model.incremental_cost cfg ~latency ~prefix_latency
-            ~n_qubits:g.n_qubits
-        | C_shape ->
-          Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
-            ~seeded:true
-        | C_similar ->
-          Latency_model.similar_factor
-          *. Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
-               ~seeded:false
-        | C_cold ->
-          Latency_model.generation_cost cfg ~latency ~n_qubits:g.n_qubits
-            ~seeded:false
-    in
-    { latency;
-      error;
-      gen_seconds;
-      cache_hit = false;
-      seeded;
-      fidelity = 1.0 -. error;
-      pulse = None
-    }
-  | Qoc (search_cfg, model_cfg) ->
-    let r, elapsed = run_qoc search_cfg model_cfg g ~seed_pulse in
-    let achieved = r.Duration_search.fidelity in
-    { latency = r.Duration_search.latency;
-      error = 1.0 -. achieved;
-      gen_seconds = elapsed;
-      cache_hit = false;
-      seeded;
-      fidelity = achieved;
-      pulse = Some r.Duration_search.pulse
-    }
+        Ok
+          { latency;
+            error;
+            gen_seconds;
+            cache_hit = false;
+            seeded;
+            fidelity = 1.0 -. error;
+            pulse = None;
+            provenance = Synthesized;
+            attempts = attempt + 1
+          }
+    | Qoc (search_cfg, model_cfg) -> (
+      let r, elapsed =
+        run_qoc search_cfg model_cfg g ~seed_pulse ~retry:policy ~attempt
+          ~deadline
+      in
+      match r with
+      | Ok r ->
+        let achieved = r.Duration_search.fidelity in
+        Ok
+          { latency = r.Duration_search.latency;
+            error = 1.0 -. achieved;
+            gen_seconds = elapsed;
+            cache_hit = false;
+            seeded;
+            fidelity = achieved;
+            pulse = Some r.Duration_search.pulse;
+            provenance = Synthesized;
+            attempts = attempt + 1
+          }
+      | Error e -> Error (e.Duration_search.status, elapsed))
+  in
+  let rec go attempt wasted =
+    match attempt_once attempt with
+    | Ok o -> { o with gen_seconds = o.gen_seconds +. wasted }
+    | Error (status, cost) ->
+      Obs.count ("generator.attempt." ^ Duration_search.status_name status);
+      let wasted = wasted +. cost in
+      let out_of_time =
+        match deadline with Some d -> Clock.now_s () > d | None -> false
+      in
+      if attempt + 1 < policy.max_attempts && not out_of_time then begin
+        Obs.count "generator.retry";
+        go (attempt + 1) wasted
+      end
+      else
+        let fb = fallback_outcome t g in
+        { fb with gen_seconds = fb.gen_seconds +. wasted;
+          attempts = attempt + 1 }
+  in
+  go 0 0.0
 
 (* Fan the syntheses out across the pool, level by level along the
    in-batch seed dependencies (level 0 tasks only need the pre-batch
@@ -474,15 +634,27 @@ let execute pool t plans =
                 let o = outcome_of j in
                 (o.pulse, o.latency)
             in
-            let fut =
-              Pool.submit pool (fun () ->
-                  synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency)
+            let thunk () =
+              synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency
             in
-            futures := (i, fut) :: !futures
+            let fut = Pool.submit pool thunk in
+            futures := (i, fut, thunk) :: !futures
           | P_hit_db _ | P_hit_batch _ -> ())
       plans;
     List.iter
-      (fun (i, fut) -> results.(i) <- Some (Pool.await fut))
+      (fun (i, fut, thunk) ->
+        let o =
+          try Pool.await fut
+          with Faultin.Injected _ ->
+            (* the worker "crashed" on this task: recover by replaying the
+               thunk inline on the submitting domain. The thunk never
+               touches shared state, so the replayed outcome is the one the
+               lost worker would have committed — results stay
+               byte-identical no matter which tasks crash. *)
+            Obs.count "pool.task_recovered";
+            thunk ()
+        in
+        results.(i) <- Some o)
       (List.rev !futures)
   done;
   results
@@ -522,6 +694,11 @@ let commit_batch t plans results =
         | C_similar ->
           t.n_similar <- t.n_similar + 1;
           Obs.count "generator.seed.similar");
+        (match o.provenance with
+        | Fallback ->
+          t.n_fallback <- t.n_fallback + 1;
+          Obs.count "generator.fallback"
+        | Synthesized -> ());
         Hashtbl.replace t.cache k o;
         Hashtbl.replace t.by_shape sign o.pulse;
         t.generated <- t.generated + 1;
@@ -569,18 +746,23 @@ let seed_breakdown t =
 let total_seconds t = locked t (fun () -> t.seconds)
 let pulses_generated t = locked t (fun () -> t.generated)
 let cache_hits t = locked t (fun () -> t.hits)
+let fallbacks t = locked t (fun () -> t.n_fallback)
 
 let reset_accounting t =
   locked t (fun () ->
       t.seconds <- 0.0;
       t.generated <- 0;
-      t.hits <- 0)
+      t.hits <- 0;
+      t.n_fallback <- 0)
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let magic = "paqoc-pulse-db v1"
+(* v2 adds a provenance token ('q' synthesized / 'f' fallback) to each K
+   line; v1 files still load, with every entry treated as synthesized. *)
+let magic = "paqoc-pulse-db v2"
+let magic_v1 = "paqoc-pulse-db v1"
 
 (* Entries are written in sorted key order so the file is a canonical
    function of the database contents — serial and parallel runs over the
@@ -611,15 +793,24 @@ let save_database t path =
          Fun.protect
            ~finally:(fun () -> close_out_noerr oc)
            (fun () ->
+             if Faultin.fire Faultin.Db_save_error then
+               raise (Sys_error "injected db-save fault");
              output_string oc (magic ^ "\n");
              List.iter
                (fun (key, (o : outcome)) ->
-                 Printf.fprintf oc "K %.17g %.17g %.17g %s\n" o.latency o.error
-                   o.fidelity key)
+                 let prov =
+                   match o.provenance with Synthesized -> 'q' | Fallback -> 'f'
+                 in
+                 Printf.fprintf oc "K %.17g %.17g %.17g %c %s\n" o.latency
+                   o.error o.fidelity prov key)
                entries;
              List.iter (fun sign -> Printf.fprintf oc "S %s\n" sign) shapes;
              flush oc)
-       with e ->
+       with
+       | Sys_error msg ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         fail msg
+       | e ->
          (try Sys.remove tmp with Sys_error _ -> ());
          raise e);
       try Sys.rename tmp path with Sys_error msg -> fail msg)
@@ -631,21 +822,33 @@ let load_database t path =
         close_in ic;
         failwith (Printf.sprintf "Generator.load_database: %s (%s)" msg path)
       in
-      (match input_line ic with
-      | header when String.equal header magic -> ()
-      | _ -> fail "bad header"
-      | exception End_of_file -> fail "empty file");
+      let v2 =
+        match input_line ic with
+        | header when String.equal header magic -> true
+        | header when String.equal header magic_v1 -> false
+        | _ -> fail "bad header"
+        | exception End_of_file -> fail "empty file"
+      in
       (try
          while true do
            let line = input_line ic in
            if String.length line >= 2 && line.[0] = 'K' then begin
              match String.split_on_char ' ' line with
-             | "K" :: lat :: err :: fid :: key_parts when key_parts <> [] ->
+             | "K" :: lat :: err :: fid :: rest when rest <> [] ->
                let num name s =
                  match float_of_string_opt s with
                  | Some f -> f
                  | None -> fail ("bad " ^ name)
                in
+               let provenance, key_parts =
+                 if v2 then
+                   match rest with
+                   | "q" :: kp -> (Synthesized, kp)
+                   | "f" :: kp -> (Fallback, kp)
+                   | _ -> fail "bad provenance"
+                 else (Synthesized, rest)
+               in
+               if key_parts = [] then fail "bad K line";
                let key = String.concat " " key_parts in
                if not (Hashtbl.mem t.cache key) then
                  Hashtbl.replace t.cache key
@@ -655,7 +858,9 @@ let load_database t path =
                      gen_seconds = 0.0;
                      cache_hit = false;
                      seeded = false;
-                     pulse = None
+                     pulse = None;
+                     provenance;
+                     attempts = 0
                    }
              | _ -> fail "bad K line"
            end

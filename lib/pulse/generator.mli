@@ -33,14 +33,25 @@ val key : group -> string
     are "similar" and share GRAPE initial guesses. *)
 val shape_signature : group -> string
 
+(** How an outcome was obtained: [Synthesized] is the normal QOC (or
+    model) path; [Fallback] means every synthesis attempt failed and the
+    group was priced from its decomposed default-basis calibration pulses
+    instead — a schedule always exists, at a latency penalty. *)
+type provenance = Synthesized | Fallback
+
+val provenance_name : provenance -> string
+
 type outcome = {
   latency : float;  (** pulse duration in device dt *)
   error : float;  (** per-group infidelity [ε] (for ESP) *)
-  gen_seconds : float;  (** QOC cost charged for this request *)
+  gen_seconds : float;  (** QOC cost charged for this request, including
+                            the cost of any failed attempts *)
   cache_hit : bool;
   seeded : bool;  (** warm-started from a similar pulse *)
   fidelity : float;  (** achieved gate fidelity *)
   pulse : Pulse.t option;  (** concrete waveform (QOC backend only) *)
+  provenance : provenance;
+  attempts : int;  (** synthesis attempts spent (0 for cache/db entries) *)
 }
 
 type backend =
@@ -56,16 +67,38 @@ type backend =
     they were optimised against. *)
 val hamiltonian_of : group -> Hamiltonian.t
 
+(** Per-task resilience policy. A failing synthesis is retried up to
+    [max_attempts - 1] more times with deterministically perturbed restarts
+    (re-seeded GRAPE; jittered, then dropped, warm start), then degrades to
+    the decomposed-basis fallback. [iter_budget > 0] caps each attempt's
+    total GRAPE iterations; [task_seconds] bounds a whole task's wall
+    clock (attempts past the deadline are skipped straight to fallback).
+    Identical policies give identical results at any [jobs] count. *)
+type retry = {
+  max_attempts : int;  (** >= 1; 1 = no retries *)
+  jitter_seed : int;  (** seeds the restart perturbations *)
+  iter_budget : int;  (** per-attempt GRAPE iteration cap; 0 = config's *)
+  task_seconds : float option;  (** per-task wall-clock budget *)
+}
+
+(** [{ max_attempts = 3; jitter_seed = 0x5eed; iter_budget = 0;
+      task_seconds = None }] *)
+val default_retry : retry
+
 type t
 
-val create : backend -> t
+(** @raise Invalid_argument when [retry.max_attempts < 1]. *)
+val create : ?retry:retry -> backend -> t
 
 (** [model_default ()] is a generator over {!Latency_model.default}. *)
-val model_default : unit -> t
+val model_default : ?retry:retry -> unit -> t
 
 (** [qoc_default ()] is a real-GRAPE generator with bench-friendly search
     settings. *)
-val qoc_default : unit -> t
+val qoc_default : ?retry:retry -> unit -> t
+
+(** The resilience policy [t] was created with. *)
+val retry_policy : t -> retry
 
 (** [generate t g] prices (and, on the QOC backend, synthesises) the pulse
     for group [g], consulting and updating the pulse database. Atomic:
@@ -117,22 +150,31 @@ val seed_breakdown : t -> int * int * int * int
 val pulses_generated : t -> int
 val cache_hits : t -> int
 
-(** [reset_accounting t] zeroes counters but keeps the pulse database (the
-    paper's offline/online split: APA pulses generated offline stay
-    available to later compilations at lookup cost). *)
+(** Groups that degraded to the decomposed-basis fallback since creation
+    (or the last {!reset_accounting}). *)
+val fallbacks : t -> int
+
+(** [reset_accounting t] zeroes counters (seconds, generated, hits,
+    fallbacks) but keeps the pulse database (the paper's offline/online
+    split: APA pulses generated offline stay available to later
+    compilations at lookup cost). *)
 val reset_accounting : t -> unit
 
 (** {1 Persistence}
 
     The offline component of the paper persists its pulse table across
     compilations. [save_database] writes the priced entries (canonical
-    key, latency, error, fidelity) and the known shape signatures as a
-    line-oriented text file; [load_database] merges such a file into a
-    generator so subsequent compiles hit the table. Waveforms are not
-    persisted — a QOC backend regenerates them on demand (warm-started,
-    since the shapes are known). Files are written in sorted key order, so
-    the bytes are a canonical function of the database contents. *)
+    key, latency, error, fidelity, provenance) and the known shape
+    signatures as a line-oriented text file; [load_database] merges such a
+    file into a generator so subsequent compiles hit the table. Waveforms
+    are not persisted — a QOC backend regenerates them on demand
+    (warm-started, since the shapes are known). Files are written in
+    sorted key order, so the bytes are a canonical function of the
+    database contents. The current format is
+    ["paqoc-pulse-db v2"]; v1 files (no provenance token) still load. *)
 
+(** @raise Failure on an I/O error (including an armed
+    {!Faultin.Db_save_error}); the target file is never left truncated. *)
 val save_database : t -> string -> unit
 
 (** @raise Failure on a malformed file. *)

@@ -28,6 +28,7 @@ type result = {
   fidelity : float;
   iterations : int;
   converged : bool;
+  injected : bool;
 }
 
 (* Tr(a * b) without materialising the product. *)
@@ -107,6 +108,19 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
     invalid_arg "Grape.optimize: target dimension mismatch";
   if n_slices <= 0 then invalid_arg "Grape.optimize: need slices";
   Obs.with_span "grape.optimize" @@ fun () ->
+  if Faultin.fire Faultin.Grape_diverge then begin
+    (* injected divergence: report a failed run without burning iterations
+       so fault-injection sweeps stay fast *)
+    Obs.count "grape.diverged.injected";
+    let nc = Hamiltonian.n_controls h in
+    { pulse = Pulse.make ~dt ~slices:n_slices ~n_controls:nc;
+      fidelity = 0.0;
+      iterations = 0;
+      converged = false;
+      injected = true
+    }
+  end
+  else begin
   Obs.count
     (match config.optimizer with
     | Adam -> "grape.start.adam"
@@ -274,4 +288,10 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
   let pulse = { Pulse.dt; amplitudes } in
   Obs.count ~n:!iters "grape.iterations";
   if !converged then Obs.count "grape.converged";
-  { pulse; fidelity = !best_f; iterations = !iters; converged = !converged }
+  { pulse;
+    fidelity = !best_f;
+    iterations = !iters;
+    converged = !converged;
+    injected = false
+  }
+  end

@@ -34,6 +34,10 @@ type result = {
   fidelity : float;
   iterations : int;  (** gradient steps actually taken *)
   converged : bool;  (** reached [target_fidelity] *)
+  injected : bool;
+      (** the run was failed on purpose by an armed
+          {!Faultin.Grape_diverge} — lets {!Duration_search} classify the
+          resulting failure as [Injected_fault] rather than [Unreachable] *)
 }
 
 (** [optimize ?config ?init h ~target ~n_slices ~dt ()] runs GRAPE for the

@@ -87,7 +87,11 @@ let fulfill fut v =
 let submit t f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
   let run () =
-    match f () with
+    match
+      if Faultin.fire Faultin.Pool_task_crash then
+        raise (Faultin.Injected Faultin.Pool_task_crash);
+      f ()
+    with
     | v -> fulfill fut (Value v)
     | exception e -> fulfill fut (Error (e, Printexc.get_raw_backtrace ()))
   in

@@ -25,7 +25,11 @@ val jobs : t -> int
 type 'a future
 
 (** [submit t f] enqueues [f]; workers execute tasks in FIFO order. With
-    [jobs <= 1] the task runs inline before [submit] returns.
+    [jobs <= 1] the task runs inline before [submit] returns. An armed
+    {!Faultin.Pool_task_crash} makes the task raise {!Faultin.Injected}
+    instead of running — the future then carries the exception, which
+    {!await} re-raises (that is how tests exercise worker-crash
+    recovery).
     @raise Invalid_argument when the pool has been shut down. *)
 val submit : t -> (unit -> 'a) -> 'a future
 

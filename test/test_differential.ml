@@ -1,0 +1,105 @@
+(* Differential verification: the fidelity the generator records in its
+   pulse database must be reproducible from the committed waveform alone.
+   Every check re-simulates a pulse under the exact Hamiltonian it was
+   optimised against and compares with the recorded number at 1e-6 — a
+   drift here means the database is lying about its own pulses. *)
+open Test_util
+module Gen = Paqoc_pulse.Generator
+module Pulse = Paqoc_pulse.Pulse
+module Sim = Paqoc_pulse.Simulator
+module Fidelity = Paqoc_linalg.Fidelity
+
+let group apps = fst (Gen.group_of_apps apps)
+
+(* re-derive a committed outcome's fidelity from its waveform *)
+let resimulate (g : Gen.group) (o : Gen.outcome) =
+  match o.Gen.pulse with
+  | None -> Alcotest.fail "outcome carries no waveform to verify"
+  | Some p ->
+    let h = Gen.hamiltonian_of g in
+    let target =
+      Gate.unitary_of_apps ~n_qubits:g.Gen.n_qubits g.Gen.gates
+    in
+    Fidelity.gate_fidelity target (Pulse.propagator h p)
+
+let check_consistent name g o =
+  let replayed = resimulate g o in
+  let drift = abs_float (replayed -. o.Gen.fidelity) in
+  check_true
+    (Printf.sprintf "%s: recorded %.8f vs replayed %.8f (drift %.2e)" name
+       o.Gen.fidelity replayed drift)
+    (drift < 1e-6)
+
+let suite =
+  [ slow_case "recorded fidelities replay from the waveform (1e-6)"
+      (fun () ->
+        let gen = Gen.qoc_default () in
+        List.iter
+          (fun (name, apps) ->
+            let g = group apps in
+            let o = Gen.generate gen g in
+            check_true (name ^ " carries a pulse") (o.Gen.pulse <> None);
+            check_consistent name g o)
+          [ ("x", [ Gate.app1 Gate.X 0 ]);
+            ("h", [ Gate.app1 Gate.H 0 ]);
+            ("cx", [ Gate.app2 Gate.CX 0 1 ]);
+            ("merged h;cx", [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1 ])
+          ]);
+    slow_case "batch-committed pulses verify against the database" (fun () ->
+        (* parallel generation must commit pulses whose recorded fidelity
+           is just as replayable as serial ones; read them back through
+           the database (peek), not the in-flight outcomes *)
+        let gen = Gen.qoc_default () in
+        let groups =
+          [ group [ Gate.app2 Gate.CX 0 1 ];
+            group [ Gate.app1 Gate.X 0; Gate.app1 Gate.H 1 ];
+            group [ Gate.app2 Gate.CZ 0 1; Gate.app1 Gate.X 0 ]
+          ]
+        in
+        ignore (Gen.generate_batch ~jobs:2 gen groups);
+        List.iteri
+          (fun i g ->
+            match Gen.peek gen g with
+            | None -> Alcotest.failf "group %d missing from the database" i
+            | Some o ->
+              check_consistent (Printf.sprintf "group %d" i) g o)
+          groups);
+    slow_case "whole-circuit pulse evolution matches recorded errors"
+      (fun () ->
+        (* the recorded per-group infidelities must predict the simulator's
+           measured whole-circuit fidelity: 1 - sum(eps) is a first-order
+           lower bound, so the measurement may exceed it but never
+           undershoot materially *)
+        let gen = Gen.qoc_default () in
+        let c =
+          Circuit.make ~n_qubits:2
+            [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1 ]
+        in
+        let measured = Sim.process_fidelity gen c in
+        let predicted =
+          List.fold_left
+            (fun acc a -> acc -. (Gen.generate gen (group [ a ])).Gen.error)
+            1.0 c.Circuit.gates
+        in
+        check_true
+          (Printf.sprintf "measured %.5f >= predicted %.5f - 1e-3" measured
+             predicted)
+          (measured >= predicted -. 1e-3));
+    case "model-backend outcomes are self-consistent" (fun () ->
+        (* the analytic backend has no waveform, but its recorded fidelity
+           must still equal 1 - error exactly, and peek must return the
+           committed entry unchanged *)
+        let gen = Gen.model_default () in
+        let g =
+          group [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1 ]
+        in
+        let o = Gen.generate gen g in
+        check_float "fidelity = 1 - error" (1.0 -. o.Gen.error) o.Gen.fidelity;
+        match Gen.peek gen g with
+        | None -> Alcotest.fail "committed entry not peekable"
+        | Some p ->
+          check_float "peek latency" o.Gen.latency p.Gen.latency;
+          check_float "peek error" o.Gen.error p.Gen.error;
+          check_true "peek provenance"
+            (p.Gen.provenance = o.Gen.provenance))
+  ]

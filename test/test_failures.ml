@@ -10,19 +10,59 @@ module Miner = Paqoc_mining.Miner
 
 let suite =
   [ case "duration search reports unreachable targets" (fun () ->
-        (* a CX cannot be realised in 4 dt at fidelity 0.999 *)
+        (* a CX cannot be realised in 4 dt at fidelity 0.999; the typed
+           error must carry what was searched, how far and how close *)
         let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
         let config = { DS.default_config with max_duration = 4.0 } in
-        check_true "raises"
+        check_true "raises Search_failed"
           (try
              ignore
-               (DS.minimal_duration ~config h ~target:(Gate.unitary Gate.CX)
-                  ~lower_bound:2.0 ());
+               (DS.minimal_duration ~config ~gate:"cx" h
+                  ~target:(Gate.unitary Gate.CX) ~lower_bound:2.0 ());
              false
-           with Failure msg ->
-             check_true "message names the bound"
-               (String.length msg > 0);
+           with DS.Search_failed e ->
+             check_true "status is unreachable" (e.DS.status = DS.Unreachable);
+             check_true "carries the gate name" (String.equal e.DS.gate "cx");
+             check_int "carries the qubit count" 2 e.DS.n_qubits;
+             check_true "max duration tried is within the bound"
+               (e.DS.max_duration_tried > 0.0
+               && e.DS.max_duration_tried <= config.DS.max_duration);
+             check_true "counted its probes" (e.DS.failed_probes > 0);
+             check_true "best fidelity below target"
+               (e.DS.best_fidelity >= 0.0 && e.DS.best_fidelity < 1.0);
+             let msg = DS.error_to_string e in
+             let contains hay needle =
+               let lh = String.length hay and ln = String.length needle in
+               let rec go i =
+                 i + ln <= lh
+                 && (String.equal (String.sub hay i ln) needle || go (i + 1))
+               in
+               go 0
+             in
+             check_true "rendered error names the gate" (contains msg "cx");
              true));
+    case "duration search surfaces a non-raising result" (fun () ->
+        let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+        let config = { DS.default_config with max_duration = 4.0 } in
+        (match
+           DS.search ~config h ~target:(Gate.unitary Gate.CX) ~lower_bound:2.0
+             ()
+         with
+        | Ok _ -> check_true "should not converge in 4 dt" false
+        | Error e -> check_true "typed status" (e.DS.status = DS.Unreachable)));
+    case "duration search iteration budget exhausts typed" (fun () ->
+        (* a budget of 1 total GRAPE iteration cannot converge anything *)
+        let h = H.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+        let config = { DS.default_config with max_total_iters = 1 } in
+        match
+          DS.search ~config ~gate:"cx" h ~target:(Gate.unitary Gate.CX)
+            ~lower_bound:80.0 ()
+        with
+        | Ok _ -> check_true "should not converge on 1 iteration" false
+        | Error e ->
+          check_true "budget-exhausted" (e.DS.status = DS.Budget_exhausted);
+          check_true "named" (String.equal (DS.status_name e.DS.status)
+                                "budget-exhausted"));
     case "QOC backend rejects symbolic groups" (fun () ->
         let gen = Gen.qoc_default () in
         let group, _ =

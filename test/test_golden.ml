@@ -1,0 +1,69 @@
+(* Golden regression: the 17-benchmark PAQOC-M0 latency table is pinned
+   byte-for-byte. Any change to the latency model, the merge search, the
+   miner or the planner that moves a single benchmark's latency or episode
+   count fails here — intentional changes refresh the file with
+   [make update-golden], which renders through the exact same code path. *)
+open Test_util
+module LT = Paqoc_benchmarks.Latency_table
+
+(* under `dune runtest` the cwd is the test directory (the dep glob puts
+   the file at golden/...); when the binary is run by hand from the repo
+   root the file lives under test/ *)
+let golden_path =
+  if Sys.file_exists "golden/latency_table.txt" then
+    "golden/latency_table.txt"
+  else "test/golden/latency_table.txt"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let suite =
+  [ slow_case "17-benchmark latency table matches the golden file" (fun () ->
+        let golden = read_file golden_path in
+        let computed = LT.render (LT.compute ()) in
+        if not (String.equal golden computed) then begin
+          (* diff the rows so the failure names the benchmarks that moved
+             instead of dumping two blobs *)
+          let gr = LT.parse golden and cr = LT.parse computed in
+          let moved =
+            if List.length gr <> List.length cr then
+              [ Printf.sprintf "row count %d -> %d" (List.length gr)
+                  (List.length cr) ]
+            else
+              List.concat
+                (List.map2
+                   (fun (g : LT.row) (c : LT.row) ->
+                     if
+                       String.equal g.LT.name c.LT.name
+                       && g.LT.latency = c.LT.latency
+                       && g.LT.n_groups = c.LT.n_groups
+                     then []
+                     else
+                       [ Printf.sprintf
+                           "%s: latency %.17g -> %.17g, episodes %d -> %d"
+                           g.LT.name g.LT.latency c.LT.latency g.LT.n_groups
+                           c.LT.n_groups ])
+                   gr cr)
+          in
+          Alcotest.failf
+            "latency table drifted (run `make update-golden` if \
+             intentional):@.%s"
+            (String.concat "\n" moved)
+        end);
+    case "golden file parses and covers all seventeen benchmarks" (fun () ->
+        let rows = LT.parse (read_file golden_path) in
+        check_int "seventeen rows" 17 (List.length rows);
+        List.iter2
+          (fun (r : LT.row) (e : Paqoc_benchmarks.Suite.entry) ->
+            check_true
+              (Printf.sprintf "row %s in Table I order" r.LT.name)
+              (String.equal r.LT.name e.Paqoc_benchmarks.Suite.name);
+            check_true (r.LT.name ^ " latency positive") (r.LT.latency > 0.0);
+            check_true
+              (r.LT.name ^ " has episodes")
+              (r.LT.n_groups > 0))
+          rows Paqoc_benchmarks.Suite.all)
+  ]

@@ -15,5 +15,9 @@ let () =
       ("benchmarks", Test_benchmarks.suite);
       ("integration", Test_integration.suite);
       ("surfaces", Test_cli_like.suite);
-      ("failures", Test_failures.suite)
+      ("failures", Test_failures.suite);
+      ("resilience", Test_resilience.suite);
+      ("differential", Test_differential.suite);
+      ("qasm-fuzz", Test_qasm_fuzz.suite);
+      ("golden", Test_golden.suite)
     ]

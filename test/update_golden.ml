@@ -1,0 +1,21 @@
+(* Refresh the golden latency table (make update-golden). Renders through
+   the same Latency_table code path the regression test compares with, so
+   the file cannot diverge from what the test computes. *)
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: update_golden GOLDEN_FILE";
+      exit 2
+  in
+  let table =
+    Paqoc_benchmarks.Latency_table.(render (compute ~jobs:2 ()))
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc table;
+  close_out oc;
+  Sys.rename tmp path;
+  Printf.printf "wrote %s (%d benchmarks)\n" path
+    (List.length (String.split_on_char '\n' table) - 4)
