@@ -12,18 +12,33 @@ check:
 	  || (echo "check: injected run emitted no fallback counter" && exit 1)
 	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json
 
-# Refresh the pinned 17-benchmark latency table (test/golden/). Run after
-# an intentional change to latencies or episode counts, and commit the
-# result; the golden test renders through the same code path.
+# Refresh the pinned goldens (test/golden/): the 17-benchmark latency
+# table and the GRAPE bit-determinism reference. Run after an intentional
+# change to latencies, episode counts or GRAPE arithmetic, and commit the
+# result; the golden tests render through the same code paths.
 update-golden:
-	dune exec test/update_golden.exe -- test/golden/latency_table.txt
+	dune exec test/update_golden.exe -- test/golden/latency_table.txt \
+	  test/golden/grape_amplitudes.txt
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:
 	dune exec bench/micro_main.exe
 
+# Seconds-long GRAPE microbench that exists to validate the BENCH_grape
+# emission path: tiny iteration counts, then a schema check on the JSON.
+# CI runs this on every push; the committed BENCH_grape.json uses the
+# full --iters=100 --repeats=20 run instead.
+bench-smoke:
+	dune exec bench/micro_main.exe -- \
+	  --bench-grape=/tmp/paqoc_bench_grape_smoke.json --phase=smoke \
+	  --iters=5 --repeats=2 > /dev/null
+	@python3 scripts/check_bench_schema.py /tmp/paqoc_bench_grape_smoke.json
+	@python3 scripts/check_bench_schema.py BENCH_grape.json
+	@rm -f /tmp/paqoc_bench_grape_smoke.json
+	@echo "bench-smoke: BENCH_grape schema OK"
+
 # Full evaluation harness (tables, figures, bechamel kernels).
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check bench bench-scaling update-golden
+.PHONY: check bench bench-scaling bench-smoke update-golden

@@ -220,6 +220,72 @@ let run_bench_json ?(path = "BENCH_scaling.json") ?(workers = [ 1; 2; 4 ]) () =
   Obs.reset ();
   Printf.printf "  bench entry written to %s\n%!" path
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_grape.json: per-iteration GRAPE cost at 2/4/8 dimensions       *)
+(* ------------------------------------------------------------------ *)
+
+(* One case per Hilbert-space dimension the generator actually optimises
+   over: single-qubit drives (2x2), a coupled pair (4x4) and a 3-qubit
+   chain (8x8, the expensive end of maxN = 3 gate groups). The target
+   never converges (target_fidelity > 1) so every run burns exactly
+   [iters] gradient steps and the per-iteration cost is total wall over
+   [repeats * iters]. *)
+let grape_cases =
+  [ ("1q-x", 1, [], Gate.unitary Gate.X);
+    ("2q-cx", 2, [ (0, 1) ], Gate.unitary Gate.CX);
+    ("3q-ccx", 3, [ (0, 1); (1, 2) ], Gate.unitary Gate.CCX)
+  ]
+
+let run_grape_case ~iters ~repeats (name, n_qubits, pairs, target) =
+  let h = H.make ~n_qubits ~coupled_pairs:pairs () in
+  let n_slices = 20 in
+  let config =
+    { Grape.default_config with max_iters = iters; target_fidelity = 1.1 }
+  in
+  let run mi =
+    let config = { config with max_iters = mi } in
+    ignore (Grape.optimize ~config h ~target ~n_slices ~dt:2.0 ())
+  in
+  (* warm-up: fault the code paths in and let the allocator settle *)
+  run (min 2 iters);
+  let t0 = Clock.now_s () in
+  for _ = 1 to repeats do
+    run iters
+  done;
+  let wall = Clock.now_s () -. t0 in
+  let ns_per_iter = wall *. 1e9 /. float_of_int (repeats * iters) in
+  Printf.printf "  %-8s dim %d  %12.1f ns/iter  (%d x %d iters, %.2f s)\n%!"
+    name (1 lsl n_qubits) ns_per_iter repeats iters wall;
+  (name, 1 lsl n_qubits, n_slices, iters, repeats, ns_per_iter)
+
+(* Emits one BENCH_grape.json perf-trajectory entry. [phase] labels the
+   runs ("before"/"after" around a kernel rewrite, "current" by default)
+   so before/after numbers can live side by side in the committed file. *)
+let run_bench_grape ?(path = "BENCH_grape.json") ?(phase = "current")
+    ?(iters = 60) ?(repeats = 5) () =
+  Printf.printf "\n%s\nGRAPE  per-iteration microbench (2/4/8-dim)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  let runs = List.map (run_grape_case ~iters ~repeats) grape_cases in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "{\"schema\":\"paqoc-bench v1\",\"bench\":\"grape\",\"runs\":[";
+  List.iteri
+    (fun i (name, dim, n_slices, iters, repeats, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"phase\":%S,\"case\":%S,\"dim\":%d,\"n_slices\":%d,\"iters\":%d,\
+         \"repeats\":%d,\"ns_per_iter\":%.1f}"
+        phase name dim n_slices iters repeats ns)
+    runs;
+  Buffer.add_string buf "]}\n";
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path;
+  Printf.printf "  bench entry written to %s\n%!" path
+
 let run () =
   Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"
     (String.make 78 '=') (String.make 78 '=');

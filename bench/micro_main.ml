@@ -11,26 +11,46 @@
                                                      (default
                                                      BENCH_scaling.json)
                                                      instead of the
-                                                     human-readable run *)
+                                                     human-readable run
+     dune exec bench/micro_main.exe -- --bench-grape[=PATH]
+                                                  -- emit the GRAPE
+                                                     per-iteration entry
+                                                     (default
+                                                     BENCH_grape.json);
+                                                     tune with
+                                                     --phase=NAME,
+                                                     --iters=N,
+                                                     --repeats=N *)
+
+let flag_value name args =
+  let eq = "--" ^ name ^ "=" in
+  List.find_map
+    (fun a ->
+      if String.equal a ("--" ^ name) then Some None
+      else if
+        String.length a > String.length eq && String.starts_with ~prefix:eq a
+      then Some (Some (String.sub a (String.length eq)
+                         (String.length a - String.length eq)))
+      else None)
+    args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let kernels = List.mem "--kernels" args in
-  let bench_json =
-    List.find_map
-      (fun a ->
-        if String.equal a "--bench-json" then Some None
-        else if String.length a > 13 && String.starts_with ~prefix:"--bench-json=" a
-        then Some (Some (String.sub a 13 (String.length a - 13)))
-        else None)
-      args
-  in
+  let bench_json = flag_value "bench-json" args in
+  let bench_grape = flag_value "bench-grape" args in
+  let phase = Option.join (flag_value "phase" args) in
+  let iters = Option.bind (Option.join (flag_value "iters" args))
+      int_of_string_opt in
+  let repeats = Option.bind (Option.join (flag_value "repeats" args))
+      int_of_string_opt in
   let workers =
     match List.filter_map int_of_string_opt args with
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  (match bench_json with
-  | Some path -> Micro.run_bench_json ?path ~workers ()
-  | None -> Micro.run_scaling ~workers ());
+  (match (bench_grape, bench_json) with
+  | Some path, _ -> Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
+  | None, Some path -> Micro.run_bench_json ?path ~workers ()
+  | None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

@@ -407,6 +407,297 @@ let permute_qubits m perm =
   done;
   out
 
+(* ------------------------------------------------------------------ *)
+(* In-place kernels                                                    *)
+(*                                                                     *)
+(* Every [*_into] kernel performs bit-for-bit the same floating-point  *)
+(* operations, in the same order, as its allocating counterpart above  *)
+(* — test/test_kernels.ml pins the equivalence at 0 ulp. Element-wise  *)
+(* kernels tolerate any aliasing between [dst] and their inputs; the   *)
+(* product/adjoint/solve kernels reject aliasing (checked on the       *)
+(* underlying arrays, so sharing through record copies is caught).     *)
+
+let check_same_dims name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let check_no_alias name dst m =
+  (* zero-length arrays are a shared atom, not real aliasing *)
+  if Array.length dst.re > 0 && (dst.re == m.re || dst.im == m.im) then
+    invalid_arg (name ^ ": dst must not alias an input")
+
+let blit ~src ~dst =
+  check_same_dims "Cmat.blit" src dst;
+  Array.blit src.re 0 dst.re 0 (Array.length src.re);
+  Array.blit src.im 0 dst.im 0 (Array.length src.im)
+
+let set_zero m =
+  Array.fill m.re 0 (Array.length m.re) 0.0;
+  Array.fill m.im 0 (Array.length m.im) 0.0
+
+let set_identity m =
+  if m.rows <> m.cols then invalid_arg "Cmat.set_identity: non-square";
+  set_zero m;
+  for k = 0 to m.rows - 1 do
+    m.re.(idx m k k) <- 1.0
+  done
+
+let add_into ~dst a b =
+  check_same_dims "Cmat.add_into" a b;
+  check_same_dims "Cmat.add_into" dst a;
+  let n = Array.length a.re in
+  let dr = dst.re and di = dst.im in
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  for k = 0 to n - 1 do
+    dr.(k) <- ar.(k) +. br.(k);
+    di.(k) <- ai.(k) +. bi.(k)
+  done
+
+let sub_into ~dst a b =
+  check_same_dims "Cmat.sub_into" a b;
+  check_same_dims "Cmat.sub_into" dst a;
+  let n = Array.length a.re in
+  let dr = dst.re and di = dst.im in
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  for k = 0 to n - 1 do
+    dr.(k) <- ar.(k) -. br.(k);
+    di.(k) <- ai.(k) -. bi.(k)
+  done
+
+let scale_into ~dst (z : Cx.t) m =
+  check_same_dims "Cmat.scale_into" dst m;
+  let zr = z.Complex.re and zi = z.Complex.im in
+  let n = Array.length m.re in
+  let dr = dst.re and di = dst.im in
+  let mr = m.re and mi = m.im in
+  for k = 0 to n - 1 do
+    let xr = mr.(k) and xi = mi.(k) in
+    dr.(k) <- (zr *. xr) -. (zi *. xi);
+    di.(k) <- (zr *. xi) +. (zi *. xr)
+  done
+
+let scale_re_into ~dst s m =
+  check_same_dims "Cmat.scale_re_into" dst m;
+  let n = Array.length m.re in
+  let dr = dst.re and di = dst.im in
+  let mr = m.re and mi = m.im in
+  for k = 0 to n - 1 do
+    dr.(k) <- s *. mr.(k);
+    di.(k) <- s *. mi.(k)
+  done
+
+(* dst += s * m. The fused form rounds identically to
+   [add dst (scale_re s m)]: the product is a correctly-rounded double
+   either way, then added. *)
+let axpy_re_into ~dst s m =
+  check_same_dims "Cmat.axpy_re_into" dst m;
+  let n = Array.length m.re in
+  let dr = dst.re and di = dst.im in
+  let mr = m.re and mi = m.im in
+  for k = 0 to n - 1 do
+    dr.(k) <- dr.(k) +. (s *. mr.(k));
+    di.(k) <- di.(k) +. (s *. mi.(k))
+  done
+
+let mul_into ~dst a b =
+  if a.cols <> b.rows then invalid_arg "Cmat.mul_into: dimension mismatch";
+  if dst.rows <> a.rows || dst.cols <> b.cols then
+    invalid_arg "Cmat.mul_into: dst dimension mismatch";
+  check_no_alias "Cmat.mul_into" dst a;
+  check_no_alias "Cmat.mul_into" dst b;
+  set_zero dst;
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  let n = a.cols and bc = b.cols in
+  for r = 0 to a.rows - 1 do
+    let abase = r * n and obase = r * bc in
+    for k = 0 to n - 1 do
+      let xr = ar.(abase + k) and xi = ai.(abase + k) in
+      if xr <> 0.0 || xi <> 0.0 then begin
+        let bbase = k * bc in
+        for c = 0 to bc - 1 do
+          let yr = br.(bbase + c) and yi = bi.(bbase + c) in
+          dst.re.(obase + c) <- dst.re.(obase + c) +. (xr *. yr) -. (xi *. yi);
+          dst.im.(obase + c) <- dst.im.(obase + c) +. (xr *. yi) +. (xi *. yr)
+        done
+      end
+    done
+  done
+
+let mul_adjoint_left_into ~dst a b =
+  if a.rows <> b.rows then invalid_arg "Cmat.mul_adjoint_left_into: mismatch";
+  if dst.rows <> a.cols || dst.cols <> b.cols then
+    invalid_arg "Cmat.mul_adjoint_left_into: dst dimension mismatch";
+  check_no_alias "Cmat.mul_adjoint_left_into" dst a;
+  check_no_alias "Cmat.mul_adjoint_left_into" dst b;
+  set_zero dst;
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  let bc = b.cols and ac = a.cols in
+  for k = 0 to a.rows - 1 do
+    let abase = k * ac and bbase = k * bc in
+    for r = 0 to ac - 1 do
+      (* conj of a[k][r] *)
+      let xr = ar.(abase + r) and xi = -.ai.(abase + r) in
+      if xr <> 0.0 || xi <> 0.0 then begin
+        let obase = r * bc in
+        for c = 0 to bc - 1 do
+          let yr = br.(bbase + c) and yi = bi.(bbase + c) in
+          dst.re.(obase + c) <- dst.re.(obase + c) +. (xr *. yr) -. (xi *. yi);
+          dst.im.(obase + c) <- dst.im.(obase + c) +. (xr *. yi) +. (xi *. yr)
+        done
+      end
+    done
+  done
+
+(* Tr(a * b) without materialising the product, written into a
+   caller-owned accumulator [(re, im)] — GRAPE's gradient inner loop.
+   Same accumulation order as reading the entries through get_re/get_im,
+   but on the raw arrays, so nothing is boxed. *)
+let trace_prod_into acc a b =
+  if a.rows <> a.cols || b.rows <> b.cols || a.rows <> b.rows then
+    invalid_arg "Cmat.trace_prod_into: dimension mismatch";
+  if Array.length acc < 2 then
+    invalid_arg "Cmat.trace_prod_into: accumulator too short";
+  let n = a.rows in
+  let ar = a.re and ai = a.im and br = b.re and bi = b.im in
+  let acc_re = ref 0.0 and acc_im = ref 0.0 in
+  for r = 0 to n - 1 do
+    let abase = r * n in
+    for c = 0 to n - 1 do
+      let xr = ar.(abase + c) and xi = ai.(abase + c) in
+      let yr = br.((c * n) + r) and yi = bi.((c * n) + r) in
+      acc_re := !acc_re +. (xr *. yr) -. (xi *. yi);
+      acc_im := !acc_im +. (xr *. yi) +. (xi *. yr)
+    done
+  done;
+  acc.(0) <- !acc_re;
+  acc.(1) <- !acc_im
+
+let adjoint_into ~dst m =
+  if dst.rows <> m.cols || dst.cols <> m.rows then
+    invalid_arg "Cmat.adjoint_into: dst dimension mismatch";
+  check_no_alias "Cmat.adjoint_into" dst m;
+  for r = 0 to dst.rows - 1 do
+    for c = 0 to dst.cols - 1 do
+      set_re_im dst r c (get_re m c r) (-.get_im m c r)
+    done
+  done
+
+(* In-place Gaussian elimination: [scratch] receives (and destroys) a
+   copy of [a], [dst] the solution. The complex division below is the
+   Smith-style algorithm of [Complex.div] transcribed to split floats so
+   the result is bit-identical to {!solve} without boxing an element. *)
+let solve_into ~scratch a b ~dst =
+  if a.rows <> a.cols then invalid_arg "Cmat.solve_into: non-square";
+  if a.rows <> b.rows then invalid_arg "Cmat.solve_into: dimension mismatch";
+  check_same_dims "Cmat.solve_into: scratch" scratch a;
+  check_same_dims "Cmat.solve_into: dst" dst b;
+  check_no_alias "Cmat.solve_into (scratch)" scratch a;
+  check_no_alias "Cmat.solve_into (scratch)" scratch b;
+  check_no_alias "Cmat.solve_into (scratch vs dst)" scratch dst;
+  check_no_alias "Cmat.solve_into" dst a;
+  blit ~src:a ~dst:scratch;
+  if not (dst.re == b.re) then blit ~src:b ~dst;
+  let n = a.rows and nc = b.cols in
+  let mr = scratch.re and mi = scratch.im in
+  let xr = dst.re and xi = dst.im in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let piv = ref col and piv_mag = ref 0.0 in
+    for r = col to n - 1 do
+      let vr = mr.((r * n) + col) and vi = mi.((r * n) + col) in
+      let mag = (vr *. vr) +. (vi *. vi) in
+      if mag > !piv_mag then begin
+        piv := r;
+        piv_mag := mag
+      end
+    done;
+    if !piv_mag < 1e-300 then failwith "Cmat.solve_into: singular matrix";
+    if !piv <> col then begin
+      let pbase = !piv * n and cbase = col * n in
+      for c = 0 to n - 1 do
+        let tr = mr.(cbase + c) and ti = mi.(cbase + c) in
+        mr.(cbase + c) <- mr.(pbase + c);
+        mi.(cbase + c) <- mi.(pbase + c);
+        mr.(pbase + c) <- tr;
+        mi.(pbase + c) <- ti
+      done;
+      let pbase = !piv * nc and cbase = col * nc in
+      for c = 0 to nc - 1 do
+        let tr = xr.(cbase + c) and ti = xi.(cbase + c) in
+        xr.(cbase + c) <- xr.(pbase + c);
+        xi.(cbase + c) <- xi.(pbase + c);
+        xr.(pbase + c) <- tr;
+        xi.(pbase + c) <- ti
+      done
+    end;
+    let dr = mr.((col * n) + col) and di = mi.((col * n) + col) in
+    for r = col + 1 to n - 1 do
+      (* f = m(r,col) / d *)
+      let er = mr.((r * n) + col) and ei = mi.((r * n) + col) in
+      let fr, fi =
+        if abs_float dr >= abs_float di then begin
+          let q = di /. dr in
+          let dd = dr +. (q *. di) in
+          ((er +. (q *. ei)) /. dd, (ei -. (q *. er)) /. dd)
+        end
+        else begin
+          let q = dr /. di in
+          let dd = di +. (q *. dr) in
+          (((q *. er) +. ei) /. dd, ((q *. ei) -. er) /. dd)
+        end
+      in
+      if not (fr = 0.0 && fi = 0.0) then begin
+        mr.((r * n) + col) <- 0.0;
+        mi.((r * n) + col) <- 0.0;
+        for c = col + 1 to n - 1 do
+          (* m(r,c) <- m(r,c) - f * m(col,c) *)
+          let ar = mr.((col * n) + c) and ai = mi.((col * n) + c) in
+          let tr = (fr *. ar) -. (fi *. ai) in
+          let ti = (fr *. ai) +. (fi *. ar) in
+          mr.((r * n) + c) <- mr.((r * n) + c) -. tr;
+          mi.((r * n) + c) <- mi.((r * n) + c) -. ti
+        done;
+        for c = 0 to nc - 1 do
+          let ar = xr.((col * nc) + c) and ai = xi.((col * nc) + c) in
+          let tr = (fr *. ar) -. (fi *. ai) in
+          let ti = (fr *. ai) +. (fi *. ar) in
+          xr.((r * nc) + c) <- xr.((r * nc) + c) -. tr;
+          xi.((r * nc) + c) <- xi.((r * nc) + c) -. ti
+        done
+      end
+    done
+  done;
+  (* back substitution *)
+  for r = n - 1 downto 0 do
+    let dr = mr.((r * n) + r) and di = mi.((r * n) + r) in
+    for c = 0 to nc - 1 do
+      let acc_r = ref xr.((r * nc) + c) and acc_i = ref xi.((r * nc) + c) in
+      for k = r + 1 to n - 1 do
+        let ar = mr.((r * n) + k) and ai = mi.((r * n) + k) in
+        let br = xr.((k * nc) + c) and bi = xi.((k * nc) + c) in
+        let tr = (ar *. br) -. (ai *. bi) in
+        let ti = (ar *. bi) +. (ai *. br) in
+        acc_r := !acc_r -. tr;
+        acc_i := !acc_i -. ti
+      done;
+      let er = !acc_r and ei = !acc_i in
+      let vr, vi =
+        if abs_float dr >= abs_float di then begin
+          let q = di /. dr in
+          let dd = dr +. (q *. di) in
+          ((er +. (q *. ei)) /. dd, (ei -. (q *. er)) /. dd)
+        end
+        else begin
+          let q = dr /. di in
+          let dd = di +. (q *. dr) in
+          (((q *. er) +. ei) /. dd, ((q *. ei) -. er) /. dd)
+        end
+      in
+      xr.((r * nc) + c) <- vr;
+      xi.((r * nc) + c) <- vi
+    done
+  done
+
 let pp ppf m =
   Format.fprintf ppf "@[<v>";
   for r = 0 to m.rows - 1 do

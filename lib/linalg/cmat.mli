@@ -127,5 +127,76 @@ val embed : n_qubits:int -> t -> on:int list -> t
     unitary [m]: wire [q] of the result is wire [perm.(q)] of [m]. *)
 val permute_qubits : t -> int array -> t
 
+(** {1 In-place kernels}
+
+    Allocation-free counterparts of the algebra above, for hot paths that
+    reuse preallocated buffers (GRAPE's per-optimize workspace). Every
+    kernel performs bit-for-bit the same floating-point operations, in
+    the same order, as its allocating counterpart — callers may switch
+    between the two without perturbing a single mantissa bit
+    (test/test_kernels.ml pins this at 0 ulp).
+
+    Aliasing contract: the element-wise kernels ({!blit}, {!add_into},
+    {!sub_into}, {!scale_into}, {!scale_re_into}, {!axpy_re_into}) accept
+    [dst] aliasing any input. The kernels that read inputs after writing
+    [dst] ({!mul_into}, {!mul_adjoint_left_into}, {!adjoint_into},
+    {!solve_into}) raise [Invalid_argument] when [dst] (or [scratch])
+    shares storage with an input — checked on the underlying arrays, so
+    aliasing through record sharing is caught too. *)
+
+(** [blit ~src ~dst] copies [src]'s entries into [dst].
+    @raise Invalid_argument on dimension mismatch. *)
+val blit : src:t -> dst:t -> unit
+
+(** [set_zero m] zeroes every entry of [m]. *)
+val set_zero : t -> unit
+
+(** [set_identity m] overwrites the square matrix [m] with the identity. *)
+val set_identity : t -> unit
+
+(** [add_into ~dst a b] writes [a + b] into [dst]; any aliasing allowed. *)
+val add_into : dst:t -> t -> t -> unit
+
+(** [sub_into ~dst a b] writes [a - b] into [dst]; any aliasing allowed. *)
+val sub_into : dst:t -> t -> t -> unit
+
+(** [scale_into ~dst z m] writes [z * m] into [dst]; [dst == m] allowed. *)
+val scale_into : dst:t -> Cx.t -> t -> unit
+
+(** [scale_re_into ~dst s m] writes [s * m] into [dst]; [dst == m]
+    allowed. *)
+val scale_re_into : dst:t -> float -> t -> unit
+
+(** [axpy_re_into ~dst s m] accumulates [dst <- dst + s * m]; identical
+    rounding to [add dst (scale_re s m)]. *)
+val axpy_re_into : dst:t -> float -> t -> unit
+
+(** [mul_into ~dst a b] writes [a * b] into [dst].
+    @raise Invalid_argument on dimension mismatch or if [dst] aliases an
+    input. *)
+val mul_into : dst:t -> t -> t -> unit
+
+(** [mul_adjoint_left_into ~dst a b] writes [a† * b] into [dst]; same
+    contract as {!mul_into}. *)
+val mul_adjoint_left_into : dst:t -> t -> t -> unit
+
+(** [adjoint_into ~dst m] writes [m†] into [dst]; [dst] must not alias
+    [m]. *)
+val adjoint_into : dst:t -> t -> unit
+
+(** [trace_prod_into acc a b] writes [Tr(a * b)] of two same-size square
+    matrices into [acc.(0)] (real) and [acc.(1)] (imaginary) without
+    materialising the product or boxing a float — the gradient inner
+    loop of GRAPE.
+    @raise Invalid_argument on dimension mismatch or when [acc] has
+    fewer than two cells. *)
+val trace_prod_into : float array -> t -> t -> unit
+
+(** [solve_into ~scratch a b ~dst] solves [a x = b] into [dst],
+    destroying [scratch] (same shape as [a]) in the process. [dst] may
+    alias [b]; every other aliasing is rejected.
+    @raise Failure if [a] is (numerically) singular. *)
+val solve_into : scratch:t -> t -> t -> dst:t -> unit
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

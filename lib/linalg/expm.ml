@@ -44,3 +44,94 @@ let expm a =
 let expm_i_h ~dt h =
   (* -i * dt * h *)
   expm (Cmat.scale (Cx.make 0.0 (-.dt)) h)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free variant                                             *)
+
+module Workspace = struct
+  (* Scratch for one [expm_into]: the scaled input, the running power,
+     the two Padé accumulators, one term buffer, the elimination scratch
+     and a ping/pong pair for the squaring phase. [pow]/[r] swap with
+     their partners instead of copying, hence the mutable fields. All
+     buffers are owned by the workspace — callers must treat a workspace
+     as a single-threaded resource and copy anything they keep. *)
+  type t = {
+    dim : int;
+    a : Cmat.t;
+    mutable pow : Cmat.t;
+    mutable pow_tmp : Cmat.t;
+    p : Cmat.t;
+    q : Cmat.t;
+    term : Cmat.t;
+    lu : Cmat.t;
+    mutable r : Cmat.t;
+    mutable r_tmp : Cmat.t;
+  }
+
+  let create dim =
+    if dim < 0 then invalid_arg "Expm.Workspace.create: negative dimension";
+    let m () = Cmat.create dim dim in
+    { dim;
+      a = m ();
+      pow = m ();
+      pow_tmp = m ();
+      p = m ();
+      q = m ();
+      term = m ();
+      lu = m ();
+      r = m ();
+      r_tmp = m ()
+    }
+
+  let dim ws = ws.dim
+end
+
+(* Same algorithm as [expm], step for step, on the workspace buffers:
+   the scaling, the Padé accumulation, the solve and the squarings all
+   round identically, so the result matches [expm] bit for bit. [src]
+   may alias [ws.a] (the caller may have staged the input there). *)
+let expm_into (ws : Workspace.t) src ~dst =
+  if Cmat.rows src <> Cmat.cols src then
+    invalid_arg "Expm.expm_into: non-square";
+  if Cmat.rows src <> ws.Workspace.dim then
+    invalid_arg "Expm.expm_into: workspace dimension mismatch";
+  if Cmat.rows dst <> ws.Workspace.dim || Cmat.cols dst <> ws.Workspace.dim
+  then invalid_arg "Expm.expm_into: dst dimension mismatch";
+  let n = ws.Workspace.dim in
+  if n > 0 then begin
+    let norm = Cmat.max_abs src in
+    let s =
+      if norm <= 0.5 then 0
+      else int_of_float (ceil (log (norm /. 0.5) /. log 2.0))
+    in
+    let s = max 0 s in
+    Cmat.scale_re_into ~dst:ws.Workspace.a
+      (1.0 /. float_of_int (1 lsl s))
+      src;
+    let open Workspace in
+    Cmat.set_identity ws.pow;
+    Cmat.scale_re_into ~dst:ws.p pade_coeffs.(0) ws.pow;
+    Cmat.scale_re_into ~dst:ws.q pade_coeffs.(0) ws.pow;
+    for k = 1 to Array.length pade_coeffs - 1 do
+      Cmat.mul_into ~dst:ws.pow_tmp ws.pow ws.a;
+      let t = ws.pow in
+      ws.pow <- ws.pow_tmp;
+      ws.pow_tmp <- t;
+      Cmat.scale_re_into ~dst:ws.term pade_coeffs.(k) ws.pow;
+      Cmat.add_into ~dst:ws.p ws.p ws.term;
+      if k mod 2 = 0 then Cmat.add_into ~dst:ws.q ws.q ws.term
+      else Cmat.sub_into ~dst:ws.q ws.q ws.term
+    done;
+    Cmat.solve_into ~scratch:ws.lu ws.q ws.p ~dst:ws.r;
+    for _ = 1 to s do
+      Cmat.mul_into ~dst:ws.r_tmp ws.r ws.r;
+      let t = ws.r in
+      ws.r <- ws.r_tmp;
+      ws.r_tmp <- t
+    done;
+    Cmat.blit ~src:ws.r ~dst
+  end
+
+let expm_i_h_into (ws : Workspace.t) ~dt h ~dst =
+  Cmat.scale_into ~dst:ws.Workspace.a (Cx.make 0.0 (-.dt)) h;
+  expm_into ws ws.Workspace.a ~dst

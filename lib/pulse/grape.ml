@@ -1,4 +1,3 @@
-module Cx = Paqoc_linalg.Cx
 module Cmat = Paqoc_linalg.Cmat
 module Expm = Paqoc_linalg.Expm
 module Obs = Paqoc_obs.Obs
@@ -31,76 +30,214 @@ type result = {
   injected : bool;
 }
 
-(* Tr(a * b) without materialising the product. *)
-let trace_prod a b =
-  let n = Cmat.rows a in
-  let acc_re = ref 0.0 and acc_im = ref 0.0 in
-  for r = 0 to n - 1 do
-    for c = 0 to n - 1 do
-      let xr = Cmat.get_re a r c and xi = Cmat.get_im a r c in
-      let yr = Cmat.get_re b c r and yi = Cmat.get_im b c r in
-      acc_re := !acc_re +. (xr *. yr) -. (xi *. yi);
-      acc_im := !acc_im +. (xr *. yi) +. (xi *. yr)
-    done
-  done;
-  Cx.make !acc_re !acc_im
+(* Bit-determinism reference: renders amplitudes as hexadecimal floats so
+   the golden pins every mantissa bit, not a rounded decimal. *)
+let render_amplitudes (p : Pulse.t) =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun j row ->
+      Printf.bprintf buf "%03d" j;
+      Array.iter (fun u -> Printf.bprintf buf " %h" u) row;
+      Buffer.add_char buf '\n')
+    p.Pulse.amplitudes;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* L-BFGS curvature history: a bounded deque over preallocated slots    *)
+
+module History = struct
+  (* Circular buffer of (s, y) pairs, newest first. [push] copies into
+     the slot it overwrites, so after warm-up the history performs zero
+     allocation per iteration — unlike the list-based trimming it
+     replaces, which rebuilt both lists with [List.combine]/
+     [List.filteri] every accepted step. *)
+  type t = {
+    window : int;
+    dim : int;
+    s_slots : float array array;
+    y_slots : float array array;
+    mutable head : int;  (* slot index of the newest pair *)
+    mutable length : int;
+  }
+
+  let create ~window ~dim =
+    if window <= 0 then invalid_arg "Grape.History.create: need a window";
+    if dim < 0 then invalid_arg "Grape.History.create: negative dimension";
+    { window;
+      dim;
+      s_slots = Array.init window (fun _ -> Array.make dim 0.0);
+      y_slots = Array.init window (fun _ -> Array.make dim 0.0);
+      head = 0;
+      length = 0
+    }
+
+  let window t = t.window
+  let length t = t.length
+
+  let push t ~s ~y =
+    if Array.length s <> t.dim || Array.length y <> t.dim then
+      invalid_arg "Grape.History.push: dimension mismatch";
+    let slot = if t.length = 0 then t.head else (t.head + t.window - 1) mod t.window in
+    Array.blit s 0 t.s_slots.(slot) 0 t.dim;
+    Array.blit y 0 t.y_slots.(slot) 0 t.dim;
+    t.head <- slot;
+    if t.length < t.window then t.length <- t.length + 1
+
+  let slot_exn t i =
+    if i < 0 || i >= t.length then invalid_arg "Grape.History: index out of range";
+    (t.head + i) mod t.window
+
+  (* [s t 0] is the newest pair's s; [s t (length - 1)] the oldest.
+     Returns the live slot — callers must not hold it across a push. *)
+  let s t i = t.s_slots.(slot_exn t i)
+  let y t i = t.y_slots.(slot_exn t i)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-optimize workspace                                              *)
+
+module Workspace = struct
+  (* Every buffer one [evaluate] needs, preallocated once per
+     [optimize] call (or once per generator, for callers that loop):
+     per-slice propagators [us], forward products [xs], the backward
+     accumulator pair, the product scratch, the assembled Hamiltonian,
+     amplitude/gradient planes and the expm scratch. The workspace owns
+     its buffers; [amps]/[grad] expose the planes the last [evaluate]
+     filled, and callers must copy anything they keep. Single-threaded:
+     give each domain its own. *)
+  type t = {
+    dim : int;
+    n_slices : int;
+    nc : int;
+    bounds : float array;
+    amps : float array array;
+    grad : float array array;
+    us : Cmat.t array;
+    xs : Cmat.t array;
+    mutable back : Cmat.t;
+    mutable back_tmp : Cmat.t;
+    prod : Cmat.t;
+    hmat : Cmat.t;
+    tp : float array;  (* trace_prod_into accumulator *)
+    ew : Expm.Workspace.t;
+  }
+
+  let create h ~n_slices =
+    if n_slices <= 0 then invalid_arg "Grape.Workspace.create: need slices";
+    let dim = h.Hamiltonian.dim in
+    let nc = Hamiltonian.n_controls h in
+    let m () = Cmat.create dim dim in
+    { dim;
+      n_slices;
+      nc;
+      bounds =
+        Array.map (fun c -> c.Hamiltonian.bound) h.Hamiltonian.controls;
+      amps = Array.init n_slices (fun _ -> Array.make nc 0.0);
+      grad = Array.init n_slices (fun _ -> Array.make nc 0.0);
+      us = Array.init n_slices (fun _ -> m ());
+      xs = Array.init n_slices (fun _ -> m ());
+      back = m ();
+      back_tmp = m ();
+      prod = m ();
+      hmat = m ();
+      tp = Array.make 2 0.0;
+      ew = Expm.Workspace.create dim
+    }
+
+  let amps ws = ws.amps
+  let grad ws = ws.grad
+end
 
 (* One objective/gradient evaluation. Parameters are the unconstrained
    [x]; amplitudes are [u = bound * tanh x]. The objective is the trace
-   fidelity minus the power regulariser; [grad] is d(objective)/dx. *)
-let evaluate config h target ~dt ~n_slices ~bounds x =
+   fidelity minus the power regulariser; [ws.grad] receives
+   d(objective)/dx and [ws.amps] the amplitudes. Every matrix lives in
+   the workspace: after the workspace's own warm-up this performs zero
+   matrix allocation, and every floating-point step rounds identically
+   to the allocating formulation it replaced (pinned by the goldens). *)
+let evaluate ?ws config h target ~dt ~n_slices x =
   Obs.count "grape.evaluations";
+  let ws =
+    match ws with Some ws -> ws | None -> Workspace.create h ~n_slices
+  in
   let dim = h.Hamiltonian.dim in
-  let nc = Array.length bounds in
+  if ws.Workspace.dim <> dim
+     || ws.Workspace.n_slices <> n_slices
+     || ws.Workspace.nc <> Hamiltonian.n_controls h
+  then invalid_arg "Grape.evaluate: workspace does not match the problem";
+  if Cmat.rows target <> dim || Cmat.cols target <> dim then
+    invalid_arg "Grape.evaluate: target dimension mismatch";
+  if Array.length x <> n_slices then
+    invalid_arg "Grape.evaluate: slice count mismatch";
+  let open Workspace in
+  let nc = ws.nc in
   let d = float_of_int dim in
-  let amps =
-    Array.map (fun row -> Array.mapi (fun k v -> bounds.(k) *. tanh v) row) x
-  in
-  let us = Array.map (fun a -> Expm.expm_i_h ~dt (Hamiltonian.at h a)) amps in
-  let xs = Array.make n_slices (Cmat.identity dim) in
-  Array.iteri
-    (fun j u -> xs.(j) <- (if j = 0 then u else Cmat.mul u xs.(j - 1)))
-    us;
-  let phi =
-    Cx.scale (1.0 /. d)
-      (Cmat.trace (Cmat.mul_adjoint_left target xs.(n_slices - 1)))
-  in
-  let fidelity = Cx.abs2 phi in
+  (* forward pass: amplitudes, slice propagators, running products *)
+  for j = 0 to n_slices - 1 do
+    let xj = x.(j) and aj = ws.amps.(j) in
+    if Array.length xj <> nc then
+      invalid_arg "Grape.evaluate: control count mismatch";
+    for k = 0 to nc - 1 do
+      aj.(k) <- ws.bounds.(k) *. tanh xj.(k)
+    done;
+    Hamiltonian.at_into h aj ~dst:ws.hmat;
+    Expm.expm_i_h_into ws.ew ~dt ws.hmat ~dst:ws.us.(j)
+  done;
+  Cmat.blit ~src:ws.us.(0) ~dst:ws.xs.(0);
+  for j = 1 to n_slices - 1 do
+    Cmat.mul_into ~dst:ws.xs.(j) ws.us.(j) ws.xs.(j - 1)
+  done;
+  Cmat.mul_adjoint_left_into ~dst:ws.prod target ws.xs.(n_slices - 1);
+  let tr = Cmat.trace ws.prod in
+  let sphi = 1.0 /. d in
+  let phi_re = sphi *. Paqoc_linalg.Cx.re tr
+  and phi_im = sphi *. Paqoc_linalg.Cx.im tr in
+  let fidelity = (phi_re *. phi_re) +. (phi_im *. phi_im) in
   let power = ref 0.0 in
-  Array.iter (Array.iter (fun u -> power := !power +. (u *. u))) amps;
+  for j = 0 to n_slices - 1 do
+    let aj = ws.amps.(j) in
+    for k = 0 to nc - 1 do
+      power := !power +. (aj.(k) *. aj.(k))
+    done
+  done;
   let objective = fidelity -. (config.power_penalty *. !power) in
   (* backward pass: A_j = target† U_N ... U_{j+1} *)
-  let a = ref (Cmat.adjoint target) in
-  let grad = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+  Cmat.adjoint_into ~dst:ws.back target;
   for j = n_slices - 1 downto 0 do
-    let p = Cmat.mul xs.(j) !a in
+    Cmat.mul_into ~dst:ws.prod ws.xs.(j) ws.back;
     for k = 0 to nc - 1 do
-      let t = trace_prod h.Hamiltonian.controls.(k).Hamiltonian.op p in
-      let dphi = Cx.mul (Cx.make 0.0 (-.dt /. d)) t in
-      let df = 2.0 *. ((Cx.re phi *. Cx.re dphi) +. (Cx.im phi *. Cx.im dphi)) in
+      Cmat.trace_prod_into ws.tp h.Hamiltonian.controls.(k).Hamiltonian.op
+        ws.prod;
+      let t_re = ws.tp.(0) and t_im = ws.tp.(1) in
+      (* dphi = (-i dt / d) * t, written with the same component products
+         (including the 0-weighted ones, for signed-zero fidelity) as the
+         boxed complex multiply it replaced *)
+      let w_im = -.dt /. d in
+      let dphi_re = (0.0 *. t_re) -. (w_im *. t_im) in
+      let dphi_im = (0.0 *. t_im) +. (w_im *. t_re) in
+      let df =
+        2.0 *. ((phi_re *. dphi_re) +. (phi_im *. dphi_im))
+      in
       let th = tanh x.(j).(k) in
-      let du_dx = bounds.(k) *. (1.0 -. (th *. th)) in
-      let u = bounds.(k) *. th in
-      grad.(j).(k) <- (df -. (2.0 *. config.power_penalty *. u)) *. du_dx
+      let du_dx = ws.bounds.(k) *. (1.0 -. (th *. th)) in
+      let u = ws.bounds.(k) *. th in
+      ws.grad.(j).(k) <- (df -. (2.0 *. config.power_penalty *. u)) *. du_dx
     done;
-    a := Cmat.mul !a us.(j)
+    Cmat.mul_into ~dst:ws.back_tmp ws.back ws.us.(j);
+    let t = ws.back in
+    ws.back <- ws.back_tmp;
+    ws.back_tmp <- t
   done;
-  (objective, fidelity, amps, grad)
+  (objective, fidelity)
 
-(* flat-vector helpers for L-BFGS *)
-let flatten rows =
-  Array.concat (Array.to_list (Array.map Array.copy rows))
-
-let unflatten ~n_slices ~nc v =
-  Array.init n_slices (fun j -> Array.sub v (j * nc) nc)
-
+(* allocation-free dot product (the closure-based Array.iteri fold it
+   replaced rounds identically: same order, same ops) *)
 let dot a b =
   let acc = ref 0.0 in
-  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
   !acc
-
-let axpy alpha x y =
-  Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y
 
 let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
   let dim = h.Hamiltonian.dim in
@@ -126,7 +263,8 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
     | Adam -> "grape.start.adam"
     | Lbfgs _ -> "grape.start.lbfgs");
   let nc = Hamiltonian.n_controls h in
-  let bounds = Array.map (fun c -> c.Hamiltonian.bound) h.Hamiltonian.controls in
+  let ws = Workspace.create h ~n_slices in
+  let bounds = ws.Workspace.bounds in
   let rng = Random.State.make [| config.seed; n_slices; dim |] in
   let x = Array.init n_slices (fun _ -> Array.make nc 0.0) in
   (match init with
@@ -149,13 +287,19 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
       done
     done);
   let best_f = ref neg_infinity in
-  let best_amps = ref [||] in
+  let best_set = ref false in
+  let best_amps = Array.init n_slices (fun _ -> Array.make nc 0.0) in
   let iters = ref 0 in
   let converged = ref false in
-  let note_best fidelity amps =
+  (* snapshots the workspace's amplitude plane on improvement — a blit
+     into owned rows, not a reference to the reused buffers *)
+  let note_best fidelity =
     if fidelity > !best_f then begin
       best_f := fidelity;
-      best_amps := amps
+      best_set := true;
+      for j = 0 to n_slices - 1 do
+        Array.blit ws.Workspace.amps.(j) 0 best_amps.(j) 0 nc
+      done
     end;
     if fidelity >= config.target_fidelity then converged := true
   in
@@ -167,11 +311,10 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
     (try
        for it = 1 to config.max_iters do
          iters := it;
-         let _, fidelity, amps, grad =
-           evaluate config h target ~dt ~n_slices ~bounds x
-         in
-         note_best fidelity amps;
+         let _, fidelity = evaluate ~ws config h target ~dt ~n_slices x in
+         note_best fidelity;
          if !converged then raise Exit;
+         let grad = ws.Workspace.grad in
          let b1t = 1.0 -. (beta1 ** float_of_int it) in
          let b2t = 1.0 -. (beta2 ** float_of_int it) in
          for j = 0 to n_slices - 1 do
@@ -188,82 +331,120 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
        done
      with Exit -> ())
   | Lbfgs history ->
-    let history = max 1 history in
+    let window = max 1 history in
+    let nv = n_slices * nc in
+    (* flat-vector working set, preallocated once: parameter/candidate
+       pair, gradient pair (both swapped by reference on acceptance),
+       the two-loop scratch and the curvature staging buffers *)
+    let xv = ref (Array.make nv 0.0) in
+    let cand = ref (Array.make nv 0.0) in
+    let grad_cur = ref (Array.make nv 0.0) in
+    let grad_new = ref (Array.make nv 0.0) in
+    let q = Array.make nv 0.0 in
+    let dir_buf = Array.make nv 0.0 in
+    let s_tmp = Array.make nv 0.0 in
+    let y_tmp = Array.make nv 0.0 in
+    let alphas = Array.make window 0.0 in
+    let rhos = Array.make window 0.0 in
+    let hist = History.create ~window ~dim:nv in
+    let xm = Array.init n_slices (fun _ -> Array.make nc 0.0) in
+    for j = 0 to n_slices - 1 do
+      Array.blit x.(j) 0 !xv (j * nc) nc
+    done;
+    (* evaluates the flat vector [v]: objective and fidelity returned,
+       gradient flattened into [grad_new] *)
+    let eval_flat v =
+      for j = 0 to n_slices - 1 do
+        Array.blit v (j * nc) xm.(j) 0 nc
+      done;
+      let obj, fidelity = evaluate ~ws config h target ~dt ~n_slices xm in
+      for j = 0 to n_slices - 1 do
+        Array.blit ws.Workspace.grad.(j) 0 !grad_new (j * nc) nc
+      done;
+      (obj, fidelity)
+    in
     (* maximise the objective: two-loop recursion on the flattened vector
        with Armijo backtracking *)
-    let eval_flat xv =
-      let xm = unflatten ~n_slices ~nc xv in
-      let obj, fidelity, amps, grad =
-        evaluate config h target ~dt ~n_slices ~bounds xm
-      in
-      (obj, fidelity, amps, flatten grad)
-    in
-    let xv = ref (flatten x) in
-    let s_hist = ref [] and y_hist = ref [] in
     (try
-       let obj, fidelity, amps, grad =
-         eval_flat !xv
-       in
-       note_best fidelity amps;
+       let obj, fidelity = eval_flat !xv in
+       note_best fidelity;
        if !converged then raise Exit;
-       let obj = ref obj and grad = ref grad in
+       let t = !grad_cur in
+       grad_cur := !grad_new;
+       grad_new := t;
+       let obj = ref obj in
        while !iters < config.max_iters do
          incr iters;
-         (* two-loop recursion: direction = H * grad (ascent) *)
-         let q = Array.copy !grad in
-         let pairs = List.combine !s_hist !y_hist in
-         let alphas =
-           List.map
-             (fun (s, y) ->
-               let rho = 1.0 /. Float.max 1e-12 (dot y s) in
-               let alpha = rho *. dot s q in
-               Array.iteri (fun i yi -> q.(i) <- q.(i) -. (alpha *. yi)) y;
-               (alpha, rho))
-             pairs
-         in
-         (* initial Hessian scaling *)
-         (match (!s_hist, !y_hist) with
-         | s :: _, y :: _ ->
+         (* two-loop recursion: direction = H * grad (ascent), newest
+            pair first *)
+         Array.blit !grad_cur 0 q 0 nv;
+         let len = History.length hist in
+         for i = 0 to len - 1 do
+           let s = History.s hist i and y = History.y hist i in
+           let rho = 1.0 /. Float.max 1e-12 (dot y s) in
+           let alpha = rho *. dot s q in
+           for idx = 0 to nv - 1 do
+             q.(idx) <- q.(idx) -. (alpha *. y.(idx))
+           done;
+           alphas.(i) <- alpha;
+           rhos.(i) <- rho
+         done;
+         (* initial Hessian scaling from the newest curvature pair *)
+         if len > 0 then begin
+           let s = History.s hist 0 and y = History.y hist 0 in
            let gamma = dot s y /. Float.max 1e-12 (dot y y) in
-           Array.iteri (fun i qi -> q.(i) <- qi *. abs_float gamma) q
-         | _ ->
-           Array.iteri (fun i qi -> q.(i) <- qi *. config.learning_rate) q);
-         List.iter2
-           (fun (s, y) (alpha, rho) ->
-             let beta = rho *. dot y q in
-             Array.iteri (fun i si -> q.(i) <- q.(i) +. ((alpha -. beta) *. si)) s)
-           (List.rev pairs) (List.rev alphas);
-         (* Armijo backtracking along the ascent direction q *)
-         let g_dot_d = dot !grad q in
+           for idx = 0 to nv - 1 do
+             q.(idx) <- q.(idx) *. abs_float gamma
+           done
+         end
+         else
+           for idx = 0 to nv - 1 do
+             q.(idx) <- q.(idx) *. config.learning_rate
+           done;
+         for i = len - 1 downto 0 do
+           let s = History.s hist i and y = History.y hist i in
+           let beta = rhos.(i) *. dot y q in
+           for idx = 0 to nv - 1 do
+             q.(idx) <- q.(idx) +. ((alphas.(i) -. beta) *. s.(idx))
+           done
+         done;
+         (* Armijo backtracking along the ascent direction *)
+         let g_dot_d = dot !grad_cur q in
          let direction, g_dot_d =
            if g_dot_d > 0.0 then (q, g_dot_d)
-           else (Array.copy !grad, dot !grad !grad)
+           else begin
+             Array.blit !grad_cur 0 dir_buf 0 nv;
+             (dir_buf, dot !grad_cur !grad_cur)
+           end
          in
          let step = ref 1.0 and accepted = ref false in
          let backtracks = ref 0 in
          while (not !accepted) && !backtracks < 15 do
-           let candidate = axpy !step direction !xv in
-           let obj', fidelity', amps', grad' = eval_flat candidate in
+           let c = !cand and xv' = !xv in
+           for idx = 0 to nv - 1 do
+             c.(idx) <- xv'.(idx) +. (!step *. direction.(idx))
+           done;
+           let obj', fidelity' = eval_flat c in
            if obj' >= !obj +. (1e-4 *. !step *. g_dot_d) then begin
              accepted := true;
-             note_best fidelity' amps';
-             let s = Array.mapi (fun i c -> c -. !xv.(i)) candidate in
-             let y = Array.mapi (fun i g' -> g' -. !grad.(i)) grad' in
-             (* gradient-ascent curvature pair: flip signs so the standard
-                minimisation update applies *)
-             let y = Array.map (fun v -> -.v) y in
-             let s_for = s and y_for = y in
-             if dot s_for y_for > 1e-12 then begin
-               s_hist := s_for :: !s_hist;
-               y_hist := y_for :: !y_hist;
-               if List.length !s_hist > history then begin
-                 s_hist := List.filteri (fun i _ -> i < history) !s_hist;
-                 y_hist := List.filteri (fun i _ -> i < history) !y_hist
-               end
-             end;
-             xv := candidate;
+             note_best fidelity';
+             (* curvature pair for gradient ascent: flip the gradient
+                difference's sign so the standard minimisation update
+                applies *)
+             let gc = !grad_cur and gn = !grad_new in
+             for idx = 0 to nv - 1 do
+               s_tmp.(idx) <- c.(idx) -. xv'.(idx);
+               y_tmp.(idx) <- -.(gn.(idx) -. gc.(idx))
+             done;
+             if dot s_tmp y_tmp > 1e-12 then
+               History.push hist ~s:s_tmp ~y:y_tmp;
+             let t = !xv in
+             xv := !cand;
+             cand := t;
              obj := obj';
-             grad := grad';
+             let t = !grad_cur in
+             grad_cur := !grad_new;
+             grad_new := t;
              if !converged then raise Exit
            end
            else begin
@@ -274,16 +455,16 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
          if not !accepted then raise Exit
        done
      with Exit -> ());
-    if !best_amps = [||] then begin
-      let _, fidelity, amps, _ = eval_flat !xv in
-      note_best fidelity amps
+    if not !best_set then begin
+      let _, fidelity = eval_flat !xv in
+      note_best fidelity
     end);
   let amplitudes =
-    if !best_amps = [||] then
+    if not !best_set then
       Array.map
         (fun row -> Array.mapi (fun k v -> bounds.(k) *. tanh v) row)
         x
-    else !best_amps
+    else Array.map Array.copy best_amps
   in
   let pulse = { Pulse.dt; amplitudes } in
   Obs.count ~n:!iters "grape.iterations";
@@ -295,3 +476,24 @@ let optimize ?(config = default_config) ?init h ~target ~n_slices ~dt () =
     injected = false
   }
   end
+
+(* The fixed 2-qubit CX reference optimisation pinned bitwise by
+   test/golden/grape_amplitudes.txt. Runs both optimiser code paths with
+   an unreachable target fidelity so every configured iteration executes:
+   any change to a single rounding step anywhere in the GRAPE hot path
+   shows up as a mantissa diff in the golden. *)
+let reference_golden () =
+  let module Gate = Paqoc_circuit.Gate in
+  let h = Hamiltonian.make ~n_qubits:2 ~coupled_pairs:[ (0, 1) ] () in
+  let target = Gate.unitary Gate.CX in
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun (name, optimizer, max_iters) ->
+      let config =
+        { default_config with optimizer; max_iters; target_fidelity = 1.1 }
+      in
+      let r = optimize ~config h ~target ~n_slices:24 ~dt:2.0 () in
+      Printf.bprintf buf "[%s] iterations=%d fidelity=%h\n%s" name
+        r.iterations r.fidelity (render_amplitudes r.pulse))
+    [ ("adam", Adam, 40); ("lbfgs-5", Lbfgs 5, 25) ];
+  Buffer.contents buf

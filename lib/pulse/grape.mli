@@ -54,3 +54,101 @@ val optimize :
   dt:float ->
   unit ->
   result
+
+(** {1 Allocation-free evaluation}
+
+    The GRAPE hot path — one propagator/gradient evaluation per
+    optimiser step — runs entirely on a preallocated {!Workspace}:
+    after the workspace is built, an {!evaluate} call performs zero
+    matrix allocation (test/test_kernels.ml pins a minor-heap budget on
+    it), and rounds bit-identically to the allocating formulation it
+    replaced (pinned by the amplitude golden). *)
+
+module Workspace : sig
+  (** Preallocated buffers for one control problem at a fixed slice
+      count: per-slice propagators, forward products, the backward
+      accumulator, amplitude/gradient planes and the {!Expm} scratch.
+      The workspace owns every buffer; {!amps}/{!grad} expose planes
+      that the next {!evaluate} overwrites, so callers must copy
+      anything they keep. Single-threaded — give each domain its own. *)
+  type t
+
+  (** [create h ~n_slices] sizes every buffer for [h]'s dimension and
+      control count.
+      @raise Invalid_argument when [n_slices <= 0]. *)
+  val create : Hamiltonian.t -> n_slices:int -> t
+
+  (** Amplitude plane [u = bound * tanh x] of the last {!evaluate}
+      (borrowed, overwritten by the next call). *)
+  val amps : t -> float array array
+
+  (** Gradient plane d(objective)/dx of the last {!evaluate} (borrowed,
+      overwritten by the next call). *)
+  val grad : t -> float array array
+end
+
+(** [evaluate ?ws config h target ~dt ~n_slices x] runs one GRAPE
+    objective/gradient evaluation of the unconstrained parameters [x]
+    ([n_slices] rows of [n_controls] entries) and returns
+    [(objective, fidelity)]; amplitudes and gradient are left in the
+    workspace. Without [ws], a fresh workspace is built and dropped —
+    convenient, but the point is to pass one in.
+    @raise Invalid_argument when [ws], [target] or [x] does not match
+    the problem's dimensions. *)
+val evaluate :
+  ?ws:Workspace.t ->
+  config ->
+  Hamiltonian.t ->
+  Paqoc_linalg.Cmat.t ->
+  dt:float ->
+  n_slices:int ->
+  float array array ->
+  float * float
+
+(** {1 L-BFGS curvature history}
+
+    Bounded deque of [(s, y)] pairs over preallocated slots, newest
+    first. Exposed so the regression test can pin the bound: the window
+    is a hard cap, not a trim-after-overflow. *)
+
+module History : sig
+  type t
+
+  (** [create ~window ~dim] holds at most [window] pairs of length-[dim]
+      vectors.
+      @raise Invalid_argument when [window <= 0] or [dim < 0]. *)
+  val create : window:int -> dim:int -> t
+
+  val window : t -> int
+
+  (** Current pair count; never exceeds [window t]. *)
+  val length : t -> int
+
+  (** [push t ~s ~y] copies the pair in as the newest entry, evicting
+      the oldest once the window is full. *)
+  val push : t -> s:float array -> y:float array -> unit
+
+  (** [s t i] / [y t i] borrow the [i]-th newest pair's vectors
+      ([i = 0] newest). The returned array is the live slot — do not
+      hold it across a {!push}.
+      @raise Invalid_argument when [i] is out of range. *)
+  val s : t -> int -> float array
+
+  val y : t -> int -> float array
+end
+
+(** {1 Bit-determinism golden}
+
+    GRAPE promises bitwise-reproducible pulses for a fixed seed — the
+    pulse-database byte-determinism of the parallel batch API rests on it.
+    The reference run pins that promise in [test/golden/grape_amplitudes.txt]
+    (refreshed with [make update-golden]). *)
+
+(** [render_amplitudes p] renders the amplitude envelope as hexadecimal
+    ([%h]) floats, one line per slice — bit-faithful, unlike any decimal
+    rounding. *)
+val render_amplitudes : Pulse.t -> string
+
+(** [reference_golden ()] runs a fixed 2-qubit CX optimisation under both
+    optimisers and renders iterations, fidelity and amplitudes. *)
+val reference_golden : unit -> string

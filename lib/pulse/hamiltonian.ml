@@ -62,3 +62,15 @@ let at h amps =
       if u <> 0.0 then acc := Cmat.add !acc (Cmat.scale_re u h.controls.(k).op))
     amps;
   !acc
+
+(* In-place [at]: drift plus the amplitude-weighted controls accumulated
+   directly into [dst]. Same skip on zero amplitudes and same two-step
+   rounding per entry as [at], so the result is bit-identical. *)
+let at_into h amps ~dst =
+  if Array.length amps <> n_controls h then
+    invalid_arg "Hamiltonian.at_into: amplitude count mismatch";
+  Cmat.blit ~src:h.drift ~dst;
+  Array.iteri
+    (fun k u ->
+      if u <> 0.0 then Cmat.axpy_re_into ~dst u h.controls.(k).op)
+    amps

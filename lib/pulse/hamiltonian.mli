@@ -46,6 +46,11 @@ val n_controls : t -> int
     count. *)
 val at : t -> float array -> Paqoc_linalg.Cmat.t
 
+(** [at_into h amps ~dst] is {!at} into a preallocated [dst] ([dim x dim]),
+    bit-identical and allocation-free — GRAPE's per-slice assembly.
+    @raise Invalid_argument on amplitude-count or dimension mismatch. *)
+val at_into : t -> float array -> dst:Paqoc_linalg.Cmat.t -> unit
+
 (** Pauli matrices, exposed for tests. *)
 val sigma_x : Paqoc_linalg.Cmat.t
 

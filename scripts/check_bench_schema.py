@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_grape.json file against the paqoc-bench v1 schema.
+
+Used by `make bench-smoke` (and CI) to catch drift in the benchmark
+emission path: a field rename, a type change or an empty run list fails
+here before anyone tries to plot a perf trajectory from broken entries.
+"""
+import json
+import sys
+
+REQUIRED_RUN_FIELDS = {
+    "phase": str,
+    "case": str,
+    "dim": int,
+    "n_slices": int,
+    "iters": int,
+    "repeats": int,
+    "ns_per_iter": (int, float),
+}
+
+
+def fail(msg):
+    print(f"check_bench_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != "paqoc-bench v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, want 'paqoc-bench v1'")
+    if doc.get("bench") != "grape":
+        fail(f"{path}: bench is {doc.get('bench')!r}, want 'grape'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: runs must be a non-empty list")
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(f"{path}: runs[{i}] is not an object")
+        for field, ty in REQUIRED_RUN_FIELDS.items():
+            if field not in run:
+                fail(f"{path}: runs[{i}] missing {field!r}")
+            if not isinstance(run[field], ty) or isinstance(run[field], bool):
+                fail(f"{path}: runs[{i}].{field} has type "
+                     f"{type(run[field]).__name__}")
+        if run["ns_per_iter"] <= 0:
+            fail(f"{path}: runs[{i}].ns_per_iter must be positive")
+        if run["dim"] < 1 or run["n_slices"] < 1:
+            fail(f"{path}: runs[{i}] has non-positive dim/n_slices")
+    print(f"{path}: {len(runs)} runs, schema OK")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_schema.py FILE...")
+    for p in sys.argv[1:]:
+        check(p)

@@ -1,18 +1,30 @@
-(* Golden regression: the 17-benchmark PAQOC-M0 latency table is pinned
-   byte-for-byte. Any change to the latency model, the merge search, the
-   miner or the planner that moves a single benchmark's latency or episode
-   count fails here — intentional changes refresh the file with
-   [make update-golden], which renders through the exact same code path. *)
+(* Golden regressions, pinned byte-for-byte.
+
+   - The 17-benchmark PAQOC-M0 latency table: any change to the latency
+     model, the merge search, the miner or the planner that moves a single
+     benchmark's latency or episode count fails here.
+   - The GRAPE bit-determinism golden: iterations, fidelities and the full
+     amplitude envelope (as [%h] hex floats) of a fixed 2-qubit CX
+     optimisation under both optimisers. This is what licenses the
+     allocation-free kernel rewrite: any reordering of a single
+     floating-point operation in the hot path flips a bit here. It is also
+     the anchor of the pulse database's byte determinism.
+
+   Intentional changes refresh both files with [make update-golden], which
+   renders through the exact same code paths. *)
 open Test_util
 module LT = Paqoc_benchmarks.Latency_table
+module Grape = Paqoc_pulse.Grape
 
 (* under `dune runtest` the cwd is the test directory (the dep glob puts
    the file at golden/...); when the binary is run by hand from the repo
    root the file lives under test/ *)
-let golden_path =
-  if Sys.file_exists "golden/latency_table.txt" then
-    "golden/latency_table.txt"
-  else "test/golden/latency_table.txt"
+let resolve name =
+  if Sys.file_exists ("golden/" ^ name) then "golden/" ^ name
+  else "test/golden/" ^ name
+
+let golden_path = resolve "latency_table.txt"
+let grape_golden_path = resolve "grape_amplitudes.txt"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -52,6 +64,30 @@ let suite =
             "latency table drifted (run `make update-golden` if \
              intentional):@.%s"
             (String.concat "\n" moved)
+        end);
+    slow_case "GRAPE reference run matches the golden file bit-for-bit"
+      (fun () ->
+        let golden = read_file grape_golden_path in
+        let computed = Grape.reference_golden () in
+        if not (String.equal golden computed) then begin
+          (* name the first drifting line — the slice index and hex floats
+             say exactly which amplitude moved *)
+          let gl = String.split_on_char '\n' golden
+          and cl = String.split_on_char '\n' computed in
+          let rec first_diff i = function
+            | g :: gs, c :: cs ->
+                if String.equal g c then first_diff (i + 1) (gs, cs)
+                else
+                  Printf.sprintf "line %d:\n  golden:   %s\n  computed: %s"
+                    i g c
+            | [], c :: _ -> Printf.sprintf "extra line %d: %s" i c
+            | g :: _, [] -> Printf.sprintf "missing line %d: %s" i g
+            | [], [] -> "lengths differ"
+          in
+          Alcotest.failf
+            "GRAPE amplitudes drifted (bitwise; run `make update-golden` \
+             if intentional):@.%s"
+            (first_diff 1 (gl, cl))
         end);
     case "golden file parses and covers all seventeen benchmarks" (fun () ->
         let rows = LT.parse (read_file golden_path) in

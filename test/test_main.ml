@@ -19,5 +19,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("differential", Test_differential.suite);
       ("qasm-fuzz", Test_qasm_fuzz.suite);
+      ("kernels", Test_kernels.suite);
       ("golden", Test_golden.suite)
     ]

@@ -1,21 +1,38 @@
-(* Refresh the golden latency table (make update-golden). Renders through
-   the same Latency_table code path the regression test compares with, so
-   the file cannot diverge from what the test computes. *)
-let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ ->
-      prerr_endline "usage: update_golden GOLDEN_FILE";
-      exit 2
-  in
-  let table =
-    Paqoc_benchmarks.Latency_table.(render (compute ~jobs:2 ()))
-  in
+(* Refresh the golden files (make update-golden). Each file renders
+   through the same code path its regression test compares with, so the
+   files cannot diverge from what the tests compute:
+     - the 17-benchmark latency table (Latency_table.render/compute)
+     - the GRAPE bit-determinism reference (Grape.reference_golden) *)
+
+let write path contents =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  output_string oc table;
+  output_string oc contents;
   close_out oc;
-  Sys.rename tmp path;
-  Printf.printf "wrote %s (%d benchmarks)\n" path
-    (List.length (String.split_on_char '\n' table) - 4)
+  Sys.rename tmp path
+
+let () =
+  let latency_path, grape_path =
+    match Sys.argv with
+    | [| _; latency |] -> (Some latency, None)
+    | [| _; latency; grape |] -> (Some latency, Some grape)
+    | _ ->
+      prerr_endline "usage: update_golden LATENCY_FILE [GRAPE_FILE]";
+      exit 2
+  in
+  Option.iter
+    (fun path ->
+      let table =
+        Paqoc_benchmarks.Latency_table.(render (compute ~jobs:2 ()))
+      in
+      write path table;
+      Printf.printf "wrote %s (%d benchmarks)\n" path
+        (List.length (String.split_on_char '\n' table) - 4))
+    latency_path;
+  Option.iter
+    (fun path ->
+      let golden = Paqoc_pulse.Grape.reference_golden () in
+      write path golden;
+      Printf.printf "wrote %s (%d lines)\n" path
+        (List.length (String.split_on_char '\n' golden) - 1))
+    grape_path
