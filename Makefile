@@ -1,8 +1,10 @@
-# Tier-1 gate in one command: build, tests, and CLI smoke runs (one clean
-# metrics run, one fault-injected run that must still succeed via the
-# decomposed-basis fallback).
+# Tier-1 gate in one command: build, tests, docs, and CLI smoke runs (one
+# clean metrics run, one fault-injected run that must still succeed via
+# the decomposed-basis fallback, one shared-cache round trip that must be
+# all hits the second time).
 check:
 	dune build && dune runtest
+	$(MAKE) doc
 	dune exec bin/paqoc_cli.exe -- compile bv --jobs 2 \
 	  --metrics /tmp/paqoc_metrics.json --trace /tmp/paqoc_trace.json \
 	  > /dev/null
@@ -10,7 +12,24 @@ check:
 	  --metrics /tmp/paqoc_metrics.json > /dev/null
 	@grep -q '"generator.fallback"' /tmp/paqoc_metrics.json \
 	  || (echo "check: injected run emitted no fallback counter" && exit 1)
-	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json
+	@rm -f /tmp/paqoc_cache.db
+	dune exec bin/paqoc_cli.exe -- compile bv --cache /tmp/paqoc_cache.db \
+	  > /dev/null
+	@dune exec bin/paqoc_cli.exe -- compile bv --cache /tmp/paqoc_cache.db \
+	  | grep -q '/ 0 misses' \
+	  || (echo "check: warm cache run still missed" && exit 1)
+	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json /tmp/paqoc_cache.db
+
+# Render the API docs with odoc. Skipped with a notice when odoc is not
+# installed locally; the CI job installs odoc and runs this on every
+# push, so broken doc comments fail there.
+doc:
+	@if command -v odoc > /dev/null 2>&1; then \
+	  dune build @doc \
+	  && echo "doc: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "doc: odoc not installed, skipping (CI runs this)"; \
+	fi
 
 # Refresh the pinned goldens (test/golden/): the 17-benchmark latency
 # table and the GRAPE bit-determinism reference. Run after an intentional
@@ -35,10 +54,15 @@ bench-smoke:
 	@python3 scripts/check_bench_schema.py /tmp/paqoc_bench_grape_smoke.json
 	@python3 scripts/check_bench_schema.py BENCH_grape.json
 	@rm -f /tmp/paqoc_bench_grape_smoke.json
-	@echo "bench-smoke: BENCH_grape schema OK"
+	dune exec bench/micro_main.exe -- \
+	  --bench-cache=/tmp/paqoc_bench_cache_smoke.json > /dev/null
+	@python3 scripts/check_bench_schema.py /tmp/paqoc_bench_cache_smoke.json
+	@python3 scripts/check_bench_schema.py BENCH_cache.json
+	@rm -f /tmp/paqoc_bench_cache_smoke.json
+	@echo "bench-smoke: BENCH_grape and BENCH_cache schemas OK"
 
 # Full evaluation harness (tables, figures, bechamel kernels).
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check bench bench-scaling bench-smoke update-golden
+.PHONY: check doc bench bench-scaling bench-smoke update-golden

@@ -286,6 +286,103 @@ let run_bench_grape ?(path = "BENCH_grape.json") ?(phase = "current")
   Sys.rename tmp path;
   Printf.printf "  bench entry written to %s\n%!" path
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_cache.json: cold vs warm suite compile through the shared cache *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiles all 17 Table I benchmarks twice against one journaled shared
+   cache (model backend, so the cost profile matches the golden
+   latency-table test): the cold pass starts from an empty cache and
+   publishes every priced group; the warm pass re-compiles the same suite
+   with fresh generators, so every pulse lookup must be answered by the
+   cache. The headline number is the synthesis skip rate — the fraction
+   of the cold pass's synthesis calls the warm pass avoided (1.0 when the
+   cache answers everything). *)
+let run_bench_cache ?(path = "BENCH_cache.json") () =
+  Printf.printf "\n%s\nCACHE  cold vs warm suite compile (17 benchmarks)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  let module Cache = Paqoc_pulse.Cache in
+  let pass ~phase cache =
+    let t0 = Clock.now_s () in
+    let per =
+      List.map
+        (fun (e : Suite.entry) ->
+          let physical =
+            (Suite.transpiled e).Paqoc_topology.Transpile.physical
+          in
+          let gen = Gen.model_default () in
+          let s0 = Cache.stats cache in
+          let r = Paqoc.compile ~cache gen physical in
+          let s1 = Cache.stats cache in
+          ( e.Suite.name,
+            r.Paqoc.pulses_generated,
+            s1.Cache.hits - s0.Cache.hits,
+            s1.Cache.misses - s0.Cache.misses ))
+        Suite.all
+    in
+    let wall = Clock.now_s () -. t0 in
+    let sum f = List.fold_left (fun acc x -> acc + f x) 0 per in
+    let synth = sum (fun (_, s, _, _) -> s) in
+    let hits = sum (fun (_, _, h, _) -> h) in
+    let misses = sum (fun (_, _, _, m) -> m) in
+    Printf.printf
+      "  %-5s wall %6.2f s  %4d synthesized  %4d hits / %4d misses\n%!"
+      phase wall synth hits misses;
+    (phase, wall, synth, hits, misses, per)
+  in
+  let cache_path = Filename.temp_file "paqoc_bench" ".cache" in
+  let cold, warm =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove cache_path with Sys_error _ -> ())
+      (fun () ->
+        Cache.with_file cache_path (fun cache ->
+            let cold = pass ~phase:"cold" cache in
+            let warm = pass ~phase:"warm" cache in
+            (cold, warm)))
+  in
+  let synth_of (_, _, s, _, _, _) = s in
+  let skip_rate =
+    if synth_of cold = 0 then 0.0
+    else
+      1.0
+      -. (float_of_int (synth_of warm) /. float_of_int (synth_of cold))
+  in
+  Printf.printf "  synthesis skip rate (warm vs cold): %.1f%%\n%!"
+    (100.0 *. skip_rate);
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"schema\":\"paqoc-bench v1\",\"bench\":\"cache\",\"benchmarks\":%d,\
+     \"runs\":["
+    (List.length Suite.all);
+  List.iteri
+    (fun i (phase, wall, synth, hits, misses, per) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let rate h m =
+        if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+      in
+      Printf.bprintf buf
+        "{\"phase\":%S,\"wall_s\":%.6f,\"synthesized\":%d,\"cache_hits\":%d,\
+         \"cache_misses\":%d,\"hit_rate\":%.4f,\"per_benchmark\":["
+        phase wall synth hits misses (rate hits misses);
+      List.iteri
+        (fun j (name, s, h, m) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf
+            "{\"name\":%S,\"synthesized\":%d,\"cache_hits\":%d,\
+             \"hit_rate\":%.4f}"
+            name s h (rate h m))
+        per;
+      Buffer.add_string buf "]}")
+    [ cold; warm ];
+  Printf.bprintf buf "],\"synthesis_skip_rate\":%.4f}\n" skip_rate;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path;
+  Printf.printf "  bench entry written to %s\n%!" path
+
 let run () =
   Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"
     (String.make 78 '=') (String.make 78 '=');

@@ -20,7 +20,12 @@
                                                      tune with
                                                      --phase=NAME,
                                                      --iters=N,
-                                                     --repeats=N *)
+                                                     --repeats=N
+     dune exec bench/micro_main.exe -- --bench-cache[=PATH]
+                                                  -- emit the cold-vs-warm
+                                                     shared-cache suite
+                                                     entry (default
+                                                     BENCH_cache.json) *)
 
 let flag_value name args =
   let eq = "--" ^ name ^ "=" in
@@ -39,6 +44,7 @@ let () =
   let kernels = List.mem "--kernels" args in
   let bench_json = flag_value "bench-json" args in
   let bench_grape = flag_value "bench-grape" args in
+  let bench_cache = flag_value "bench-cache" args in
   let phase = Option.join (flag_value "phase" args) in
   let iters = Option.bind (Option.join (flag_value "iters" args))
       int_of_string_opt in
@@ -49,8 +55,9 @@ let () =
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  (match (bench_grape, bench_json) with
-  | Some path, _ -> Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
-  | None, Some path -> Micro.run_bench_json ?path ~workers ()
-  | None, None -> Micro.run_scaling ~workers ());
+  (match (bench_cache, bench_grape, bench_json) with
+  | Some path, _, _ -> Micro.run_bench_cache ?path ()
+  | None, Some path, _ -> Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
+  | None, None, Some path -> Micro.run_bench_json ?path ~workers ()
+  | None, None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

@@ -2,10 +2,12 @@
    line.
 
    Subcommands:
-     compile    transpile + compile a benchmark or QASM file under a scheme
-     mine       show the frequent subcircuits of a circuit
-     benchmarks list the built-in Table I benchmarks
-     pulse      run GRAPE for a named gate and print the waveform summary *)
+     compile       transpile + compile a benchmark or QASM file under a scheme
+     compile-suite batch-compile every Table I benchmark against one shared
+                   pulse cache
+     mine          show the frequent subcircuits of a circuit
+     benchmarks    list the built-in Table I benchmarks
+     pulse         run GRAPE for a named gate and print the waveform summary *)
 
 open Cmdliner
 module Circuit = Paqoc_circuit.Circuit
@@ -55,10 +57,10 @@ let inject_arg =
           "Arm deterministic fault injection: comma-separated \
            point[:first=N|:every=N|:prob=P:seed=S] clauses, e.g. \
            $(b,grape-diverge) or $(b,timeout:first=2). Points: \
-           grape-diverge, db-save-error, pool-task-crash, timeout. \
-           Injected QOC failures are retried and then degrade to \
-           decomposed default-basis pulses, so compilation still \
-           succeeds.")
+           grape-diverge, db-save-error, journal-append-error, \
+           pool-task-crash, timeout. Injected QOC failures are retried \
+           and then degrade to decomposed default-basis pulses, so \
+           compilation still succeeds.")
 
 let arm_injection = function
   | None -> ()
@@ -119,6 +121,82 @@ let device_of = function
       Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
       exit 1)
 
+(* Shared --cache plumbing: open (or create) the journaled shared pulse
+   cache around the work, always closing it — close compacts any pending
+   journal so the file converges back to its sorted snapshot form. *)
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          "Shared cross-run pulse cache, a journaled paqoc-pulse-db v3 \
+           file: created if missing, consulted before any synthesis, and \
+           appended to (crash-safely) as new pulses are priced. Unlike \
+           $(b,--db), entries become durable as they are generated and \
+           one cache file can back many compilations.")
+
+let with_cache cache_file f =
+  match cache_file with
+  | None -> f None
+  | Some path -> (
+    try
+      Paqoc_pulse.Cache.with_file path (fun c ->
+          let r = f (Some c) in
+          let s = Paqoc_pulse.Cache.stats c in
+          Printf.printf
+            "pulse cache     : %s (%d entries; %d hits / %d misses, %d \
+             published)\n"
+            path
+            (Paqoc_pulse.Cache.size c)
+            s.Paqoc_pulse.Cache.hits s.Paqoc_pulse.Cache.misses
+            s.Paqoc_pulse.Cache.publishes;
+          r)
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1)
+
+(* One compilation under a named scheme; shared by compile and
+   compile-suite. *)
+let run_scheme scheme ~max_n ~top_k ~jobs ?cache gen physical =
+  match scheme with
+  | `Acc3 | `Acc5 ->
+    let slicer =
+      if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5
+    in
+    let r = Accqoc.compile ~slicer ~jobs ?cache gen physical in
+    ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
+      r.Accqoc.n_groups, r.Accqoc.fallbacks, r.Accqoc.grouped )
+  | (`M0 | `Mtuned | `Minf) as m ->
+    let mode =
+      match m with
+      | `M0 -> Apa.M_zero
+      | `Mtuned -> Apa.M_tuned
+      | `Minf -> Apa.M_inf
+    in
+    let scheme =
+      { Paqoc.paqoc_m0 with
+        apa_mode = mode;
+        merger = { Paqoc.Merger.default_config with max_n; top_k }
+      }
+    in
+    let r = Paqoc.compile ~scheme ~jobs ?cache gen physical in
+    ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
+      r.Paqoc.n_groups, r.Paqoc.fallbacks, r.Paqoc.grouped )
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("paqoc-m0", `M0); ("paqoc-mtuned", `Mtuned);
+               ("paqoc-minf", `Minf); ("accqoc-n3d3", `Acc3);
+               ("accqoc-n3d5", `Acc5) ])
+        `M0
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Compilation scheme: paqoc-m0, paqoc-mtuned, paqoc-minf, \
+           accqoc-n3d3 or accqoc-n3d5.")
+
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -129,19 +207,6 @@ let compile_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"CIRCUIT" ~doc:"QASM file or built-in benchmark name.")
-  in
-  let scheme =
-    Arg.(
-      value
-      & opt (enum
-               [ ("paqoc-m0", `M0); ("paqoc-mtuned", `Mtuned);
-                 ("paqoc-minf", `Minf); ("accqoc-n3d3", `Acc3);
-                 ("accqoc-n3d5", `Acc5) ])
-          `M0
-      & info [ "s"; "scheme" ] ~docv:"SCHEME"
-          ~doc:
-            "Compilation scheme: paqoc-m0, paqoc-mtuned, paqoc-minf, \
-             accqoc-n3d3 or accqoc-n3d5.")
   in
   let device =
     Arg.(
@@ -177,7 +242,8 @@ let compile_cmd =
       value & opt (some string) None
       & info [ "db" ] ~docv:"FILE"
           ~doc:
-            "Pulse-database file: loaded before compiling (if it exists)              and saved afterwards — the paper's persistent offline table.")
+            "Pulse-database file: loaded before compiling (if it exists) \
+             and saved afterwards — the paper's persistent offline table.")
   in
   let backend =
     Arg.(
@@ -205,8 +271,8 @@ let compile_cmd =
             "Wall-clock budget per synthesis task; once exceeded the task \
              degrades to the fallback instead of retrying.")
   in
-  let run input scheme device max_n top_k show_groups jobs db backend retries
-      task_seconds inject metrics trace =
+  let run input scheme device max_n top_k show_groups jobs db cache_file
+      backend retries task_seconds inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -249,25 +315,8 @@ let compile_cmd =
         exit 1)
     | _ -> ());
     let latency, esp, seconds, groups, fallbacks, grouped =
-      match scheme with
-      | `Acc3 | `Acc5 ->
-        let slicer = if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5 in
-        let r = Accqoc.compile ~slicer ~jobs gen physical in
-        ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
-          r.Accqoc.n_groups, r.Accqoc.fallbacks, r.Accqoc.grouped )
-      | (`M0 | `Mtuned | `Minf) as m ->
-        let mode =
-          match m with `M0 -> Apa.M_zero | `Mtuned -> Apa.M_tuned | `Minf -> Apa.M_inf
-        in
-        let scheme =
-          { Paqoc.paqoc_m0 with
-            apa_mode = mode;
-            merger = { Paqoc.Merger.default_config with max_n; top_k }
-          }
-        in
-        let r = Paqoc.compile ~scheme ~jobs gen physical in
-        ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
-          r.Paqoc.n_groups, r.Paqoc.fallbacks, r.Paqoc.grouped )
+      with_cache cache_file (fun cache ->
+          run_scheme scheme ~max_n ~top_k ~jobs ?cache gen physical)
     in
     Printf.printf "circuit latency : %.0f dt\n" latency;
     Printf.printf "estimated ESP   : %.4f\n" esp;
@@ -299,9 +348,112 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
-      const run $ input $ scheme $ device $ max_n $ top_k $ show_groups $ jobs
-      $ db $ backend $ retries $ task_seconds $ inject_arg $ metrics_arg
-      $ trace_arg)
+      const run $ input $ scheme_arg $ device $ max_n $ top_k $ show_groups
+      $ jobs $ db $ cache_arg $ backend $ retries $ task_seconds $ inject_arg
+      $ metrics_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile-suite                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch-compile every Table I benchmark against one shared pulse cache.
+   Each benchmark gets a fresh generator, so all cross-benchmark reuse
+   flows through the cache — the per-benchmark hit rate is exactly the
+   fraction of its pulse lookups answered by earlier compilations (or a
+   previous run of the suite, when --cache names an existing file). *)
+let compile_suite_cmd =
+  let device =
+    Arg.(
+      value & opt string "5x5"
+      & info [ "d"; "device" ] ~docv:"RxC"
+          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel pulse generation (deterministic: \
+             any N produces the same schedules and the same cache bytes \
+             as N=1).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("model", `Model); ("qoc", `Qoc) ]) `Model
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Pulse engine: $(b,model) (analytic latency model, instant) or \
+             $(b,qoc) (real GRAPE searches; slow, small circuits only).")
+  in
+  let run scheme device jobs cache_file backend inject metrics trace =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    arm_injection inject;
+    with_observability ~metrics ~trace @@ fun () ->
+    let coupling = device_of device in
+    with_cache cache_file @@ fun cache ->
+    Printf.printf "compiling %d benchmarks on %s (jobs %d%s)\n"
+      (List.length Suite.all) device jobs
+      (match cache_file with
+      | Some p -> Printf.sprintf ", cache %s" p
+      | None -> ", no cache");
+    Printf.printf "  %-14s %9s %7s %9s %6s %5s %9s\n" "benchmark" "latency"
+      "esp" "episodes" "synth" "hits" "hit-rate";
+    let tot_synth = ref 0 and tot_hits = ref 0 and tot_misses = ref 0 in
+    List.iter
+      (fun (e : Suite.entry) ->
+        let physical =
+          (Transpile.run ~coupling (e.Suite.build ())).Transpile.physical
+        in
+        let gen =
+          match backend with
+          | `Model -> Gen.model_default ()
+          | `Qoc -> Gen.qoc_default ()
+        in
+        let stats0 = Option.map Paqoc_pulse.Cache.stats cache in
+        let latency, esp, _seconds, groups, _fallbacks, _grouped =
+          run_scheme scheme ~max_n:3 ~top_k:1 ~jobs ?cache gen physical
+        in
+        let synth = Gen.pulses_generated gen in
+        let hits, misses =
+          match (cache, stats0) with
+          | Some c, Some s0 ->
+            let s1 = Paqoc_pulse.Cache.stats c in
+            ( s1.Paqoc_pulse.Cache.hits - s0.Paqoc_pulse.Cache.hits,
+              s1.Paqoc_pulse.Cache.misses - s0.Paqoc_pulse.Cache.misses )
+          | _ -> (0, 0)
+        in
+        let rate =
+          if hits + misses = 0 then "-"
+          else
+            Printf.sprintf "%5.1f%%"
+              (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        in
+        tot_synth := !tot_synth + synth;
+        tot_hits := !tot_hits + hits;
+        tot_misses := !tot_misses + misses;
+        Printf.printf "  %-14s %9.0f %7.4f %9d %6d %5d %9s\n" e.Suite.name
+          latency esp groups synth hits rate)
+      Suite.all;
+    let lookups = !tot_hits + !tot_misses in
+    Printf.printf "suite totals    : %d pulses synthesized, %d cache hits"
+      !tot_synth !tot_hits;
+    if lookups > 0 then
+      Printf.printf " (hit rate %.1f%%)"
+        (100.0 *. float_of_int !tot_hits /. float_of_int lookups);
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "compile-suite"
+       ~doc:
+         "Compile every Table I benchmark against one shared pulse cache \
+          and report per-benchmark cache hit rates.")
+    Term.(
+      const run $ scheme_arg $ device $ jobs $ cache_arg $ backend
+      $ inject_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)
@@ -480,4 +632,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paqoc" ~doc)
-          [ compile_cmd; mine_cmd; benchmarks_cmd; pulse_cmd ]))
+          [ compile_cmd; compile_suite_cmd; mine_cmd; benchmarks_cmd;
+            pulse_cmd ]))

@@ -17,14 +17,18 @@ type report = {
   fallbacks : int;  (** slices that degraded to decomposed-basis pulses *)
 }
 
-(** [compile ?slicer ?jobs gen c] runs the baseline on physical circuit
-    [c] through generator [gen]. Default slicing is [accqoc_n3d3].
-    [jobs] (default 1) parallelises slice pricing across worker domains;
-    the MST warm-start order is preserved and the result is identical to
-    the serial run. *)
+(** [compile ?slicer ?jobs ?cache gen c] runs the baseline on physical
+    circuit [c] through generator [gen]. Default slicing is
+    [accqoc_n3d3]. [jobs] (default 1) parallelises slice pricing across
+    worker domains; the MST warm-start order is preserved and the result
+    is identical to the serial run. [cache] scopes a shared cross-run
+    {!Paqoc_pulse.Cache} to this compile (see
+    {!Paqoc.compile}); the generator's previous attachment is restored
+    on return. *)
 val compile :
   ?slicer:Slicer.config ->
   ?jobs:int ->
+  ?cache:Paqoc_pulse.Cache.t ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->
   report

@@ -41,7 +41,22 @@ type report = {
   merge_stats : Merger.stats;
 }
 
-let compile ?(scheme = paqoc_m0) ?(jobs = 1) gen (c : Circuit.t) =
+(* [?cache] scopes a shared cross-run pulse cache to one compile: attach,
+   run, restore whatever was attached before (usually nothing). When the
+   caller does not pass a cache, the generator's own attachment — if any —
+   is left exactly as it was. *)
+let with_shared_cache ?cache gen f =
+  match cache with
+  | None -> f ()
+  | Some c ->
+    let previous = Generator.shared_cache gen in
+    Generator.set_shared_cache gen (Some c);
+    Fun.protect
+      ~finally:(fun () -> Generator.set_shared_cache gen previous)
+      f
+
+let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?cache gen (c : Circuit.t) =
+  with_shared_cache ?cache gen @@ fun () ->
   Obs.with_span "paqoc.compile" @@ fun () ->
   (* wall time on the monotonic clock — [Sys.time] (CPU time) would count
      every worker domain's work again on top of the elapsed time *)

@@ -53,15 +53,22 @@ type report = {
   merge_stats : Merger.stats;
 }
 
-(** [compile ?scheme ?jobs gen c] compiles physical circuit [c]. Default
-    scheme is [paqoc_m0]. [jobs] (default 1) is the worker-domain count
-    for the parallel batches — the offline APA pulse pre-computation and
-    the final episode sweep, both embarrassingly parallel; results are
-    identical to the serial run ({!Paqoc_pulse.Generator.generate_batch}'s
-    determinism guarantee). *)
+(** [compile ?scheme ?jobs ?cache gen c] compiles physical circuit [c].
+    Default scheme is [paqoc_m0]. [jobs] (default 1) is the worker-domain
+    count for the parallel batches — the offline APA pulse
+    pre-computation and the final episode sweep, both embarrassingly
+    parallel; results are identical to the serial run
+    ({!Paqoc_pulse.Generator.generate_batch}'s determinism guarantee).
+
+    [cache] scopes a shared cross-run {!Paqoc_pulse.Cache} to this
+    compile: groups already priced there skip synthesis, and freshly
+    synthesised groups are published back — the suite driver's
+    cross-benchmark dedup. The generator's previous attachment is
+    restored when the compile returns. *)
 val compile :
   ?scheme:scheme ->
   ?jobs:int ->
+  ?cache:Paqoc_pulse.Cache.t ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->
   report

@@ -1,0 +1,347 @@
+module Obs = Paqoc_obs.Obs
+
+type entry = Db_format.entry = {
+  latency : float;
+  error : float;
+  fidelity : float;
+  provenance : Db_format.provenance;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  publishes : int;
+  compactions : int;
+  appends : int;
+}
+
+(* One shard: a mutex and the two tables it guards. Keys are sharded by
+   [Hashtbl.hash], so two compilations publishing different groups
+   almost always take different locks. *)
+type stripe = {
+  slock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  shapes : (string, unit) Hashtbl.t;
+}
+
+(* The persistence side: a journal fd plus the append accounting that
+   drives periodic compaction. [jlock] serialises appends and
+   compactions; it is never taken while a stripe lock is held (publish
+   inserts first, releases the stripe, then journals), so the lock order
+   jlock -> stripe locks (inside compaction) can never deadlock. *)
+type journal = {
+  jlock : Mutex.t;
+  jpath : string;
+  compact_every : int;
+  mutable fd : Unix.file_descr;
+  mutable pending : int;  (** journal records since the last compaction *)
+  mutable open_ : bool;
+}
+
+type t = {
+  stripes : stripe array;
+  journal : journal option;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_publishes : int Atomic.t;
+  n_compactions : int Atomic.t;
+  n_appends : int Atomic.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let stripe_of t key =
+  t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let shape_stripe_of t sign =
+  t.stripes.(Hashtbl.hash sign mod Array.length t.stripes)
+
+let make_stripes n =
+  Array.init n (fun _ ->
+      { slock = Mutex.create ();
+        entries = Hashtbl.create 64;
+        shapes = Hashtbl.create 64
+      })
+
+let make ~journal ~stripes =
+  if stripes < 1 then invalid_arg "Cache: stripes must be >= 1";
+  { stripes = make_stripes stripes;
+    journal;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_publishes = Atomic.make 0;
+    n_compactions = Atomic.make 0;
+    n_appends = Atomic.make 0
+  }
+
+let create ?(stripes = 16) () = make ~journal:None ~stripes
+
+let path t = Option.map (fun j -> j.jpath) t.journal
+
+let stats t =
+  { hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    publishes = Atomic.get t.n_publishes;
+    compactions = Atomic.get t.n_compactions;
+    appends = Atomic.get t.n_appends
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let probe t key =
+  let s = stripe_of t key in
+  locked s.slock (fun () -> Hashtbl.find_opt s.entries key)
+
+let find t key =
+  match probe t key with
+  | Some _ as hit ->
+    Atomic.incr t.n_hits;
+    Obs.count "cache.hit";
+    hit
+  | None ->
+    Atomic.incr t.n_misses;
+    Obs.count "cache.miss";
+    None
+
+let mem_shape t sign =
+  let s = shape_stripe_of t sign in
+  locked s.slock (fun () -> Hashtbl.mem s.shapes sign)
+
+let iter_shapes t f =
+  Array.iter
+    (fun s ->
+      let signs =
+        locked s.slock (fun () ->
+            Hashtbl.fold (fun sign () acc -> sign :: acc) s.shapes [])
+      in
+      List.iter f signs)
+    t.stripes
+
+let size t =
+  Array.fold_left
+    (fun acc s -> acc + locked s.slock (fun () -> Hashtbl.length s.entries))
+    0 t.stripes
+
+let n_shapes t =
+  Array.fold_left
+    (fun acc s -> acc + locked s.slock (fun () -> Hashtbl.length s.shapes))
+    0 t.stripes
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let collect t =
+  let entries = ref [] and shapes = ref [] in
+  Array.iter
+    (fun s ->
+      locked s.slock (fun () ->
+          Hashtbl.iter (fun k e -> entries := (k, e) :: !entries) s.entries;
+          Hashtbl.iter (fun sign () -> shapes := sign :: !shapes) s.shapes))
+    t.stripes;
+  (!entries, !shapes)
+
+(* Atomic snapshot write shared by [compact] and [save]: everything goes
+   to [path.tmp], renamed over [path] only once fully written — the same
+   contract (and the same injection point) as [Generator.save_database]. *)
+let write_snapshot ~ctx ~path entries shapes =
+  let fail msg = failwith (Printf.sprintf "%s: %s (%s)" ctx msg path) in
+  let tmp = path ^ ".tmp" in
+  let oc = try open_out tmp with Sys_error msg -> fail msg in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         if Faultin.fire Faultin.Db_save_error then
+           raise (Sys_error "injected db-save fault");
+         output_string oc (Db_format.magic Db_format.V3 ^ "\n");
+         output_string oc (Db_format.snapshot_body entries shapes);
+         flush oc)
+   with
+   | Sys_error msg ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     fail msg
+   | e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path with Sys_error msg -> fail msg
+
+let save t path =
+  let entries, shapes = collect t in
+  write_snapshot ~ctx:"Cache.save" ~path entries shapes
+
+let open_append path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+
+(* Rewrite the backing file as a sorted snapshot and reset the journal.
+   Called with [jlock] held. The rename is atomic, so a failure leaves
+   the previous file (snapshot + journal) fully intact. *)
+let compact_locked t j =
+  let entries, shapes = collect t in
+  write_snapshot ~ctx:"Cache.compact" ~path:j.jpath entries shapes;
+  (* the old fd points at the pre-rename inode; swap it for the new file *)
+  (try Unix.close j.fd with Unix.Unix_error _ -> ());
+  j.fd <- open_append j.jpath;
+  j.pending <- 0;
+  Atomic.incr t.n_compactions;
+  Obs.count "cache.compaction"
+
+let compact t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    locked j.jlock (fun () ->
+        if not j.open_ then failwith "Cache.compact: cache is closed";
+        compact_locked t j)
+
+let rec write_fully fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_fully fd s (pos + n) (len - n)
+  end
+
+(* Append one journal record. The whole record (including the trailing
+   newline) goes through writes that are rolled back with [ftruncate] on
+   any failure, so a failed append can never leave a torn record behind —
+   the file always ends on a record boundary. *)
+let append t record =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    locked j.jlock (fun () ->
+        if not j.open_ then failwith "Cache.publish: cache is closed";
+        let line = Db_format.journal_line record ^ "\n" in
+        let pos = Unix.lseek j.fd 0 Unix.SEEK_END in
+        (try
+           if Faultin.fire Faultin.Journal_append_error then
+             raise (Sys_error "injected journal-append fault");
+           write_fully j.fd line 0 (String.length line)
+         with e ->
+           (try Unix.ftruncate j.fd pos with Unix.Unix_error _ -> ());
+           (* the in-memory tables are now ahead of the journal; counting
+              the failed append as pending work makes the next compaction
+              (auto or at [close]) persist the orphaned entry *)
+           j.pending <- j.pending + 1;
+           let msg =
+             match e with
+             | Sys_error m -> m
+             | Unix.Unix_error (err, _, _) -> Unix.error_message err
+             | e -> raise e
+           in
+           failwith (Printf.sprintf "Cache.publish: %s (%s)" msg j.jpath));
+        j.pending <- j.pending + 1;
+        Atomic.incr t.n_appends;
+        if j.pending >= j.compact_every then compact_locked t j)
+
+(* ------------------------------------------------------------------ *)
+(* Publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let publish t key e =
+  let s = stripe_of t key in
+  let fresh =
+    locked s.slock (fun () ->
+        if Hashtbl.mem s.entries key then false
+        else begin
+          Hashtbl.replace s.entries key e;
+          true
+        end)
+  in
+  if fresh then begin
+    Atomic.incr t.n_publishes;
+    Obs.count "cache.publish";
+    append t (Db_format.Priced (key, e))
+  end
+
+let publish_shape t sign =
+  let s = shape_stripe_of t sign in
+  let fresh =
+    locked s.slock (fun () ->
+        if Hashtbl.mem s.shapes sign then false
+        else begin
+          Hashtbl.replace s.shapes sign ();
+          true
+        end)
+  in
+  if fresh then append t (Db_format.Shape sign)
+
+(* ------------------------------------------------------------------ *)
+(* Open / close                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let insert_mem t = function
+  | Db_format.Priced (key, e) ->
+    let s = stripe_of t key in
+    locked s.slock (fun () -> Hashtbl.replace s.entries key e)
+  | Db_format.Shape sign ->
+    let s = shape_stripe_of t sign in
+    locked s.slock (fun () -> Hashtbl.replace s.shapes sign ())
+
+let open_file ?(stripes = 16) ?(compact_every = 256) path =
+  if compact_every < 1 then
+    invalid_arg "Cache.open_file: compact_every must be >= 1";
+  let exists = Sys.file_exists path in
+  let contents =
+    if not exists then None
+    else
+      match Db_format.parse_file path with
+      | Ok c -> Some c
+      | Error "empty file" -> None  (* treat a 0-byte file as fresh *)
+      | Error msg ->
+        failwith (Printf.sprintf "Cache.open_file: %s (%s)" msg path)
+  in
+  let journal =
+    { jlock = Mutex.create ();
+      jpath = path;
+      compact_every;
+      fd = Unix.stdin;  (* placeholder; replaced below *)
+      pending = 0;
+      open_ = true
+    }
+  in
+  let t = make ~journal:(Some journal) ~stripes in
+  (match contents with
+  | None ->
+    (* fresh file: just the v3 header *)
+    write_snapshot ~ctx:"Cache.open_file" ~path [] [];
+    journal.fd <- open_append path
+  | Some c ->
+    List.iter (insert_mem t) c.snapshot;
+    (* journal replay, last-wins *)
+    List.iter (insert_mem t) c.journal;
+    (match c.version with
+    | Db_format.V3 ->
+      journal.fd <- open_append path;
+      if c.torn_tail then
+        (* drop the torn record from disk too, so appends resume on a
+           record boundary *)
+        (try Unix.ftruncate journal.fd c.valid_bytes
+         with Unix.Unix_error (err, _, _) ->
+           failwith
+             (Printf.sprintf "Cache.open_file: %s (%s)"
+                (Unix.error_message err) path));
+      journal.pending <- List.length c.journal
+    | Db_format.V1 | Db_format.V2 ->
+      (* migrate the snapshot format in place *)
+      journal.fd <- open_append path;
+      locked journal.jlock (fun () -> compact_locked t journal)));
+  t
+
+let close t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    locked j.jlock (fun () ->
+        if j.open_ then begin
+          if j.pending > 0 then compact_locked t j;
+          (try Unix.close j.fd with Unix.Unix_error _ -> ());
+          j.open_ <- false
+        end)
+
+let with_file ?stripes ?compact_every path f =
+  let t = open_file ?stripes ?compact_every path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,146 @@
+(** The shared, persistent, cross-run pulse cache.
+
+    The paper's offline/online split amortises QOC cost across {e reuse}:
+    a pulse priced once should never be synthesised again — not later in
+    the same compile, not in the next benchmark of a suite, not in
+    tomorrow's run. {!Generator} already provides the first level (its
+    per-generator database); this module provides the other two:
+
+    - {b shared across compilations} — one [Cache.t] can back any number
+      of generators concurrently. The table is content-addressed by the
+      canonical group key (see {!Generator.key}) and {e lock-striped}:
+      keys are sharded by hash over a fixed number of stripes, each a
+      mutex-protected table, so concurrent lookups and publishes from
+      parallel compilations contend only per stripe;
+    - {b persistent across runs} — a cache opened with {!open_file} is
+      backed by a ["paqoc-pulse-db v3"] journal file: every fresh publish
+      appends one record (a single [write]), and the journal is
+      periodically {e compacted} back into the sorted snapshot form.
+      A crash can tear at most the final append; {!Db_format}'s replay
+      rule drops a torn tail, and {!open_file} truncates it away before
+      appending again. v1/v2 snapshot files load transparently and are
+      migrated to v3 on open.
+
+    Observability: lookups, publishes and compactions count the
+    [cache.hit] / [cache.miss] / [cache.publish] / [cache.compaction]
+    {!Paqoc_obs.Obs} counters, and every instance keeps its own
+    {!stats} so suite drivers can report per-benchmark hit rates.
+
+    Determinism: the snapshot bytes written by {!compact} (and by
+    {!close}) are a sorted, canonical function of the cache contents.
+    When publishes are serialised — as {!Generator} does, publishing
+    from its in-order commit phase — the journal order, the compaction
+    points and therefore every byte on disk are independent of the
+    worker count. *)
+
+(** A priced entry, as persisted: latency, error, fidelity, provenance.
+    The concrete record is {!Db_format.entry} — waveforms are never
+    stored; a QOC backend regenerates them on demand, warm-started from
+    the published shape signatures. *)
+type entry = Db_format.entry = {
+  latency : float;
+  error : float;
+  fidelity : float;
+  provenance : Db_format.provenance;
+}
+
+type t
+
+(** Monotonic per-instance counters, readable at any time. *)
+type stats = {
+  hits : int;  (** {!find} calls answered from the cache *)
+  misses : int;  (** {!find} calls the cache could not answer *)
+  publishes : int;  (** fresh entries accepted by {!publish} *)
+  compactions : int;  (** journal compactions (incl. v1/v2 migration) *)
+  appends : int;  (** journal records appended since open *)
+}
+
+(** [create ()] is a fresh in-memory cache (no backing file).
+    [stripes] (default 16) sets the shard count.
+    @raise Invalid_argument when [stripes < 1]. *)
+val create : ?stripes:int -> unit -> t
+
+(** [open_file path] opens a persistent cache backed by [path]:
+
+    - a missing or empty file is initialised as an empty v3 journal;
+    - an existing v1/v2 snapshot is loaded and compacted to v3 in place;
+    - an existing v3 file is loaded (snapshot, then journal replay with
+      last-wins semantics); a torn trailing record is dropped and
+      truncated away so subsequent appends start from a clean tail.
+
+    [compact_every] (default 256) bounds the journal: once that many
+    records have been appended since the last compaction, the next
+    append compacts the file back to a sorted snapshot.
+
+    @raise Failure on a malformed file or an I/O error.
+    @raise Invalid_argument when [stripes < 1] or [compact_every < 1]. *)
+val open_file : ?stripes:int -> ?compact_every:int -> string -> t
+
+(** [with_file path f] opens [path], runs [f], and always closes the
+    cache (compacting any pending journal) before returning. *)
+val with_file :
+  ?stripes:int -> ?compact_every:int -> string -> (t -> 'a) -> 'a
+
+(** The backing file, when the cache is persistent. *)
+val path : t -> string option
+
+(** {1 Lookup and publish} *)
+
+(** [find t key] is the entry published under [key], counting
+    [cache.hit] / [cache.miss] (and {!stats}). Use for the authoritative
+    consult on the synthesis path. *)
+val find : t -> string -> entry option
+
+(** [probe t key] is {!find} without the hit/miss accounting — for
+    warm-start planning probes (prefix and similarity lookups) that
+    should not distort the hit rate. *)
+val probe : t -> string -> entry option
+
+(** [publish t key e] makes [e] available under [key] and, on a
+    persistent cache, appends one journal record. Publishing an
+    already-present key is a no-op (the cache is content-addressed:
+    equal keys denote equal pulses), so republishing costs nothing and
+    the journal only ever grows by fresh work.
+
+    @raise Failure when the journal append fails (including an armed
+    {!Faultin.Journal_append_error}); the backing file is rolled back to
+    its pre-append length, so it is never left torn. The in-memory entry
+    is kept — the cache stays ahead of its journal, never behind. *)
+val publish : t -> string -> entry -> unit
+
+(** [publish_shape t sign] records a shape signature (the warm-start
+    index), with the same journal and no-op-on-duplicate semantics as
+    {!publish}. *)
+val publish_shape : t -> string -> unit
+
+(** [mem_shape t sign] — whether [sign] has been published. *)
+val mem_shape : t -> string -> bool
+
+(** [iter_shapes t f] calls [f] on every known shape signature, in
+    unspecified order (callers sort; {!Generator}'s planner does). *)
+val iter_shapes : t -> (string -> unit) -> unit
+
+(** {1 Maintenance} *)
+
+(** Number of priced entries / shape signatures currently held. *)
+val size : t -> int
+
+val n_shapes : t -> int
+val stats : t -> stats
+
+(** [compact t] rewrites the backing file as a sorted v3 snapshot with
+    an empty journal (atomic: tmp + rename). No-op on an in-memory
+    cache. @raise Failure on an I/O error (including an armed
+    {!Faultin.Db_save_error}); the existing file is left intact. *)
+val compact : t -> unit
+
+(** [save t path] writes a sorted v3 snapshot of the current contents to
+    an arbitrary [path] (atomic), leaving the backing journal (if any)
+    untouched. @raise Failure on an I/O error. *)
+val save : t -> string -> unit
+
+(** [close t] compacts any pending journal records and closes the
+    backing file. Idempotent; no-op on an in-memory cache.
+    @raise Failure when the final compaction fails (the journal file is
+    still valid — compaction is atomic). *)
+val close : t -> unit

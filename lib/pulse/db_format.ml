@@ -1,0 +1,196 @@
+type provenance = Synthesized | Fallback
+
+type entry = {
+  latency : float;
+  error : float;
+  fidelity : float;
+  provenance : provenance;
+}
+
+type record = Priced of string * entry | Shape of string
+
+type version = V1 | V2 | V3
+
+let magic = function
+  | V1 -> "paqoc-pulse-db v1"
+  | V2 -> "paqoc-pulse-db v2"
+  | V3 -> "paqoc-pulse-db v3"
+
+let version_of_magic line =
+  if String.equal line (magic V1) then Some V1
+  else if String.equal line (magic V2) then Some V2
+  else if String.equal line (magic V3) then Some V3
+  else None
+
+let provenance_char = function Synthesized -> 'q' | Fallback -> 'f'
+
+let record_line = function
+  | Priced (key, e) ->
+    Printf.sprintf "K %.17g %.17g %.17g %c %s" e.latency e.error e.fidelity
+      (provenance_char e.provenance) key
+  | Shape sign -> "S " ^ sign
+
+let journal_line r = "+" ^ record_line r
+
+let snapshot_body entries shapes =
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let shapes = List.sort String.compare shapes in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (key, e) ->
+      Buffer.add_string buf (record_line (Priced (key, e)));
+      Buffer.add_char buf '\n')
+    entries;
+  List.iter
+    (fun sign ->
+      Buffer.add_string buf (record_line (Shape sign));
+      Buffer.add_char buf '\n')
+    shapes;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type contents = {
+  version : version;
+  snapshot : record list;
+  journal : record list;
+  torn_tail : bool;
+  valid_bytes : int;
+}
+
+(* Parse the body of a K/S line (the leading "K "/"S " included,
+   any "+" already stripped). *)
+let parse_record version line =
+  if String.length line >= 2 && line.[0] = 'K' then
+    match String.split_on_char ' ' line with
+    | "K" :: lat :: err :: fid :: rest when rest <> [] -> (
+      let num name s =
+        match float_of_string_opt s with
+        | Some f -> Ok f
+        | None -> Error ("bad " ^ name)
+      in
+      let provenance_and_key =
+        match version with
+        | V1 -> Ok (Synthesized, rest)
+        | V2 | V3 -> (
+          match rest with
+          | "q" :: kp -> Ok (Synthesized, kp)
+          | "f" :: kp -> Ok (Fallback, kp)
+          | _ -> Error "bad provenance")
+      in
+      match (num "latency" lat, num "error" err, num "fidelity" fid,
+             provenance_and_key)
+      with
+      | Ok latency, Ok error, Ok fidelity, Ok (provenance, key_parts) ->
+        if key_parts = [] then Error "bad K line"
+        else
+          Ok
+            (Priced
+               ( String.concat " " key_parts,
+                 { latency; error; fidelity; provenance } ))
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+      | _, _, _, Error e ->
+        Error e)
+    | _ -> Error "bad K line"
+  else if String.length line >= 2 && line.[0] = 'S' then
+    Ok (Shape (String.sub line 2 (String.length line - 2)))
+  else Error "unrecognised line"
+
+let parse_string s =
+  let len = String.length s in
+  (* the header line *)
+  let header_end =
+    match String.index_opt s '\n' with Some i -> i | None -> len
+  in
+  if header_end = 0 || len = 0 then Error "empty file"
+  else
+    match version_of_magic (String.sub s 0 header_end) with
+    | None -> Error "bad header"
+    | Some version -> (
+      let snapshot = ref [] in
+      let journal = ref [] in
+      let in_journal = ref false in
+      let torn = ref false in
+      let valid = ref (min len (header_end + 1)) in
+      let error = ref None in
+      let feed ~complete ~start line =
+        match !error with
+        | Some _ -> ()
+        | None ->
+          if String.length line = 0 then begin
+            if complete then valid := start + 1
+          end
+          else if not complete then begin
+            (* a trailing segment with no newline: in a v3 file this is
+               the torn tail of a crashed append and is dropped; v1/v2
+               snapshots are written atomically, so an unterminated final
+               line there is parsed normally (hand-written files) *)
+            match version with
+            | V3 -> torn := true
+            | V1 | V2 -> (
+              match parse_record version line with
+              | Ok r ->
+                snapshot := r :: !snapshot;
+                valid := start + String.length line
+              | Error e -> error := Some e)
+          end
+          else if line.[0] = '+' then begin
+            match version with
+            | V1 | V2 -> error := Some "journal record in a snapshot file"
+            | V3 -> (
+              in_journal := true;
+              match
+                parse_record version
+                  (String.sub line 1 (String.length line - 1))
+              with
+              | Ok r ->
+                journal := r :: !journal;
+                valid := start + String.length line + 1
+              | Error e -> error := Some e)
+          end
+          else if !in_journal then
+            error := Some "snapshot record after journal records"
+          else
+            match parse_record version line with
+            | Ok r ->
+              snapshot := r :: !snapshot;
+              valid := start + String.length line + 1
+            | Error e -> error := Some e
+      in
+      let pos = ref (header_end + 1) in
+      while !pos <= len && !error = None do
+        if !pos = len then pos := len + 1
+        else
+          match String.index_from_opt s !pos '\n' with
+          | Some nl ->
+            feed ~complete:true ~start:!pos
+              (String.sub s !pos (nl - !pos));
+            pos := nl + 1
+          | None ->
+            feed ~complete:false ~start:!pos
+              (String.sub s !pos (len - !pos));
+            pos := len + 1
+      done;
+      match !error with
+      | Some e -> Error e
+      | None ->
+        Ok
+          { version;
+            snapshot = List.rev !snapshot;
+            journal = List.rev !journal;
+            torn_tail = !torn;
+            valid_bytes = !valid
+          })
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string s

@@ -1,0 +1,94 @@
+(** The on-disk pulse-database formats, shared by {!Generator} (the
+    per-run [--db] table) and {!Cache} (the cross-run shared cache).
+
+    Three versions of one line-oriented text format exist
+    (see [docs/pulse-db-format.md] for the byte-level specification):
+
+    - {b v1} — header ["paqoc-pulse-db v1"], then [K] (priced entry) and
+      [S] (shape signature) records with no provenance token;
+    - {b v2} — v1 plus a provenance token ([q] synthesized / [f]
+      fallback) on every [K] record; still a pure snapshot, written
+      atomically and sorted;
+    - {b v3} — a v2-style sorted snapshot section followed by an
+      append-only {e journal} of [+K]/[+S] records. Appends are cheap
+      (one [write] per record); {!Cache} periodically {e compacts} the
+      journal back into the sorted snapshot. A file whose final journal
+      record was torn by a crash (no trailing newline) is still loadable:
+      the torn tail is dropped during replay.
+
+    This module is pure parsing and serialisation — no table semantics.
+    Consumers decide how duplicate keys merge (the generator keeps the
+    first occurrence, the cache replays journals with last-wins). *)
+
+(** How a priced entry was obtained; the [q]/[f] token of v2+. The
+    canonical definition lives here so that {!Generator} and {!Cache}
+    (which cannot depend on each other) share one type. *)
+type provenance = Synthesized | Fallback
+
+(** One priced database entry: what a [K] record carries. Waveforms are
+    never persisted — a QOC backend regenerates them on demand. *)
+type entry = {
+  latency : float;  (** pulse duration, device dt *)
+  error : float;  (** per-group infidelity *)
+  fidelity : float;  (** achieved gate fidelity *)
+  provenance : provenance;
+}
+
+(** A parsed record: a priced entry keyed by the canonical group key, or
+    a known shape signature. *)
+type record = Priced of string * entry | Shape of string
+
+type version = V1 | V2 | V3
+
+(** [magic v] is the header line of version [v],
+    e.g. ["paqoc-pulse-db v3"]. *)
+val magic : version -> string
+
+(** [version_of_magic line] recognises a header line. *)
+val version_of_magic : string -> version option
+
+(** {1 Serialisation} *)
+
+(** [record_line r] is the snapshot line for [r], without the trailing
+    newline — ["K <lat> <err> <fid> <q|f> <key>"] or ["S <sign>"]
+    (floats printed as [%.17g], so round-trips are exact). *)
+val record_line : record -> string
+
+(** [journal_line r] is the v3 journal form: ["+"] followed by
+    {!record_line}. *)
+val journal_line : record -> string
+
+(** [snapshot_body entries shapes] renders the canonical snapshot body:
+    [K] lines sorted by key, then [S] lines sorted by signature, each
+    newline-terminated. The bytes are a pure function of the contents,
+    which is what makes saved databases comparable across runs and
+    worker counts. *)
+val snapshot_body : (string * entry) list -> string list -> string
+
+(** {1 Parsing} *)
+
+(** A fully parsed file. *)
+type contents = {
+  version : version;
+  snapshot : record list;  (** snapshot records, in file order *)
+  journal : record list;  (** complete v3 journal records, in file order *)
+  torn_tail : bool;  (** a torn trailing journal record was dropped *)
+  valid_bytes : int;
+      (** offset one past the last complete record — the length to
+          truncate a torn file back to before appending to it *)
+}
+
+(** [parse_string s] parses a whole database file image.
+
+    Rules: the header must be a known magic; every complete line must
+    parse ([K]/[S] in the snapshot section, [+K]/[+S] after the first
+    journal record; blank lines are skipped); a snapshot record after a
+    journal record is an error. In a v3 file only, a final segment with
+    no trailing newline is a torn journal tail and is dropped (that is
+    the crash-replay rule — appends are a single write, so a crash can
+    only tear the last record). *)
+val parse_string : string -> (contents, string) result
+
+(** [parse_file path] reads and parses [path].
+    @raise Sys_error when the file cannot be opened or read. *)
+val parse_file : string -> (contents, string) result

@@ -1,6 +1,11 @@
 module Obs = Paqoc_obs.Obs
 
-type point = Grape_diverge | Db_save_error | Pool_task_crash | Timeout
+type point =
+  | Grape_diverge
+  | Db_save_error
+  | Journal_append_error
+  | Pool_task_crash
+  | Timeout
 
 type trigger =
   | Always
@@ -13,10 +18,13 @@ exception Injected of point
 let point_name = function
   | Grape_diverge -> "grape-diverge"
   | Db_save_error -> "db-save-error"
+  | Journal_append_error -> "journal-append-error"
   | Pool_task_crash -> "pool-task-crash"
   | Timeout -> "timeout"
 
-let all_points = [ Grape_diverge; Db_save_error; Pool_task_crash; Timeout ]
+let all_points =
+  [ Grape_diverge; Db_save_error; Journal_append_error; Pool_task_crash;
+    Timeout ]
 
 (* One cell per point; [armed] is the single load every disarmed [fire]
    pays. Counts survive individual firings but reset on [configure] so a

@@ -20,7 +20,12 @@
 (** Where a fault can be injected. *)
 type point =
   | Grape_diverge  (** GRAPE reports divergence without optimising *)
-  | Db_save_error  (** {!Generator.save_database} fails mid-write *)
+  | Db_save_error
+      (** {!Generator.save_database} (and {!Cache} snapshot compaction)
+          fails mid-write *)
+  | Journal_append_error
+      (** a {!Cache} journal append fails before the record lands; the
+          append layer rolls the file back so it is never left torn *)
   | Pool_task_crash  (** a pool task raises before running *)
   | Timeout  (** a QOC task's deadline fires immediately *)
 
@@ -62,8 +67,9 @@ val call_count : point -> int
     [point\[:option\]*] clauses, e.g. ["grape-diverge"],
     ["timeout:first=2"], ["db-save-error:every=3"],
     ["grape-diverge:prob=0.25:seed=42,timeout"]. Points:
-    [grape-diverge], [db-save-error], [pool-task-crash], [timeout].
-    Returns [Error msg] on malformed input. *)
+    [grape-diverge], [db-save-error], [journal-append-error],
+    [pool-task-crash], [timeout]. Returns [Error msg] on malformed
+    input. *)
 val parse_spec : string -> ((point * trigger) list, string) result
 
 (** [spec_to_string pts] prints a spec {!parse_spec} accepts (diagnostic

@@ -60,7 +60,7 @@ let serialize ~label g =
 let key g = serialize ~label:Gate.mining_label g
 let shape_signature g = serialize ~label:Gate.name g
 
-type provenance = Synthesized | Fallback
+type provenance = Db_format.provenance = Synthesized | Fallback
 
 let provenance_name = function
   | Synthesized -> "synthesized"
@@ -113,6 +113,9 @@ type t = {
   mutable n_shape : int;
   mutable n_similar : int;
   mutable n_fallback : int;
+  mutable shared : Cache.t option;
+      (** cross-run cache; consulted after the local tables miss,
+          published to from the commit phase *)
 }
 
 let locked t f =
@@ -133,7 +136,7 @@ let is_table_entry g =
   | [ _ ] -> true
   | _ -> false
 
-let create ?(retry = default_retry) backend =
+let create ?(retry = default_retry) ?shared backend =
   if retry.max_attempts < 1 then
     invalid_arg "Generator.create: retry.max_attempts must be >= 1";
   { backend;
@@ -148,8 +151,12 @@ let create ?(retry = default_retry) backend =
     n_prefix = 0;
     n_shape = 0;
     n_similar = 0;
-    n_fallback = 0
+    n_fallback = 0;
+    shared
   }
+
+let set_shared_cache t c = locked t (fun () -> t.shared <- c)
+let shared_cache t = locked t (fun () -> t.shared)
 
 let model_default ?retry () = create ?retry (Model Latency_model.default)
 
@@ -351,6 +358,20 @@ let shape_distance a b =
 (* who provides a key/signature needed by a later task *)
 type provider = Db | Batch of int
 
+(* A shared-cache entry viewed as a local database row — exactly what
+   [load_database] would have constructed for the same record. *)
+let outcome_of_entry (e : Db_format.entry) =
+  { latency = e.Db_format.latency;
+    error = e.Db_format.error;
+    gen_seconds = 0.0;
+    cache_hit = false;
+    seeded = false;
+    fidelity = e.Db_format.fidelity;
+    pulse = None;
+    provenance = e.Db_format.provenance;
+    attempts = 0
+  }
+
 type seed_class = C_cold | C_prefix | C_shape | C_similar
 
 type seed_source =
@@ -387,6 +408,19 @@ let plan_batch t groups =
     | Some j -> Some (Batch j)
     | None -> if Hashtbl.mem t.by_shape s then Some Db else None
   in
+  (* shared-cache consults, all after the batch and local tables miss:
+     [shared_find] is the authoritative (counted) lookup for a task's own
+     key; [shared_probe]/[shared_mem_shape] are uncounted warm-start
+     probes, so planning noise never distorts the suite hit rate *)
+  let shared_find k =
+    match t.shared with None -> None | Some c -> Cache.find c k
+  in
+  let shared_probe k =
+    match t.shared with None -> None | Some c -> Cache.probe c k
+  in
+  let shared_mem_shape s =
+    match t.shared with None -> false | Some c -> Cache.mem_shape c s
+  in
   let shape_src sign = function
     | Batch j -> Src_batch j
     | Db -> Src_db (Hashtbl.find t.by_shape sign, 0.0)
@@ -401,6 +435,10 @@ let plan_batch t groups =
   let plan_seed g sign =
     match find_shape sign with
     | Some p -> (C_shape, shape_src sign p)
+    | None when shared_mem_shape sign ->
+      (* another compilation already generated this shape; no waveform is
+         persisted, but the class still prices as a seeded generation *)
+      (C_shape, Src_db (None, 0.0))
     | None -> (
       let edge_hit apps_opt =
         match apps_opt with
@@ -413,13 +451,17 @@ let plan_batch t groups =
           | Some Db ->
             let o = Hashtbl.find t.cache ksub in
             Some (C_prefix, Src_db (o.pulse, o.latency))
-          | None ->
-            (* a single-primitive constituent is a calibration-table pulse:
-               always available as a warm start even though nothing
-               generated it *)
-            if is_table_entry sub then
-              Some (C_prefix, Src_db (None, estimate_latency t sub))
-            else None)
+          | None -> (
+            match shared_probe ksub with
+            | Some (e : Cache.entry) ->
+              Some (C_prefix, Src_db (None, e.latency))
+            | None ->
+              (* a single-primitive constituent is a calibration-table
+                 pulse: always available as a warm start even though
+                 nothing generated it *)
+              if is_table_entry sub then
+                Some (C_prefix, Src_db (None, estimate_latency t sub))
+              else None))
       in
       let prefix_hit =
         match edge_hit (prefix_apps g) with
@@ -454,12 +496,26 @@ let plan_batch t groups =
       match find_cache k with
       | Some Db -> P_hit_db (Hashtbl.find t.cache k)
       | Some (Batch j) -> P_hit_batch j
-      | None ->
-        let sign = shape_signature g in
-        let cls, src = plan_seed g sign in
-        Hashtbl.replace batch_cache k i;
-        Hashtbl.replace batch_shape sign i;
-        P_synth { g; k; sign; cls; src })
+      | None -> (
+        match shared_find k with
+        | Some e ->
+          (* import the shared entry into the local tables right here (we
+             hold [t.lock] while planning), so the rest of this batch and
+             every later one sees it exactly as a database hit — and a
+             subsequent [save_database] writes the same rows a cold run
+             would have *)
+          let o = outcome_of_entry e in
+          Hashtbl.replace t.cache k o;
+          let sign = shape_signature g in
+          if not (Hashtbl.mem t.by_shape sign) then
+            Hashtbl.replace t.by_shape sign None;
+          P_hit_db o
+        | None ->
+          let sign = shape_signature g in
+          let cls, src = plan_seed g sign in
+          Hashtbl.replace batch_cache k i;
+          Hashtbl.replace batch_shape sign i;
+          P_synth { g; k; sign; cls; src }))
     groups
 
 (* Graceful degradation: price the group as its decomposed default-basis
@@ -701,6 +757,26 @@ let commit_batch t plans results =
         | Synthesized -> ());
         Hashtbl.replace t.cache k o;
         Hashtbl.replace t.by_shape sign o.pulse;
+        (* share synthesized pulses with other compilations and future
+           runs; fallbacks are this run's degradation and must not poison
+           the cross-run cache. The commit phase is serial and in input
+           order, so the journal bytes are independent of [jobs]. *)
+        (match (t.shared, o.provenance) with
+        | Some c, Synthesized -> (
+          try
+            Cache.publish c k
+              { Db_format.latency = o.latency;
+                error = o.error;
+                fidelity = o.fidelity;
+                provenance = o.provenance
+              };
+            Cache.publish_shape c sign
+          with Failure _ ->
+            (* persistence degraded, compilation unaffected: the entry
+               stays live in the shared cache's memory and lands on disk
+               at the next successful compaction *)
+            Obs.count "cache.publish_error")
+        | _ -> ());
         t.generated <- t.generated + 1;
         t.seconds <- t.seconds +. o.gen_seconds;
         Obs.count "generator.generated";
@@ -760,9 +836,9 @@ let reset_accounting t =
 (* ------------------------------------------------------------------ *)
 
 (* v2 adds a provenance token ('q' synthesized / 'f' fallback) to each K
-   line; v1 files still load, with every entry treated as synthesized. *)
-let magic = "paqoc-pulse-db v2"
-let magic_v1 = "paqoc-pulse-db v1"
+   line; v1 files still load, with every entry treated as synthesized.
+   See {!Db_format} for the byte-level rules shared with the v3 journal. *)
+let magic = Db_format.magic Db_format.V2
 
 (* Entries are written in sorted key order so the file is a canonical
    function of the database contents — serial and parallel runs over the
@@ -815,63 +891,30 @@ let save_database t path =
          raise e);
       try Sys.rename tmp path with Sys_error msg -> fail msg)
 
+(* Parsing is delegated to {!Db_format}, which understands all three
+   on-disk generations — v1/v2 snapshots and the v3 journal the shared
+   {!Cache} maintains — with the same error messages this function has
+   always raised. Merging is first-wins against the in-memory table (a
+   loaded file never overrides entries the generator already priced). *)
 let load_database t path =
   locked t (fun () ->
-      let ic = open_in path in
       let fail msg =
-        close_in ic;
         failwith (Printf.sprintf "Generator.load_database: %s (%s)" msg path)
       in
-      let v2 =
-        match input_line ic with
-        | header when String.equal header magic -> true
-        | header when String.equal header magic_v1 -> false
-        | _ -> fail "bad header"
-        | exception End_of_file -> fail "empty file"
+      let c =
+        match Db_format.parse_file path with
+        | Ok c -> c
+        | Error msg -> fail msg
       in
-      (try
-         while true do
-           let line = input_line ic in
-           if String.length line >= 2 && line.[0] = 'K' then begin
-             match String.split_on_char ' ' line with
-             | "K" :: lat :: err :: fid :: rest when rest <> [] ->
-               let num name s =
-                 match float_of_string_opt s with
-                 | Some f -> f
-                 | None -> fail ("bad " ^ name)
-               in
-               let provenance, key_parts =
-                 if v2 then
-                   match rest with
-                   | "q" :: kp -> (Synthesized, kp)
-                   | "f" :: kp -> (Fallback, kp)
-                   | _ -> fail "bad provenance"
-                 else (Synthesized, rest)
-               in
-               if key_parts = [] then fail "bad K line";
-               let key = String.concat " " key_parts in
-               if not (Hashtbl.mem t.cache key) then
-                 Hashtbl.replace t.cache key
-                   { latency = num "latency" lat;
-                     error = num "error" err;
-                     fidelity = num "fidelity" fid;
-                     gen_seconds = 0.0;
-                     cache_hit = false;
-                     seeded = false;
-                     pulse = None;
-                     provenance;
-                     attempts = 0
-                   }
-             | _ -> fail "bad K line"
-           end
-           else if String.length line >= 2 && line.[0] = 'S' then begin
-             let sign = String.sub line 2 (String.length line - 2) in
-             if not (Hashtbl.mem t.by_shape sign) then
-               Hashtbl.replace t.by_shape sign None
-           end
-           else if String.length line > 0 then fail "unrecognised line"
-         done
-       with End_of_file -> ());
-      close_in ic)
+      let add = function
+        | Db_format.Priced (key, e) ->
+          if not (Hashtbl.mem t.cache key) then
+            Hashtbl.replace t.cache key (outcome_of_entry e)
+        | Db_format.Shape sign ->
+          if not (Hashtbl.mem t.by_shape sign) then
+            Hashtbl.replace t.by_shape sign None
+      in
+      List.iter add c.Db_format.snapshot;
+      List.iter add c.Db_format.journal)
 
 let database_size t = locked t (fun () -> Hashtbl.length t.cache)

@@ -36,8 +36,9 @@ val shape_signature : group -> string
 (** How an outcome was obtained: [Synthesized] is the normal QOC (or
     model) path; [Fallback] means every synthesis attempt failed and the
     group was priced from its decomposed default-basis calibration pulses
-    instead — a schedule always exists, at a latency penalty. *)
-type provenance = Synthesized | Fallback
+    instead — a schedule always exists, at a latency penalty. The concrete
+    type lives in {!Db_format} (persistence shares it with {!Cache}). *)
+type provenance = Db_format.provenance = Synthesized | Fallback
 
 val provenance_name : provenance -> string
 
@@ -87,8 +88,11 @@ val default_retry : retry
 
 type t
 
-(** @raise Invalid_argument when [retry.max_attempts < 1]. *)
-val create : ?retry:retry -> backend -> t
+(** [create backend] is a fresh generator. [shared] attaches a cross-run
+    {!Cache} from the start (equivalent to {!set_shared_cache} right
+    after creation).
+    @raise Invalid_argument when [retry.max_attempts < 1]. *)
+val create : ?retry:retry -> ?shared:Cache.t -> backend -> t
 
 (** [model_default ()] is a generator over {!Latency_model.default}. *)
 val model_default : ?retry:retry -> unit -> t
@@ -99,6 +103,26 @@ val qoc_default : ?retry:retry -> unit -> t
 
 (** The resilience policy [t] was created with. *)
 val retry_policy : t -> retry
+
+(** {1 The shared cross-run cache}
+
+    A generator may be attached to a {!Cache} shared by any number of
+    compilations (and, through its journal file, by past and future
+    runs). The consult order is: this generator's own tables first, then
+    the shared cache — a shared hit is imported into the local tables
+    (as {!load_database} would have) and skips synthesis entirely,
+    counting one [cache.hit]; a local synthesis publishes its priced
+    entry and shape signature back (fallback outcomes are never
+    published — a degraded run must not poison the shared cache). A
+    failed publish (e.g. a journal-append I/O error) degrades
+    persistence only: it counts [cache.publish_error] and the compile
+    proceeds. *)
+
+(** [set_shared_cache t c] attaches ([Some]) or detaches ([None]) the
+    shared cache consulted by subsequent generations. *)
+val set_shared_cache : t -> Cache.t option -> unit
+
+val shared_cache : t -> Cache.t option
 
 (** [generate t g] prices (and, on the QOC backend, synthesises) the pulse
     for group [g], consulting and updating the pulse database. Atomic:
@@ -170,8 +194,11 @@ val reset_accounting : t -> unit
     are not persisted — a QOC backend regenerates them on demand
     (warm-started, since the shapes are known). Files are written in
     sorted key order, so the bytes are a canonical function of the
-    database contents. The current format is
-    ["paqoc-pulse-db v2"]; v1 files (no provenance token) still load. *)
+    database contents. The current snapshot format is
+    ["paqoc-pulse-db v2"]; [load_database] also accepts v1 files (no
+    provenance token) and the journaled ["paqoc-pulse-db v3"] files the
+    shared {!Cache} maintains. See {!Db_format} for the byte-level
+    specification. *)
 
 (** @raise Failure on an I/O error (including an armed
     {!Faultin.Db_save_error}); the target file is never left truncated. *)

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_grape.json file against the paqoc-bench v1 schema.
+"""Validate BENCH_*.json files against the paqoc-bench v1 schemas.
 
 Used by `make bench-smoke` (and CI) to catch drift in the benchmark
-emission path: a field rename, a type change or an empty run list fails
+emission paths: a field rename, a type change or an empty run list fails
 here before anyone tries to plot a perf trajectory from broken entries.
+Dispatches on the document's "bench" tag: "grape" (per-iteration GRAPE
+cost) or "cache" (cold-vs-warm shared-cache suite compile).
 """
 import json
 import sys
 
-REQUIRED_RUN_FIELDS = {
+GRAPE_RUN_FIELDS = {
     "phase": str,
     "case": str,
     "dim": int,
@@ -18,10 +20,76 @@ REQUIRED_RUN_FIELDS = {
     "ns_per_iter": (int, float),
 }
 
+CACHE_RUN_FIELDS = {
+    "phase": str,
+    "wall_s": (int, float),
+    "synthesized": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "hit_rate": (int, float),
+    "per_benchmark": list,
+}
+
+CACHE_PER_BENCHMARK_FIELDS = {
+    "name": str,
+    "synthesized": int,
+    "cache_hits": int,
+    "hit_rate": (int, float),
+}
+
 
 def fail(msg):
     print(f"check_bench_schema: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_fields(path, label, obj, fields):
+    if not isinstance(obj, dict):
+        fail(f"{path}: {label} is not an object")
+    for field, ty in fields.items():
+        if field not in obj:
+            fail(f"{path}: {label} missing {field!r}")
+        if not isinstance(obj[field], ty) or isinstance(obj[field], bool):
+            fail(f"{path}: {label}.{field} has type "
+                 f"{type(obj[field]).__name__}")
+
+
+def check_grape(path, doc, runs):
+    for i, run in enumerate(runs):
+        check_fields(path, f"runs[{i}]", run, GRAPE_RUN_FIELDS)
+        if run["ns_per_iter"] <= 0:
+            fail(f"{path}: runs[{i}].ns_per_iter must be positive")
+        if run["dim"] < 1 or run["n_slices"] < 1:
+            fail(f"{path}: runs[{i}] has non-positive dim/n_slices")
+
+
+def check_cache(path, doc, runs):
+    n = doc.get("benchmarks")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        fail(f"{path}: benchmarks must be a positive int")
+    phases = []
+    for i, run in enumerate(runs):
+        check_fields(path, f"runs[{i}]", run, CACHE_RUN_FIELDS)
+        phases.append(run["phase"])
+        if not 0.0 <= run["hit_rate"] <= 1.0:
+            fail(f"{path}: runs[{i}].hit_rate must be in [0,1]")
+        per = run["per_benchmark"]
+        if len(per) != n:
+            fail(f"{path}: runs[{i}].per_benchmark has {len(per)} entries, "
+                 f"want {n}")
+        for j, b in enumerate(per):
+            check_fields(path, f"runs[{i}].per_benchmark[{j}]", b,
+                         CACHE_PER_BENCHMARK_FIELDS)
+    if phases != ["cold", "warm"]:
+        fail(f"{path}: run phases are {phases}, want ['cold', 'warm']")
+    rate = doc.get("synthesis_skip_rate")
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+        fail(f"{path}: synthesis_skip_rate must be a number")
+    if not 0.0 <= rate <= 1.0:
+        fail(f"{path}: synthesis_skip_rate must be in [0,1]")
+
+
+CHECKERS = {"grape": check_grape, "cache": check_cache}
 
 
 def check(path):
@@ -34,25 +102,15 @@ def check(path):
         fail(f"{path}: top level must be an object")
     if doc.get("schema") != "paqoc-bench v1":
         fail(f"{path}: schema is {doc.get('schema')!r}, want 'paqoc-bench v1'")
-    if doc.get("bench") != "grape":
-        fail(f"{path}: bench is {doc.get('bench')!r}, want 'grape'")
+    bench = doc.get("bench")
+    if bench not in CHECKERS:
+        fail(f"{path}: bench is {bench!r}, want one of "
+             f"{sorted(CHECKERS)}")
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         fail(f"{path}: runs must be a non-empty list")
-    for i, run in enumerate(runs):
-        if not isinstance(run, dict):
-            fail(f"{path}: runs[{i}] is not an object")
-        for field, ty in REQUIRED_RUN_FIELDS.items():
-            if field not in run:
-                fail(f"{path}: runs[{i}] missing {field!r}")
-            if not isinstance(run[field], ty) or isinstance(run[field], bool):
-                fail(f"{path}: runs[{i}].{field} has type "
-                     f"{type(run[field]).__name__}")
-        if run["ns_per_iter"] <= 0:
-            fail(f"{path}: runs[{i}].ns_per_iter must be positive")
-        if run["dim"] < 1 or run["n_slices"] < 1:
-            fail(f"{path}: runs[{i}] has non-positive dim/n_slices")
-    print(f"{path}: {len(runs)} runs, schema OK")
+    CHECKERS[bench](path, doc, runs)
+    print(f"{path}: bench {bench!r}, {len(runs)} runs, schema OK")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,343 @@
+(* The shared cross-run pulse cache: sharding, journaled persistence,
+   crash-safe tail replay, v1/v2 migration, fault-injected appends, and
+   the generator/compile integration (cold-vs-warm byte identity). *)
+open Test_util
+module Cache = Paqoc_pulse.Cache
+module Db = Paqoc_pulse.Db_format
+module Gen = Paqoc_pulse.Generator
+module Faultin = Paqoc_pulse.Faultin
+module Suite = Paqoc_benchmarks.Suite
+
+let entry ?(provenance = Db.Synthesized) lat =
+  { Cache.latency = lat; error = 0.001; fidelity = 0.999; provenance }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let with_tmp f =
+  let path = Filename.temp_file "paqoc_cache" ".db" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let suite =
+  [ case "publish, find, probe; duplicate publish is a no-op" (fun () ->
+        let c = Cache.create () in
+        Cache.publish c "k1" (entry 50.0);
+        Cache.publish c "k1" (entry 999.0);
+        (match Cache.find c "k1" with
+        | Some e -> check_float "first publish wins" 50.0 e.Cache.latency
+        | None -> Alcotest.fail "k1 not found");
+        check_true "probe sees it too" (Cache.probe c "k1" <> None);
+        check_true "missing key misses" (Cache.find c "nope" = None);
+        Cache.publish_shape c "s1";
+        Cache.publish_shape c "s1";
+        check_true "shape present" (Cache.mem_shape c "s1");
+        check_int "one entry" 1 (Cache.size c);
+        check_int "one shape" 1 (Cache.n_shapes c);
+        let s = Cache.stats c in
+        check_int "hits" 1 s.Cache.hits;
+        check_int "misses" 1 s.Cache.misses;
+        check_int "publishes (dup not counted)" 1 s.Cache.publishes;
+        (* probe must not count *)
+        check_int "probe did not count a hit" 1 (Cache.stats c).Cache.hits);
+    case "in-memory cache has no path and compacts as a no-op" (fun () ->
+        let c = Cache.create () in
+        check_true "no backing file" (Cache.path c = None);
+        Cache.compact c;
+        Cache.close c;
+        check_int "no compactions" 0 (Cache.stats c).Cache.compactions);
+    case "persistence round trip through close/reopen" (fun () ->
+        with_tmp @@ fun path ->
+        Cache.with_file path (fun c ->
+            Cache.publish c "2;cx@0,1" (entry 96.0);
+            Cache.publish c "3;cx@0,1;cx@1,2"
+              (entry ~provenance:Db.Fallback 200.0);
+            Cache.publish_shape c "2;cx@0,1");
+        let bytes = read_file path in
+        check_true "v3 header"
+          (String.length bytes > 17
+          && String.sub bytes 0 17 = "paqoc-pulse-db v3");
+        check_true "closed file is fully compacted (no journal lines)"
+          (not (String.exists (fun ch -> ch = '+') bytes));
+        Cache.with_file path (fun c ->
+            check_int "entries survive" 2 (Cache.size c);
+            check_true "shape survives" (Cache.mem_shape c "2;cx@0,1");
+            match Cache.find c "3;cx@0,1;cx@1,2" with
+            | Some e ->
+              check_true "fallback provenance survives"
+                (e.Cache.provenance = Db.Fallback)
+            | None -> Alcotest.fail "entry lost"));
+    case "unclosed journal (simulated crash) replays on reopen" (fun () ->
+        with_tmp @@ fun path ->
+        let c1 = Cache.open_file path in
+        Cache.publish c1 "2;cx@0,1" (entry 96.0);
+        Cache.publish_shape c1 "2;cx@0,1";
+        (* no close: the records live only as journal appends *)
+        let bytes = read_file path in
+        check_true "journal records on disk"
+          (String.length bytes > 0
+          &&
+          match Db.parse_string bytes with
+          | Ok c -> List.length c.Db.journal = 2 && c.Db.snapshot = []
+          | Error _ -> false);
+        Cache.with_file path (fun c2 ->
+            check_int "replayed entry" 1 (Cache.size c2);
+            check_true "replayed shape" (Cache.mem_shape c2 "2;cx@0,1")));
+    case "torn journal tail is dropped and truncated away" (fun () ->
+        with_tmp @@ fun path ->
+        let good = Db.journal_line (Db.Priced ("2;cx@0,1", entry 96.0)) in
+        let torn = "+K 50 0.001 0.999 q 2;h@0" (* no trailing newline *) in
+        write_file path
+          ("paqoc-pulse-db v3\nK 40 0.001 0.999 q 1;h@0\n" ^ good ^ "\n"
+         ^ torn);
+        Cache.with_file path (fun c ->
+            check_int "torn record dropped" 2 (Cache.size c);
+            check_true "snapshot record kept" (Cache.probe c "1;h@0" <> None);
+            check_true "complete journal record kept"
+              (Cache.probe c "2;cx@0,1" <> None);
+            check_true "torn record not replayed"
+              (Cache.probe c "2;h@0" = None);
+            (* the tail must be gone from disk before new appends land *)
+            let bytes = read_file path in
+            check_true "file truncated to a record boundary"
+              (String.length bytes > 0
+              && bytes.[String.length bytes - 1] = '\n');
+            Cache.publish c "3;cx@0,1;cx@1,2" (entry 150.0));
+        Cache.with_file path (fun c ->
+            check_int "clean tail accepts appends" 3 (Cache.size c)));
+    case "compact bytes equal a fresh snapshot save" (fun () ->
+        with_tmp @@ fun path ->
+        with_tmp @@ fun snap ->
+        let c = Cache.open_file ~compact_every:1000 path in
+        List.iter
+          (fun i -> Cache.publish c (Printf.sprintf "2;rz%d@0" i) (entry 10.0))
+          [ 5; 3; 9; 1 ];
+        Cache.publish_shape c "2;rz@0";
+        Cache.save c snap;
+        Cache.compact c;
+        check_true "compacted file is byte-identical to save"
+          (String.equal (read_file path) (read_file snap));
+        check_int "compaction counted" 1 (Cache.stats c).Cache.compactions;
+        Cache.close c);
+    case "auto-compaction fires at compact_every appends" (fun () ->
+        with_tmp @@ fun path ->
+        let c = Cache.open_file ~compact_every:4 path in
+        List.iter
+          (fun i -> Cache.publish c (Printf.sprintf "1;h@%d" i) (entry 40.0))
+          [ 0; 1; 2; 3 ];
+        check_true "journal folded into the snapshot"
+          (not (String.exists (fun ch -> ch = '+') (read_file path)));
+        check_true "compaction counted"
+          ((Cache.stats c).Cache.compactions >= 1);
+        Cache.close c);
+    case "v1 and v2 snapshots migrate to v3 on open" (fun () ->
+        with_tmp @@ fun path ->
+        write_file path "paqoc-pulse-db v1\nK 96 0.001 0.999 2;cx@0,1\nS 2;cx@0,1\n";
+        Cache.with_file path (fun c ->
+            check_int "v1 entry loaded" 1 (Cache.size c);
+            match Cache.find c "2;cx@0,1" with
+            | Some e ->
+              check_true "v1 entries default to synthesized"
+                (e.Cache.provenance = Db.Synthesized)
+            | None -> Alcotest.fail "v1 entry lost");
+        check_true "file migrated to v3"
+          (String.sub (read_file path) 0 17 = "paqoc-pulse-db v3");
+        write_file path
+          "paqoc-pulse-db v2\nK 96 0.001 0.999 f 2;cx@0,1\nS 2;cx@0,1\n";
+        Cache.with_file path (fun c ->
+            match Cache.find c "2;cx@0,1" with
+            | Some e ->
+              check_true "v2 provenance preserved through migration"
+                (e.Cache.provenance = Db.Fallback)
+            | None -> Alcotest.fail "v2 entry lost");
+        check_true "file migrated to v3"
+          (String.sub (read_file path) 0 17 = "paqoc-pulse-db v3"));
+    case "malformed cache files fail loudly" (fun () ->
+        with_tmp @@ fun path ->
+        write_file path "not a pulse db\n";
+        check_true "bad header raises"
+          (try
+             ignore (Cache.open_file path);
+             false
+           with Failure msg -> String.length msg > 0);
+        write_file path "paqoc-pulse-db v2\nK 96 bogus 0.999 q k\n";
+        check_true "bad number raises"
+          (try
+             ignore (Cache.open_file path);
+             false
+           with Failure _ -> true);
+        write_file path "paqoc-pulse-db v2\n+K 96 0.001 0.999 q k\n";
+        check_true "journal record in a snapshot file raises"
+          (try
+             ignore (Cache.open_file path);
+             false
+           with Failure _ -> true));
+    case "injected journal-append fault never tears the file" (fun () ->
+        with_tmp @@ fun path ->
+        let c = Cache.open_file path in
+        Cache.publish c "1;h@0" (entry 40.0);
+        let before = read_file path in
+        Faultin.with_faults
+          [ (Faultin.Journal_append_error, Faultin.First 1) ]
+          (fun () ->
+            check_true "publish surfaces the failure"
+              (try
+                 Cache.publish c "2;cx@0,1" (entry 96.0);
+                 false
+               with Failure msg ->
+                 check_true "message names the path"
+                   (String.length msg > String.length path);
+                 true));
+        check_true "file rolled back to the pre-append bytes"
+          (String.equal before (read_file path));
+        check_true "in-memory entry survives the failed append"
+          (Cache.probe c "2;cx@0,1" <> None);
+        (* the failed append counts as pending work, so close compacts the
+           orphaned entry onto disk *)
+        Cache.close c;
+        Cache.with_file path (fun c2 ->
+            check_int "orphaned entry persisted by close" 2 (Cache.size c2)));
+    case "publish on a closed persistent cache raises" (fun () ->
+        with_tmp @@ fun path ->
+        let c = Cache.open_file path in
+        Cache.close c;
+        Cache.close c (* idempotent *);
+        check_true "publish after close raises"
+          (try
+             Cache.publish c "1;h@0" (entry 40.0);
+             false
+           with Failure _ -> true));
+    slow_case "stripe-striped publishes race safely across 4 domains"
+      (fun () ->
+        with_tmp @@ fun path ->
+        (* every domain publishes an overlapping window of keys through a
+           journaled cache with an aggressive compaction cadence, so
+           appends, compactions and duplicate publishes all interleave *)
+        let c = Cache.open_file ~stripes:8 ~compact_every:16 path in
+        let per_domain = 200 and overlap = 50 in
+        let worker d () =
+          for i = 0 to per_domain - 1 do
+            let k =
+              Printf.sprintf "1;rz%d@0" ((d * (per_domain - overlap)) + i)
+            in
+            Cache.publish c k (entry (float_of_int (40 + (i mod 7))));
+            ignore (Cache.find c k)
+          done
+        in
+        let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+        List.iter Domain.join domains;
+        let distinct = (3 * (per_domain - overlap)) + per_domain in
+        check_int "every distinct key present exactly once" distinct
+          (Cache.size c);
+        let s = Cache.stats c in
+        check_int "duplicate publishes were no-ops" distinct
+          s.Cache.publishes;
+        check_int "every post-publish find hit" (4 * per_domain)
+          s.Cache.hits;
+        Cache.close c;
+        Cache.with_file path (fun c2 ->
+            check_int "reopened contents match" distinct (Cache.size c2)));
+    case "generator consults and fills the shared cache" (fun () ->
+        let cache = Cache.create () in
+        let g =
+          fst
+            (Gen.group_of_apps
+               [ Gate.app2 Gate.CX 0 1;
+                 Gate.app1 (Gate.RZ (Angle.const 0.4)) 1
+               ])
+        in
+        let gen1 = Gen.model_default () in
+        Gen.set_shared_cache gen1 (Some cache);
+        check_true "attachment readable" (Gen.shared_cache gen1 <> None);
+        let o1 = Gen.generate gen1 g in
+        check_int "first generator synthesized" 1 (Gen.pulses_generated gen1);
+        check_true "published to the shared cache"
+          ((Cache.stats cache).Cache.publishes > 0);
+        let gen2 =
+          Gen.create ~shared:cache
+            (Gen.Model Paqoc_pulse.Latency_model.default)
+        in
+        let o2 = Gen.generate gen2 g in
+        check_int "second generator synthesized nothing" 0
+          (Gen.pulses_generated gen2);
+        check_int "it hit instead" 1 (Gen.cache_hits gen2);
+        check_float "same latency" o1.Gen.latency o2.Gen.latency;
+        check_float "same error" o1.Gen.error o2.Gen.error;
+        check_true "marked as a cache hit" o2.Gen.cache_hit);
+    case "fallback outcomes are never published" (fun () ->
+        let cache = Cache.create () in
+        let gen = Gen.model_default ~retry:{ Gen.default_retry with
+                                             Gen.max_attempts = 1 } () in
+        Gen.set_shared_cache gen (Some cache);
+        let g =
+          fst
+            (Gen.group_of_apps
+               [ Gate.app2 Gate.CX 0 1; Gate.app2 Gate.CX 1 2 ])
+        in
+        Faultin.with_faults
+          [ (Faultin.Grape_diverge, Faultin.Always) ]
+          (fun () ->
+            let o = Gen.generate gen g in
+            check_true "degraded to fallback"
+              (o.Gen.provenance = Gen.Fallback));
+        check_int "nothing published" 0 (Cache.stats cache).Cache.publishes;
+        check_int "cache stays empty" 0 (Cache.size cache));
+    case "load_database accepts the v3 journal format" (fun () ->
+        with_tmp @@ fun path ->
+        let c = Cache.open_file path in
+        Cache.publish c "2;cx@0,1" (entry 96.0);
+        Cache.publish_shape c "2;cx@0,1";
+        (* leave the journal unfolded: load must replay it like the cache *)
+        let gen = Gen.model_default () in
+        Gen.load_database gen path;
+        check_int "v3 journal entries load" 1 (Gen.database_size gen);
+        Cache.close c);
+    slow_case "cold compile through an empty cache is byte-identical"
+      (fun () ->
+        let physical =
+          (Suite.transpiled (Suite.find "simon"))
+            .Paqoc_topology.Transpile.physical
+        in
+        let save gen =
+          let path = Filename.temp_file "paqoc_cache_db" ".txt" in
+          Gen.save_database gen path;
+          let s = read_file path in
+          Sys.remove path;
+          s
+        in
+        (* baseline: no cache anywhere *)
+        let gen0 = Gen.model_default () in
+        let r0 = Paqoc.compile gen0 physical in
+        let bytes0 = save gen0 in
+        with_tmp @@ fun path ->
+        (* cold: same compile through a fresh (empty) journaled cache *)
+        let r1, bytes1, r2, bytes2 =
+          Cache.with_file path (fun cache ->
+              let gen1 = Gen.model_default () in
+              let r1 = Paqoc.compile ~cache gen1 physical in
+              let b1 = save gen1 in
+              (* warm: a fresh generator over the now-full cache *)
+              let gen2 = Gen.model_default () in
+              let r2 = Paqoc.compile ~cache gen2 physical in
+              (r1, b1, r2, save gen2))
+        in
+        check_true "cold run output is byte-identical to no-cache"
+          (String.equal bytes0 bytes1);
+        check_float "cold latency unchanged" r0.Paqoc.latency r1.Paqoc.latency;
+        check_float "cold ESP unchanged" r0.Paqoc.esp r1.Paqoc.esp;
+        check_int "warm run synthesized nothing" 0 r2.Paqoc.pulses_generated;
+        check_float "warm latency identical" r0.Paqoc.latency
+          r2.Paqoc.latency;
+        check_true "warm database is byte-identical too"
+          (String.equal bytes0 bytes2))
+  ]

@@ -20,5 +20,6 @@ let () =
       ("differential", Test_differential.suite);
       ("qasm-fuzz", Test_qasm_fuzz.suite);
       ("kernels", Test_kernels.suite);
-      ("golden", Test_golden.suite)
+      ("golden", Test_golden.suite);
+      ("cache", Test_cache.suite)
     ]
