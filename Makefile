@@ -61,8 +61,50 @@ bench-smoke:
 	@rm -f /tmp/paqoc_bench_cache_smoke.json
 	@echo "bench-smoke: BENCH_grape and BENCH_cache schemas OK"
 
+# Reference-vs-incremental search trajectory: compiles the 17-benchmark
+# suite cold and warm with both search implementations, refuses to emit
+# on divergence, and re-checks the committed BENCH_search.json schema.
+# Run after a search-loop change and commit the refreshed JSON.
+bench-search:
+	dune exec bench/micro_main.exe -- --bench-search
+	@python3 scripts/check_bench_schema.py BENCH_search.json
+
+# End-to-end search-equivalence golden: the compile-suite table must be
+# byte-identical between --search reference and --search incremental, at
+# --jobs 1 and --jobs 4 — and so must the cache files the three cold
+# runs write. The cache-path banner line is the one permitted difference
+# (the files are named after the mode), so it is filtered before the
+# diff.
+check-search-golden:
+	@rm -f /tmp/paqoc_sg_ref.cache /tmp/paqoc_sg_inc.cache \
+	  /tmp/paqoc_sg_inc4.cache
+	@dune exec bin/paqoc_cli.exe -- compile-suite --search reference \
+	  --cache /tmp/paqoc_sg_ref.cache | grep -v '/tmp/paqoc_sg' \
+	  > /tmp/paqoc_sg_ref.txt
+	@dune exec bin/paqoc_cli.exe -- compile-suite --search incremental \
+	  --cache /tmp/paqoc_sg_inc.cache | grep -v '/tmp/paqoc_sg' \
+	  > /tmp/paqoc_sg_inc.txt
+	@dune exec bin/paqoc_cli.exe -- compile-suite --search incremental \
+	  --jobs 4 --cache /tmp/paqoc_sg_inc4.cache | grep -v '/tmp/paqoc_sg' \
+	  > /tmp/paqoc_sg_inc4.txt
+	@diff /tmp/paqoc_sg_ref.txt /tmp/paqoc_sg_inc.txt \
+	  || (echo "check-search-golden: incremental diverged from reference" \
+	      && exit 1)
+	@diff /tmp/paqoc_sg_ref.txt /tmp/paqoc_sg_inc4.txt \
+	  || (echo "check-search-golden: --jobs 4 diverged from reference" \
+	      && exit 1)
+	@cmp /tmp/paqoc_sg_ref.cache /tmp/paqoc_sg_inc.cache \
+	  || (echo "check-search-golden: cache bytes diverged" && exit 1)
+	@cmp /tmp/paqoc_sg_inc.cache /tmp/paqoc_sg_inc4.cache \
+	  || (echo "check-search-golden: --jobs 4 cache bytes diverged" && exit 1)
+	@rm -f /tmp/paqoc_sg_ref.cache /tmp/paqoc_sg_inc.cache \
+	  /tmp/paqoc_sg_inc4.cache /tmp/paqoc_sg_ref.txt /tmp/paqoc_sg_inc.txt \
+	  /tmp/paqoc_sg_inc4.txt
+	@echo "check-search-golden: reference == incremental (jobs 1 and 4)"
+
 # Full evaluation harness (tables, figures, bechamel kernels).
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check doc bench bench-scaling bench-smoke update-golden
+.PHONY: check doc bench bench-scaling bench-smoke bench-search \
+  check-search-golden update-golden

@@ -25,7 +25,12 @@
                                                   -- emit the cold-vs-warm
                                                      shared-cache suite
                                                      entry (default
-                                                     BENCH_cache.json) *)
+                                                     BENCH_cache.json)
+     dune exec bench/micro_main.exe -- --bench-search[=PATH]
+                                                  -- emit the reference-vs-
+                                                     incremental search
+                                                     trajectory (default
+                                                     BENCH_search.json) *)
 
 let flag_value name args =
   let eq = "--" ^ name ^ "=" in
@@ -45,6 +50,7 @@ let () =
   let bench_json = flag_value "bench-json" args in
   let bench_grape = flag_value "bench-grape" args in
   let bench_cache = flag_value "bench-cache" args in
+  let bench_search = flag_value "bench-search" args in
   let phase = Option.join (flag_value "phase" args) in
   let iters = Option.bind (Option.join (flag_value "iters" args))
       int_of_string_opt in
@@ -55,9 +61,11 @@ let () =
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  (match (bench_cache, bench_grape, bench_json) with
-  | Some path, _, _ -> Micro.run_bench_cache ?path ()
-  | None, Some path, _ -> Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
-  | None, None, Some path -> Micro.run_bench_json ?path ~workers ()
-  | None, None, None -> Micro.run_scaling ~workers ());
+  (match (bench_search, bench_cache, bench_grape, bench_json) with
+  | Some path, _, _, _ -> Search.run_bench_search ?path ()
+  | None, Some path, _, _ -> Micro.run_bench_cache ?path ()
+  | None, None, Some path, _ ->
+    Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
+  | None, None, None, Some path -> Micro.run_bench_json ?path ~workers ()
+  | None, None, None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

@@ -158,7 +158,8 @@ let with_cache cache_file f =
 
 (* One compilation under a named scheme; shared by compile and
    compile-suite. *)
-let run_scheme scheme ~max_n ~top_k ~jobs ?cache gen physical =
+let run_scheme scheme ~max_n ~top_k ~jobs ?(search = `Incremental) ?cache gen
+    physical =
   match scheme with
   | `Acc3 | `Acc5 ->
     let slicer =
@@ -180,7 +181,7 @@ let run_scheme scheme ~max_n ~top_k ~jobs ?cache gen physical =
         merger = { Paqoc.Merger.default_config with max_n; top_k }
       }
     in
-    let r = Paqoc.compile ~scheme ~jobs ?cache gen physical in
+    let r = Paqoc.compile ~scheme ~jobs ~search ?cache gen physical in
     ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
       r.Paqoc.n_groups, r.Paqoc.fallbacks, r.Paqoc.grouped )
 
@@ -196,6 +197,19 @@ let scheme_arg =
         ~doc:
           "Compilation scheme: paqoc-m0, paqoc-mtuned, paqoc-minf, \
            accqoc-n3d3 or accqoc-n3d5.")
+
+let search_arg =
+  Arg.(
+    value
+    & opt (enum [ ("incremental", `Incremental); ("reference", `Reference) ])
+        `Incremental
+    & info [ "search" ] ~docv:"IMPL"
+        ~doc:
+          "Criticality-search implementation: $(b,incremental) (default; \
+           the engine-backed fast path) or $(b,reference) (the original \
+           full-reanalysis loop). Both produce identical circuits and \
+           tables — the switch exists so the equivalence is checkable \
+           end to end.")
 
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)
@@ -271,8 +285,8 @@ let compile_cmd =
             "Wall-clock budget per synthesis task; once exceeded the task \
              degrades to the fallback instead of retrying.")
   in
-  let run input scheme device max_n top_k show_groups jobs db cache_file
-      backend retries task_seconds inject metrics trace =
+  let run input scheme search device max_n top_k show_groups jobs db
+      cache_file backend retries task_seconds inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -316,7 +330,7 @@ let compile_cmd =
     | _ -> ());
     let latency, esp, seconds, groups, fallbacks, grouped =
       with_cache cache_file (fun cache ->
-          run_scheme scheme ~max_n ~top_k ~jobs ?cache gen physical)
+          run_scheme scheme ~max_n ~top_k ~jobs ~search ?cache gen physical)
     in
     Printf.printf "circuit latency : %.0f dt\n" latency;
     Printf.printf "estimated ESP   : %.4f\n" esp;
@@ -348,9 +362,9 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
-      const run $ input $ scheme_arg $ device $ max_n $ top_k $ show_groups
-      $ jobs $ db $ cache_arg $ backend $ retries $ task_seconds $ inject_arg
-      $ metrics_arg $ trace_arg)
+      const run $ input $ scheme_arg $ search_arg $ device $ max_n $ top_k
+      $ show_groups $ jobs $ db $ cache_arg $ backend $ retries
+      $ task_seconds $ inject_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile-suite                                                       *)
@@ -386,7 +400,7 @@ let compile_suite_cmd =
             "Pulse engine: $(b,model) (analytic latency model, instant) or \
              $(b,qoc) (real GRAPE searches; slow, small circuits only).")
   in
-  let run scheme device jobs cache_file backend inject metrics trace =
+  let run scheme search device jobs cache_file backend inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -415,7 +429,8 @@ let compile_suite_cmd =
         in
         let stats0 = Option.map Paqoc_pulse.Cache.stats cache in
         let latency, esp, _seconds, groups, _fallbacks, _grouped =
-          run_scheme scheme ~max_n:3 ~top_k:1 ~jobs ?cache gen physical
+          run_scheme scheme ~max_n:3 ~top_k:1 ~jobs ~search ?cache gen
+            physical
         in
         let synth = Gen.pulses_generated gen in
         let hits, misses =
@@ -452,8 +467,8 @@ let compile_suite_cmd =
          "Compile every Table I benchmark against one shared pulse cache \
           and report per-benchmark cache hit rates.")
     Term.(
-      const run $ scheme_arg $ device $ jobs $ cache_arg $ backend
-      $ inject_arg $ metrics_arg $ trace_arg)
+      const run $ scheme_arg $ search_arg $ device $ jobs $ cache_arg
+      $ backend $ inject_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)

@@ -103,6 +103,82 @@ let reachable d u v =
   else List.exists (fun s -> s = v) d.succ.(u)
        || reachable_from d u ~skip_direct:true ~target:v
 
+(* Allocation-free reachability: a reusable workspace holding a stamp
+   array (generation marks, so clearing between queries is free) and an
+   explicit int stack replacing the recursion. The merge search asks
+   one reachability question per candidate per iteration; the recursive
+   DFS above allocates a fresh visited array each time, which is the
+   dominant allocation of the whole search loop. *)
+type reach_ws = {
+  mutable stamp : int array;
+  mutable stack : int array;
+  mutable generation : int;
+  mutable top : int;
+}
+
+let reach_ws n =
+  let n = max 1 n in
+  { stamp = Array.make n 0; stack = Array.make n 0; generation = 0; top = 0 }
+
+let ws_fit ws n =
+  if Array.length ws.stamp < n then begin
+    ws.stamp <- Array.make n 0;
+    ws.stack <- Array.make n 0;
+    ws.generation <- 0
+  end
+
+(* The helpers below are top-level (not closures) and take every variable
+   as a parameter on purpose: a query must not allocate, and closures,
+   refs and the tuple swap all would. *)
+
+(* push every unvisited successor with id below the target; report when
+   the target itself shows up (ids are topological, so nothing past the
+   target can reach it) *)
+let rec ws_push ws target = function
+  | [] -> false
+  | w :: rest ->
+    if w = target then true
+    else begin
+      if w < target && ws.stamp.(w) <> ws.generation then begin
+        ws.stamp.(w) <- ws.generation;
+        ws.stack.(ws.top) <- w;
+        ws.top <- ws.top + 1
+      end;
+      ws_push ws target rest
+    end
+
+(* the seed round must not report the target: the direct edge u->v is the
+   merge itself, only paths of length >= 2 invalidate it *)
+let rec ws_seed ws target = function
+  | [] -> ()
+  | s :: rest ->
+    if s < target && ws.stamp.(s) <> ws.generation then begin
+      ws.stamp.(s) <- ws.generation;
+      ws.stack.(ws.top) <- s;
+      ws.top <- ws.top + 1
+    end;
+    ws_seed ws target rest
+
+let rec ws_drain ws d target =
+  if ws.top = 0 then false
+  else begin
+    ws.top <- ws.top - 1;
+    if ws_push ws target d.succ.(ws.stack.(ws.top)) then true
+    else ws_drain ws d target
+  end
+
+let has_indirect_path_ws ws d u v =
+  if u = v then false
+  else begin
+    let a = if u < v then u else v in
+    let b = if u < v then v else u in
+    ws_fit ws (n_nodes d);
+    ws.generation <- ws.generation + 1;
+    ws.top <- 0;
+    ws_seed ws b d.succ.(a);
+    ws_drain ws d b
+  end
+
 type schedule = {
   est : float array;
   latency : float array;

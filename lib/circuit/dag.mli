@@ -51,6 +51,19 @@ val has_indirect_path : t -> int -> int -> bool
     (including [u = v]). *)
 val reachable : t -> int -> int -> bool
 
+(** A reusable reachability workspace: preallocated stamp marks and an
+    int-array DFS stack, so repeated queries allocate nothing. Grows on
+    demand; one workspace serves DAGs of any size but must not be used
+    from two domains at once. *)
+type reach_ws
+
+(** [reach_ws n] is a workspace sized for [n]-node DAGs. *)
+val reach_ws : int -> reach_ws
+
+(** [has_indirect_path_ws ws dag u v] = [has_indirect_path dag u v],
+    allocation-free. *)
+val has_indirect_path_ws : reach_ws -> t -> int -> int -> bool
+
 (** {1 Scheduling and criticality} *)
 
 type schedule = {

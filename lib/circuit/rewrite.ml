@@ -57,7 +57,7 @@ let is_convex dag nodes =
     done;
     !ok
 
-let contract (c : Circuit.t) groups =
+let contract_mapped (c : Circuit.t) groups =
   let dag = Dag.of_circuit c in
   let n = Dag.n_nodes dag in
   (* group id per node: -1 = own node, otherwise index into groups *)
@@ -113,10 +113,13 @@ let contract (c : Circuit.t) groups =
     let ((_, q) as elt) = Pq.min_elt !ready in
     ready := Pq.remove elt !ready;
     incr emitted;
-    let gate =
-      if q < n then Dag.gate dag q else snd groups_arr.(q - n)
+    (* origin token: the surviving node's old id, or [-(gi+1)] for the
+       customized gate standing in for group [gi] *)
+    let row =
+      if q < n then (Dag.gate dag q, q)
+      else (snd groups_arr.(q - n), -(q - n + 1))
     in
-    out := gate :: !out;
+    out := row :: !out;
     List.iter
       (fun s ->
         indeg.(s) <- indeg.(s) - 1;
@@ -126,4 +129,8 @@ let contract (c : Circuit.t) groups =
   let n_exist = Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 exists in
   if !emitted <> n_exist then
     invalid_arg "Rewrite.contract: contraction created a cycle";
-  Circuit.make ~n_qubits:c.Circuit.n_qubits (List.rev !out)
+  let rows = List.rev !out in
+  ( Circuit.make ~n_qubits:c.Circuit.n_qubits (List.map fst rows),
+    Array.of_list (List.map snd rows) )
+
+let contract c groups = fst (contract_mapped c groups)

@@ -21,3 +21,11 @@ val is_convex : Dag.t -> int list -> bool
     relinearises.
     @raise Invalid_argument on overlapping or non-convex groups. *)
 val contract : Circuit.t -> (int list * Gate.app) list -> Circuit.t
+
+(** [contract_mapped c groups] is {!contract} plus the origin of every
+    output gate: [old_of_new.(j)] is the old node id the [j]-th gate of
+    the result survives from, or [-(gi+1)] when it is the replacement
+    gate of [List.nth groups gi]. The incremental criticality engine
+    uses this to carry node state across a merge edit. *)
+val contract_mapped :
+  Circuit.t -> (int list * Gate.app) list -> Circuit.t * int array

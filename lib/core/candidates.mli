@@ -21,6 +21,12 @@ type t = {
   n_qubits : int;  (** qubit count of the merged gate *)
 }
 
+(** [qubit_union a b] is the sorted set of qubits the merged gate would
+    touch — the content-only ingredient of candidate admission, exposed
+    so the incremental search can memoize it per gate pair. *)
+val qubit_union :
+  Paqoc_circuit.Gate.app -> Paqoc_circuit.Gate.app -> int list
+
 (** [preprocess c ~maxN] exhaustively applies the Observation-1 rule
     (bounded by [maxN]) and returns the simplified circuit. *)
 val preprocess : Paqoc_circuit.Circuit.t -> maxN:int -> Paqoc_circuit.Circuit.t

@@ -30,3 +30,68 @@ val latency : t -> int -> float
 (** [cp_after t v] is the paper's [CP(v)]: longest path from [v]'s end to
     the circuit's end, excluding [v] itself. *)
 val cp_after : t -> int -> float
+
+(** Incremental criticality engine.
+
+    Maintains the same per-node quantities as {!analyze} — episode
+    latency, earliest start, [CP]-after, critical membership — under
+    merge edits, by dirty-region propagation over the renumbered DAG
+    instead of a full re-analysis per edit. Every exposed value is
+    bitwise equal to a from-scratch {!analyze} of the current circuit
+    against the current generator state (see docs/incremental-search.md
+    for the argument; the differential battery in test_search pins it).
+
+    Protocol: {!Engine.stage} computes a candidate edit's consequences
+    into a preallocated shadow buffer and returns the trial total;
+    {!Engine.commit} adopts the staged state in O(1) buffer swaps,
+    {!Engine.discard} abandons it. {!Engine.refresh} re-resolves
+    episode prices after the pulse database changed under an unchanged
+    circuit (e.g. a rolled-back merge attempt that still generated its
+    pulse). Not thread-safe: one engine per search. *)
+module Engine : sig
+  type e
+
+  (** [create gen c] prices and schedules [c] (one full analysis). *)
+  val create : Paqoc_pulse.Generator.t -> Paqoc_circuit.Circuit.t -> e
+
+  (** The current committed circuit. *)
+  val circuit : e -> Paqoc_circuit.Circuit.t
+
+  (** The dependence DAG of the committed circuit. *)
+  val dag : e -> Paqoc_circuit.Dag.t
+
+  val n_nodes : e -> int
+  val total : e -> float
+  val latency : e -> int -> float
+  val est : e -> int -> float
+  val cp_after : e -> int -> float
+  val is_critical : e -> int -> bool
+
+  (** [case_of e u v] — as {!case_of}. *)
+  val case_of : e -> int -> int -> [ `I | `II | `III ]
+
+  (** [node_uid e v] is a stable identity for the gate at node [v]:
+      uids survive renumbering, and a merged node gets a fresh uid.
+      Search-level memos key on uid pairs, which never go stale. *)
+  val node_uid : e -> int -> int
+
+  (** [refresh e] folds any pulse-database changes into the committed
+      state; no-op when the generator's price epoch is unchanged. *)
+  val refresh : e -> unit
+
+  (** [stage e groups] contracts [groups] (as {!Rewrite.contract}) into
+      the shadow buffer and returns the trial circuit total. Replaces
+      any previously staged edit.
+      @raise Invalid_argument on overlapping or non-convex groups. *)
+  val stage :
+    e -> (int list * Paqoc_circuit.Gate.app) list -> float
+
+  (** The staged circuit (raises when nothing is staged). *)
+  val staged_circuit : e -> Paqoc_circuit.Circuit.t
+
+  (** [commit e] adopts the staged edit (raises when nothing staged). *)
+  val commit : e -> unit
+
+  (** [discard e] abandons the staged edit (never raises). *)
+  val discard : e -> unit
+end

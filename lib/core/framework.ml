@@ -55,7 +55,8 @@ let with_shared_cache ?cache gen f =
       ~finally:(fun () -> Generator.set_shared_cache gen previous)
       f
 
-let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?cache gen (c : Circuit.t) =
+let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?(search = `Incremental) ?cache
+    gen (c : Circuit.t) =
   with_shared_cache ?cache gen @@ fun () ->
   Obs.with_span "paqoc.compile" @@ fun () ->
   (* wall time on the monotonic clock — [Sys.time] (CPU time) would count
@@ -98,7 +99,9 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?cache gen (c : Circuit.t) =
   let grouped, merge_stats =
     if scheme.enable_merger then
       Obs.with_span "paqoc.search" (fun () ->
-          Merger.run ~config:scheme.merger gen pre)
+          match search with
+          | `Incremental -> Merger.run ~config:scheme.merger ~jobs gen pre
+          | `Reference -> Merger.run_reference ~config:scheme.merger gen pre)
     else begin
       let crit = Criticality.analyze gen pre in
       ( pre,

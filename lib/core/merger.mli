@@ -29,9 +29,31 @@ type stats = {
   final_latency : float;
 }
 
-(** [run ?config gen c] returns the latency-optimised grouped circuit and
-    the search statistics. *)
+(** [run ?config ?jobs gen c] returns the latency-optimised grouped
+    circuit and the search statistics.
+
+    This is the incremental search: criticality state is maintained by
+    {!Criticality.Engine} under dirty-region propagation instead of a
+    full re-analysis per merge step, candidate content (merged keys and
+    latency estimates) is memoized on stable node uids, validity checks
+    run allocation-free, and with [jobs > 1] independent candidates are
+    explored on a {!Paqoc_pulse.Pool} (commit order stays
+    deterministic — results are identical at any [jobs]). The decision
+    sequence, the generated pulse keys and order, the returned circuit
+    and the statistics are all exactly those of {!run_reference}; the
+    differential battery in test_search holds the two bit-identical. *)
 val run :
+  ?config:config ->
+  ?jobs:int ->
+  Paqoc_pulse.Generator.t ->
+  Paqoc_circuit.Circuit.t ->
+  Paqoc_circuit.Circuit.t * stats
+
+(** [run_reference ?config gen c] is the original (pre-incremental)
+    search loop, kept as the oracle the fast path is tested against:
+    one full {!Criticality.analyze} per iteration and per attempted
+    contraction. Same results, asymptotically slower. *)
+val run_reference :
   ?config:config ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->

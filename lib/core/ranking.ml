@@ -11,6 +11,45 @@ type scored = {
 let n_qubits_of (g : Gate.app) =
   List.length (List.sort_uniq compare g.Gate.qubits)
 
+(* The Section V-A benefit formula, shared by the reference scorer below
+   and the incremental search's memoized scorer ({!Merger}): both paths
+   must produce bit-identical scores, so there is exactly one copy of
+   the arithmetic. *)
+let score_value ~case ~u_critical ~l_u ~l_v ~cp_v ~alt_after_u ~est =
+  match case with
+  | `I ->
+    (* both on the critical path:
+       orig = L(u) + L(v) + CP(v); new = L(uv) + max(CP(v), alt) *)
+    l_u +. l_v +. cp_v -. (est +. Float.max cp_v alt_after_u)
+  | `II ->
+    if u_critical then
+      (* u critical, v the off-path successor C: the critical
+         continuation b is u's dominant other successor, so
+         orig = L(u) + (L(b)+CP(b)); new = L(uv) + max(L(b)+CP(b), CP(v))
+         — beneficial iff L(uv) < L(u) while CP(v) stays dominated,
+         exactly the paper's comparison. *)
+      l_u +. alt_after_u -. (est +. Float.max alt_after_u cp_v)
+    else (* v critical, u the off-path predecessor *)
+      l_v -. est
+  | `III ->
+    (* neither gate is critical: merging cannot shorten the circuit
+       (Section V-A prunes these); scored only in the pruning ablation,
+       by the local Observation-1 gain *)
+    l_u +. l_v -. est
+
+(* Total order: score descending, then (u, v) ascending — candidates are
+   distinct pairs, so the sorted sequence is unique whatever the input
+   order. Shared with the incremental search for the same reason as
+   [score_value]. *)
+let compare_scored a b =
+  if a.score <> b.score then compare b.score a.score
+  else
+    compare
+      (a.candidate.Candidates.u, a.candidate.Candidates.v)
+      (b.candidate.Candidates.u, b.candidate.Candidates.v)
+
+let sort_scored scored = List.sort compare_scored scored
+
 let score gen (crit : Criticality.t) (cand : Candidates.t) =
   let dag = crit.Criticality.dag in
   let u = cand.Candidates.u and v = cand.Candidates.v in
@@ -39,35 +78,10 @@ let score gen (crit : Criticality.t) (cand : Candidates.t) =
   in
   let cp_v = Criticality.cp_after crit v in
   let score =
-    match cand.Candidates.case with
-    | `I ->
-      (* both on the critical path:
-         orig = L(u) + L(v) + CP(v); new = L(uv) + max(CP(v), alt) *)
-      l_u +. l_v +. cp_v -. (est +. Float.max cp_v alt_after_u)
-    | `II ->
-      if Criticality.is_critical crit u then
-        (* u critical, v the off-path successor C: the critical
-           continuation b is u's dominant other successor, so
-           orig = L(u) + (L(b)+CP(b)); new = L(uv) + max(L(b)+CP(b), CP(v))
-           — beneficial iff L(uv) < L(u) while CP(v) stays dominated,
-           exactly the paper's comparison. *)
-        l_u +. alt_after_u -. (est +. Float.max alt_after_u cp_v)
-      else
-        (* v critical, u the off-path predecessor *)
-        l_v -. est
-    | `III ->
-      (* neither gate is critical: merging cannot shorten the circuit
-         (Section V-A prunes these); scored only in the pruning ablation,
-         by the local Observation-1 gain *)
-      l_u +. l_v -. est
+    score_value ~case:cand.Candidates.case
+      ~u_critical:(Criticality.is_critical crit u) ~l_u ~l_v ~cp_v
+      ~alt_after_u ~est
   in
   { candidate = cand; score; est_merged_latency = est }
 
-let rank gen crit cands =
-  List.map (score gen crit) cands
-  |> List.sort (fun a b ->
-         if a.score <> b.score then compare b.score a.score
-         else
-           compare
-             (a.candidate.Candidates.u, a.candidate.Candidates.v)
-             (b.candidate.Candidates.u, b.candidate.Candidates.v))
+let rank gen crit cands = sort_scored (List.map (score gen crit) cands)

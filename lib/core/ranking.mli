@@ -18,6 +18,26 @@ type scored = {
 val score :
   Paqoc_pulse.Generator.t -> Criticality.t -> Candidates.t -> scored
 
+(** The bare Section V-A benefit formula. Exposed so the incremental
+    search scores memoized candidates through exactly the same
+    arithmetic as {!score} — bit-identical by construction. *)
+val score_value :
+  case:[ `I | `II | `III ] ->
+  u_critical:bool ->
+  l_u:float ->
+  l_v:float ->
+  cp_v:float ->
+  alt_after_u:float ->
+  est:float ->
+  float
+
+(** The total order {!rank} sorts by: score descending, then pair
+    ascending. *)
+val compare_scored : scored -> scored -> int
+
+(** [sort_scored l] sorts with {!compare_scored}. *)
+val sort_scored : scored list -> scored list
+
 (** [rank gen crit cands] scores and sorts best-first (ties: earlier pair
     first, for determinism). *)
 val rank :

@@ -116,6 +116,17 @@ type t = {
   mutable shared : Cache.t option;
       (** cross-run cache; consulted after the local tables miss,
           published to from the commit phase *)
+  priced : (string, float) Hashtbl.t;
+      (** write-through memo of the peek-or-estimate latency per canonical
+          key: entries are updated in place whenever [cache] gains a row,
+          so a stored value is always exactly what [peek]-or-
+          [estimate_latency] would return right now *)
+  mutable price_epoch : int;
+      (** bumped on every [cache] write; lets callers that interned their
+          key strings skip even the memo lookup between writes *)
+  mutable price_misses : int;
+      (** priced-latency requests that had to do real work (a table peek
+          plus possibly a model estimate) instead of a memo hit *)
 }
 
 let locked t f =
@@ -152,8 +163,19 @@ let create ?(retry = default_retry) ?shared backend =
     n_shape = 0;
     n_similar = 0;
     n_fallback = 0;
-    shared
+    shared;
+    priced = Hashtbl.create 256;
+    price_epoch = 0;
+    price_misses = 0
   }
+
+(* Single choke point for local-table inserts: every row written to
+   [cache] refreshes the priced-latency memo in the same critical
+   section, so the memo can never serve a stale latency. *)
+let table_put t k (o : outcome) =
+  Hashtbl.replace t.cache k o;
+  Hashtbl.replace t.priced k o.latency;
+  t.price_epoch <- t.price_epoch + 1
 
 let set_shared_cache t c = locked t (fun () -> t.shared <- c)
 let shared_cache t = locked t (fun () -> t.shared)
@@ -505,7 +527,7 @@ let plan_batch t groups =
              subsequent [save_database] writes the same rows a cold run
              would have *)
           let o = outcome_of_entry e in
-          Hashtbl.replace t.cache k o;
+          table_put t k o;
           let sign = shape_signature g in
           if not (Hashtbl.mem t.by_shape sign) then
             Hashtbl.replace t.by_shape sign None;
@@ -755,7 +777,7 @@ let commit_batch t plans results =
           t.n_fallback <- t.n_fallback + 1;
           Obs.count "generator.fallback"
         | Synthesized -> ());
-        Hashtbl.replace t.cache k o;
+        table_put t k o;
         Hashtbl.replace t.by_shape sign o.pulse;
         (* share synthesized pulses with other compilations and future
            runs; fallbacks are this run's degradation and must not poison
@@ -815,6 +837,36 @@ let peek t g =
       match Hashtbl.find_opt t.cache (key g) with
       | Some o -> Some { o with cache_hit = true; gen_seconds = 0.0 }
       | None -> None)
+
+(* Peek-or-estimate with a write-through memo: the first request for a
+   key does the real work (a table lookup, then a model estimate on
+   miss) and records the answer; [table_put] refreshes recorded answers
+   whenever the tables change, so a memo hit never has to touch the
+   pulse tables and is still exactly the peek-or-estimate value. *)
+let priced_latency_locked t (g : group) k =
+  match Hashtbl.find_opt t.priced k with
+  | Some l -> l
+  | None ->
+    t.price_misses <- t.price_misses + 1;
+    let l =
+      match Hashtbl.find_opt t.cache k with
+      | Some (o : outcome) -> o.latency
+      | None ->
+        Latency_model.group_latency (model_config t) ~n_qubits:g.n_qubits
+          ~key:k g.gates
+    in
+    Hashtbl.replace t.priced k l;
+    l
+
+let priced_latency t g =
+  let k = key g in
+  locked t (fun () -> priced_latency_locked t g k)
+
+let priced_latency_of_key t k =
+  locked t (fun () -> Hashtbl.find_opt t.priced k)
+
+let price_epoch t = locked t (fun () -> t.price_epoch)
+let price_misses t = locked t (fun () -> t.price_misses)
 
 let seed_breakdown t =
   locked t (fun () -> (t.n_cold, t.n_prefix, t.n_shape, t.n_similar))
@@ -909,7 +961,7 @@ let load_database t path =
       let add = function
         | Db_format.Priced (key, e) ->
           if not (Hashtbl.mem t.cache key) then
-            Hashtbl.replace t.cache key (outcome_of_entry e)
+            table_put t key (outcome_of_entry e)
         | Db_format.Shape sign ->
           if not (Hashtbl.mem t.by_shape sign) then
             Hashtbl.replace t.by_shape sign None

@@ -164,6 +164,40 @@ val estimate_latency : t -> group -> float
     size-growing merges). Free, like {!estimate_latency}. *)
 val avg_latency_for_size : t -> int -> float
 
+(** {1 Priced-latency memo}
+
+    The criticality search re-prices every gate of the circuit on every
+    analysis pass as [peek]-or-{!estimate_latency}. On a warm run that
+    is pure waste: the database rows never change mid-pass, yet each
+    price pays a canonical-key serialisation plus a table round-trip.
+    The generator therefore keeps a write-through memo from canonical
+    key to that peek-or-estimate value: every write to the pulse
+    database refreshes the memo entry in the same critical section, so
+    a memo hit is always exactly what [peek]-or-[estimate_latency]
+    would return, without touching the tables. *)
+
+(** [priced_latency t g] is the latency {!peek} would report for [g] if
+    its pulse is in the database, and {!estimate_latency}'s figure
+    otherwise — served from the memo when possible. Never synthesises;
+    never touches the hit/generated accounting. *)
+val priced_latency : t -> group -> float
+
+(** [priced_latency_of_key t k] reads the memo directly for a canonical
+    key obtained earlier from {!key} — no group serialisation at all.
+    [None] only when [k] has never been priced through
+    {!priced_latency} or written to the database. *)
+val priced_latency_of_key : t -> string -> float option
+
+(** [price_epoch t] counts pulse-database writes since creation. A
+    caller holding interned keys may cache priced latencies as long as
+    the epoch is unchanged, skipping even the memo lookup. *)
+val price_epoch : t -> int
+
+(** Priced-latency requests that missed the memo and had to do real
+    work since creation (unit-test hook for the memo's effectiveness;
+    not reset by {!reset_accounting}). *)
+val price_misses : t -> int
+
 (** {1 Accounting} *)
 
 val total_seconds : t -> float

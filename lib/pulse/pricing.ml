@@ -5,11 +5,12 @@ let episode t g =
   let group, _ = Generator.group_of_apps [ g ] in
   Generator.generate t group
 
+(* peek-or-estimate, served through the generator's write-through
+   priced-latency memo: warm re-analysis prices each distinct episode
+   once per database change instead of once per call. *)
 let episode_latency_estimate t g =
   let group, _ = Generator.group_of_apps [ g ] in
-  match Generator.peek t group with
-  | Some o -> o.Generator.latency
-  | None -> Generator.estimate_latency t group
+  Generator.priced_latency t group
 
 let gate_latency t g = (episode t g).Generator.latency
 

@@ -12,8 +12,10 @@ val episode : Generator.t -> Paqoc_circuit.Gate.app -> Generator.outcome
 
 (** [episode_latency_estimate t g] is the latency of [g]'s episode without
     generating a pulse: the database value when present, the analytic
-    estimate otherwise. This is what the criticality search schedules with
-    (Algorithm 1 only runs QOC for committed merges). *)
+    estimate otherwise — served through the generator's priced-latency
+    memo, so repeated analysis passes over an unchanged database cost a
+    hash lookup per episode. This is what the criticality search
+    schedules with (Algorithm 1 only runs QOC for committed merges). *)
 val episode_latency_estimate : Generator.t -> Paqoc_circuit.Gate.app -> float
 
 (** [circuit_latency t c] is the critical-path latency of [c] in device

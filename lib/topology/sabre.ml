@@ -68,16 +68,23 @@ let route ?initial (c : Circuit.t) (cg : Coupling.t) =
         if unresolved.(s) = 0 then front := s :: !front)
       (Dag.succs dag v)
   in
-  (* extended lookahead: the next few not-yet-front 2q gates *)
+  (* extended lookahead: the next few not-yet-front 2q gates. The
+     visited marks are generation stamps in a route-level array (the
+     Dag.reach_ws idiom), not a fresh bool array per call — the set is
+     rebuilt at every stalled iteration, and this loop is the router's
+     hot path on congested circuits. *)
+  let ext_stamp = Array.make n 0 in
+  let ext_gen = ref 0 in
   let extended_set () =
+    incr ext_gen;
+    let stamp_gen = !ext_gen in
     let acc = ref [] and count = ref 0 in
-    let seen = Array.make n false in
     let rec walk v depth =
       if depth > 0 && !count < ext_size then
         List.iter
           (fun s ->
-            if not seen.(s) then begin
-              seen.(s) <- true;
+            if ext_stamp.(s) <> stamp_gen then begin
+              ext_stamp.(s) <- stamp_gen;
               (match gates.(s).Gate.qubits with
               | [ _; _ ] when !count < ext_size ->
                 acc := s :: !acc;

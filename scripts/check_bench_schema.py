@@ -5,7 +5,8 @@ Used by `make bench-smoke` (and CI) to catch drift in the benchmark
 emission paths: a field rename, a type change or an empty run list fails
 here before anyone tries to plot a perf trajectory from broken entries.
 Dispatches on the document's "bench" tag: "grape" (per-iteration GRAPE
-cost) or "cache" (cold-vs-warm shared-cache suite compile).
+cost), "cache" (cold-vs-warm shared-cache suite compile) or "search"
+(reference-vs-incremental criticality-search trajectory).
 """
 import json
 import sys
@@ -89,7 +90,59 @@ def check_cache(path, doc, runs):
         fail(f"{path}: synthesis_skip_rate must be in [0,1]")
 
 
-CHECKERS = {"grape": check_grape, "cache": check_cache}
+SEARCH_RUN_FIELDS = {
+    "phase": str,
+    "temp": str,
+    "wall_s": (int, float),
+    "suite_latency": (int, float),
+    "iterations": int,
+    "merges_committed": int,
+    "per_benchmark": list,
+}
+
+SEARCH_PER_BENCHMARK_FIELDS = {
+    "name": str,
+    "latency": (int, float),
+    "wall_s": (int, float),
+}
+
+
+def check_search(path, doc, runs):
+    n = doc.get("benchmarks")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        fail(f"{path}: benchmarks must be a positive int")
+    keys = []
+    for i, run in enumerate(runs):
+        check_fields(path, f"runs[{i}]", run, SEARCH_RUN_FIELDS)
+        keys.append((run["phase"], run["temp"]))
+        if run["wall_s"] <= 0:
+            fail(f"{path}: runs[{i}].wall_s must be positive")
+        per = run["per_benchmark"]
+        if len(per) != n:
+            fail(f"{path}: runs[{i}].per_benchmark has {len(per)} entries, "
+                 f"want {n}")
+        for j, b in enumerate(per):
+            check_fields(path, f"runs[{i}].per_benchmark[{j}]", b,
+                         SEARCH_PER_BENCHMARK_FIELDS)
+    want = [("before", "cold"), ("before", "warm"),
+            ("after", "cold"), ("after", "warm")]
+    if keys != want:
+        fail(f"{path}: run (phase, temp) pairs are {keys}, want {want}")
+    for field in ("warm_speedup", "cold_speedup"):
+        v = doc.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+            fail(f"{path}: {field} must be a positive number")
+    if doc.get("latencies_identical") is not True:
+        fail(f"{path}: latencies_identical must be true — the two searches "
+             f"diverged")
+    # the committed trajectory must actually show the win it claims
+    if doc["warm_speedup"] < 1.0:
+        fail(f"{path}: warm_speedup {doc['warm_speedup']} < 1 — the "
+             f"incremental engine is slower than the reference")
+
+
+CHECKERS = {"grape": check_grape, "cache": check_cache,
+            "search": check_search}
 
 
 def check(path):

@@ -20,6 +20,7 @@ let () =
       ("differential", Test_differential.suite);
       ("qasm-fuzz", Test_qasm_fuzz.suite);
       ("kernels", Test_kernels.suite);
+      ("search", Test_search.suite);
       ("golden", Test_golden.suite);
       ("cache", Test_cache.suite)
     ]

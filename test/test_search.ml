@@ -1,0 +1,334 @@
+(* The incremental search battery: the engine and the fast search loop
+   are pinned to their slow oracles bit-for-bit. [Criticality.Engine]
+   must expose, after any sequence of stage/commit/discard/refresh, the
+   exact floats a from-scratch [Criticality.analyze] computes — raw bit
+   patterns, never a tolerance — and [Merger.run] must reproduce
+   [Merger.run_reference]'s circuit and statistics exactly, at any
+   [jobs]. The suite also pins the runtime guarantees the engine's
+   workspace design makes: reachability queries allocate nothing, and a
+   whole stage+discard step stays under a fixed minor-heap budget. *)
+open Test_util
+module Gen = Paqoc_pulse.Generator
+module Dag = Paqoc_circuit.Dag
+module Rewrite = Paqoc_circuit.Rewrite
+module Crit = Paqoc.Criticality
+module Engine = Paqoc.Criticality.Engine
+module Merger = Paqoc.Merger
+module Suite = Paqoc_benchmarks.Suite
+module Transpile = Paqoc_topology.Transpile
+
+let bits = Int64.bits_of_float
+
+let check_bits msg expected actual =
+  if bits expected <> bits actual then
+    Alcotest.failf "%s: %h vs %h" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs analyze                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let case_name = function `I -> "I" | `II -> "II" | `III -> "III"
+
+(* every exposed committed quantity must be bitwise what a from-scratch
+   analysis of the same circuit against the same generator says *)
+let check_engine_matches msg gen eng =
+  let c = Engine.circuit eng in
+  let r = Crit.analyze gen c in
+  let n = Engine.n_nodes eng in
+  check_int (msg ^ ": n_nodes") (Circuit.n_gates c) n;
+  check_bits (msg ^ ": total") (Crit.total r) (Engine.total eng);
+  for v = 0 to n - 1 do
+    check_bits
+      (Printf.sprintf "%s: latency %d" msg v)
+      (Crit.latency r v) (Engine.latency eng v);
+    check_bits
+      (Printf.sprintf "%s: est %d" msg v)
+      r.Crit.sched.Dag.est.(v) (Engine.est eng v);
+    check_bits
+      (Printf.sprintf "%s: cp_after %d" msg v)
+      (Crit.cp_after r v) (Engine.cp_after eng v);
+    if Crit.is_critical r v <> Engine.is_critical eng v then
+      Alcotest.failf "%s: critical %d: %b vs %b" msg v (Crit.is_critical r v)
+        (Engine.is_critical eng v)
+  done;
+  let dag = Engine.dag eng in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        if Crit.case_of r u v <> Engine.case_of eng u v then
+          Alcotest.failf "%s: case (%d,%d): %s vs %s" msg u v
+            (case_name (Crit.case_of r u v))
+            (case_name (Engine.case_of eng u v)))
+      (Dag.succs dag u)
+  done
+
+(* mergeable pairs on the current committed circuit: DAG edges whose
+   contraction stays acyclic (exactly the candidates the search sees) *)
+let mergeable_pairs dag =
+  let n = Dag.n_nodes dag in
+  let out = ref [] in
+  for u = n - 1 downto 0 do
+    List.iter
+      (fun v ->
+        if not (Dag.has_indirect_path dag u v) then out := (u, v) :: !out)
+      (Dag.succs dag u)
+  done;
+  !out
+
+(* drive an engine through a random merge sequence, holding it to the
+   from-scratch analysis after every stage, commit, discard and refresh;
+   a third of the edits also synthesise the merged pulse first, the way
+   the real search does (including for merges it then rolls back) *)
+let drive_engine st c =
+  let gen = Gen.model_default () in
+  let eng = Engine.create gen c in
+  check_engine_matches "fresh" gen eng;
+  let k = ref 0 in
+  let steps = 4 + Random.State.int st 5 in
+  (try
+     for step = 1 to steps do
+       let pairs = mergeable_pairs (Engine.dag eng) in
+       if pairs = [] then raise Exit;
+       let u, v = List.nth pairs (Random.State.int st (List.length pairs)) in
+       incr k;
+       let app =
+         Rewrite.custom_of_nodes (Engine.dag eng) [ u; v ]
+           ~name:(Printf.sprintf "tgrp%d" !k)
+       in
+       if Random.State.int st 3 = 0 then
+         (* price the merged pulse first, like the search's attempt *)
+         ignore (Gen.generate gen (fst (Gen.group_of_apps [ app ])));
+       let trial = Engine.stage eng [ ([ u; v ], app) ] in
+       let staged = Engine.staged_circuit eng in
+       check_bits
+         (Printf.sprintf "step %d: staged total" step)
+         (Crit.total (Crit.analyze gen staged))
+         trial;
+       if Random.State.int st 4 = 0 then begin
+         Engine.discard eng;
+         Engine.refresh eng;
+         check_engine_matches (Printf.sprintf "step %d: discarded" step) gen
+           eng
+       end
+       else begin
+         Engine.commit eng;
+         check_true
+           (Printf.sprintf "step %d: committed circuit" step)
+           (Circuit.to_string (Engine.circuit eng) = Circuit.to_string staged);
+         Engine.refresh eng;
+         check_engine_matches (Printf.sprintf "step %d: committed" step) gen
+           eng
+       end
+     done
+   with Exit -> ());
+  true
+
+let engine_differential =
+  QCheck.Test.make ~count:40 ~name:"engine == analyze under random merges"
+    (arb_circuit ~n:4 ~max_gates:14 ())
+    (fun c ->
+      (* seed the edit sequence from the circuit so failures replay *)
+      let st = Random.State.make [| 0x5eed; Circuit.n_gates c |] in
+      drive_engine st c)
+
+(* ------------------------------------------------------------------ *)
+(* run vs run_reference                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_same_result msg (c_a, (s_a : Merger.stats)) (c_b, s_b) =
+  check_true
+    (msg ^ ": circuits")
+    (Circuit.to_string c_a = Circuit.to_string c_b);
+  check_int (msg ^ ": iterations") s_a.Merger.iterations s_b.Merger.iterations;
+  check_int (msg ^ ": committed") s_a.Merger.merges_committed
+    s_b.Merger.merges_committed;
+  check_int (msg ^ ": rolled back") s_a.Merger.merges_rolled_back
+    s_b.Merger.merges_rolled_back;
+  check_bits (msg ^ ": initial latency") s_a.Merger.initial_latency
+    s_b.Merger.initial_latency;
+  check_bits (msg ^ ": final latency") s_a.Merger.final_latency
+    s_b.Merger.final_latency
+
+(* vary the knobs trial to trial so top_k batches, the maxN cap and
+   Case-III pruning all get exercised *)
+let trial = ref 0
+
+let search_differential =
+  QCheck.Test.make ~count:30
+    ~name:"Merger.run == run_reference (fresh generators, jobs 1 and 4)"
+    (arb_circuit ~n:4 ~max_gates:14 ())
+    (fun c ->
+      incr trial;
+      let config =
+        { Merger.default_config with
+          top_k = 1 + (!trial mod 3);
+          max_n = 2 + (!trial mod 2);
+          prune_noncritical = !trial mod 2 = 0
+        }
+      in
+      let reference = Merger.run_reference ~config (Gen.model_default ()) c in
+      let fast = Merger.run ~config (Gen.model_default ()) c in
+      check_same_result "jobs 1" reference fast;
+      let fast4 = Merger.run ~config ~jobs:4 (Gen.model_default ()) c in
+      check_same_result "jobs 4" reference fast4;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end suite equivalence (golden)                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite_equivalence =
+  slow_case "all 17 benchmarks: incremental == reference == jobs 4" (fun () ->
+      List.iter
+        (fun (e : Suite.entry) ->
+          let physical = (Suite.transpiled e).Transpile.physical in
+          let compile search jobs =
+            Paqoc.compile ~jobs ~search (Gen.model_default ()) physical
+          in
+          let r = compile `Reference 1 in
+          let i = compile `Incremental 1 in
+          let i4 = compile `Incremental 4 in
+          List.iter
+            (fun (tag, (x : Paqoc.report)) ->
+              check_true
+                (Printf.sprintf "%s: grouped circuit (%s)" e.Suite.name tag)
+                (Circuit.to_string r.Paqoc.grouped
+                = Circuit.to_string x.Paqoc.grouped);
+              check_bits
+                (Printf.sprintf "%s: latency (%s)" e.Suite.name tag)
+                r.Paqoc.latency x.Paqoc.latency;
+              check_bits
+                (Printf.sprintf "%s: esp (%s)" e.Suite.name tag)
+                r.Paqoc.esp x.Paqoc.esp;
+              check_int
+                (Printf.sprintf "%s: groups (%s)" e.Suite.name tag)
+                r.Paqoc.n_groups x.Paqoc.n_groups;
+              check_same_result
+                (Printf.sprintf "%s: stats (%s)" e.Suite.name tag)
+                (r.Paqoc.grouped, r.Paqoc.merge_stats)
+                (x.Paqoc.grouped, x.Paqoc.merge_stats))
+            [ ("jobs 1", i); ("jobs 4", i4) ])
+        Suite.all)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation budgets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* one whole stage+discard cycle on ham7_104 (560 episodes) measures
+   ~122k minor words — the contraction's O(n) circuit/DAG rebuild; the
+   ceiling pins the order of magnitude so a per-step re-analysis or an
+   O(n^2) scratch allocation cannot creep back in unnoticed *)
+let step_budget_words = 250_000.0
+
+let alloc_suite =
+  [ case "reachability workspace queries allocate nothing" (fun () ->
+        let c = (Suite.transpiled (Suite.find "rd32_270")).Transpile.physical in
+        let dag = Dag.of_circuit c in
+        let n = Dag.n_nodes dag in
+        let ws = Dag.reach_ws n in
+        (* correctness first: agree with the allocating DFS everywhere *)
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if Dag.has_indirect_path_ws ws dag u v
+               <> Dag.has_indirect_path dag u v
+            then
+              Alcotest.failf "ws DFS disagrees at (%d,%d)" u v
+          done
+        done;
+        let before = Gc.minor_words () in
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            ignore (Dag.has_indirect_path_ws ws dag u v)
+          done
+        done;
+        let per =
+          (Gc.minor_words () -. before) /. float_of_int (n * n)
+        in
+        if per > 0.5 then
+          Alcotest.failf
+            "has_indirect_path_ws allocates %.2f words/query — the \
+             workspace contract is zero"
+            per);
+    slow_case "a warmed-up merge step stays under the minor-heap budget"
+      (fun () ->
+        let physical =
+          (Suite.transpiled (Suite.find "ham7_104")).Transpile.physical
+        in
+        let gen = Gen.model_default () in
+        let eng = Engine.create gen physical in
+        let dag = Engine.dag eng in
+        let u, v = List.hd (mergeable_pairs dag) in
+        let app = Rewrite.custom_of_nodes dag [ u; v ] ~name:"budget" in
+        let groups = [ ([ u; v ], app) ] in
+        for _ = 1 to 3 do
+          ignore (Engine.stage eng groups);
+          Engine.discard eng
+        done;
+        let reps = 50 in
+        let before = Gc.minor_words () in
+        for _ = 1 to reps do
+          ignore (Engine.stage eng groups);
+          Engine.discard eng
+        done;
+        let per_step = (Gc.minor_words () -. before) /. float_of_int reps in
+        if per_step > step_budget_words then
+          Alcotest.failf
+            "stage+discard allocates %.0f minor words/step, over the %.0f \
+             budget — a hot-path allocation crept back in"
+            per_step step_budget_words)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Priced-latency memo                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let priced_memo_suite =
+  [ case "warm re-analysis performs no pricing work" (fun () ->
+        let c = (Suite.transpiled (Suite.find "rd32_270")).Transpile.physical in
+        let gen = Gen.model_default () in
+        ignore (Crit.analyze gen c);
+        let cold = Gen.price_misses gen in
+        check_true "cold analysis priced something" (cold > 0);
+        let t1 = Crit.analyze gen c in
+        check_int "warm analysis adds no misses" cold (Gen.price_misses gen);
+        let t2 = Crit.analyze gen c in
+        check_int "and stays warm" cold (Gen.price_misses gen);
+        check_bits "memoized totals agree" (Crit.total t1) (Crit.total t2));
+    case "generation writes prices through to the memo" (fun () ->
+        let gen = Gen.model_default () in
+        let g =
+          fst
+            (Gen.group_of_apps
+               [ Gate.app1 Gate.H 0; Gate.app2 Gate.CX 0 1 ])
+        in
+        let epoch0 = Gen.price_epoch gen in
+        let misses0 = Gen.price_misses gen in
+        let o = Gen.generate gen g in
+        check_true "generate bumps the price epoch"
+          (Gen.price_epoch gen > epoch0);
+        (match Gen.priced_latency_of_key gen (Gen.key g) with
+        | None -> Alcotest.fail "generated group missing from the memo"
+        | Some l -> check_bits "write-through latency" o.Gen.latency l);
+        check_bits "priced_latency reads the committed price" o.Gen.latency
+          (Gen.priced_latency gen g);
+        check_int "none of it counted as a miss" misses0
+          (Gen.price_misses gen));
+    case "an unseen group misses once, then never again" (fun () ->
+        let gen = Gen.model_default () in
+        let g = fst (Gen.group_of_apps [ Gate.app2 Gate.CZ 1 2 ]) in
+        let misses0 = Gen.price_misses gen in
+        let l1 = Gen.priced_latency gen g in
+        check_int "first lookup is the miss" (misses0 + 1)
+          (Gen.price_misses gen);
+        let l2 = Gen.priced_latency gen g in
+        check_int "second lookup is free" (misses0 + 1)
+          (Gen.price_misses gen);
+        check_bits "and returns the same price" l1 l2)
+  ]
+
+let suite =
+  [ qcheck engine_differential;
+    qcheck search_differential;
+    suite_equivalence
+  ]
+  @ alloc_suite @ priced_memo_suite
