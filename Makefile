@@ -19,6 +19,58 @@ check:
 	  | grep -q '/ 0 misses' \
 	  || (echo "check: warm cache run still missed" && exit 1)
 	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json /tmp/paqoc_cache.db
+	$(MAKE) check-daemon
+
+# Daemon round trip: serve in the background, compile the suite through
+# it cold and warm, hold the client table byte-identical to the
+# in-process one, then SIGTERM and require a clean drain — exit 0 and a
+# compacted cache file (pure snapshot, no '+' journal tail) whose bytes
+# match the in-process run's. The banner lines are the one permitted
+# difference (they name the transport), so they are filtered first.
+check-daemon:
+	dune build bin/paqoc_cli.exe
+	@rm -f /tmp/paqoc_dm.sock /tmp/paqoc_dm.db /tmp/paqoc_dm_inproc.db
+	@_build/default/bin/paqoc_cli.exe compile-suite \
+	  --cache /tmp/paqoc_dm_inproc.db \
+	  | grep -v '^compiling\|^pulse cache' > /tmp/paqoc_dm_inproc.txt
+	@_build/default/bin/paqoc_cli.exe serve --socket /tmp/paqoc_dm.sock \
+	  --cache /tmp/paqoc_dm.db > /tmp/paqoc_dm_serve.txt 2>&1 & \
+	pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+	  [ -S /tmp/paqoc_dm.sock ] && { ok=1; break; }; sleep 0.1; done; \
+	[ $$ok = 1 ] \
+	  || { echo "check-daemon: daemon socket never appeared"; \
+	       kill $$pid 2>/dev/null; exit 1; }; \
+	_build/default/bin/paqoc_cli.exe compile-suite \
+	  --connect /tmp/paqoc_dm.sock \
+	  | grep -v '^compiling' > /tmp/paqoc_dm_cold.txt \
+	  || { kill $$pid; exit 1; }; \
+	_build/default/bin/paqoc_cli.exe compile-suite \
+	  --connect /tmp/paqoc_dm.sock \
+	  | grep -v '^compiling' > /tmp/paqoc_dm_warm.txt \
+	  || { kill $$pid; exit 1; }; \
+	diff /tmp/paqoc_dm_inproc.txt /tmp/paqoc_dm_cold.txt \
+	  || { echo "check-daemon: daemon table diverged from in-process"; \
+	       kill $$pid; exit 1; }; \
+	grep -q '0 pulses synthesized' /tmp/paqoc_dm_warm.txt \
+	  || { echo "check-daemon: warm daemon suite synthesized pulses"; \
+	       kill $$pid; exit 1; }; \
+	grep -q 'hit rate 100.0%' /tmp/paqoc_dm_warm.txt \
+	  || { echo "check-daemon: warm daemon suite not all cache hits"; \
+	       kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	[ $$rc = 0 ] \
+	  || { echo "check-daemon: daemon exit $$rc after SIGTERM"; exit 1; }; \
+	! grep -q '^+' /tmp/paqoc_dm.db \
+	  || { echo "check-daemon: daemon cache left an uncompacted journal"; \
+	       exit 1; }; \
+	cmp /tmp/paqoc_dm.db /tmp/paqoc_dm_inproc.db \
+	  || { echo "check-daemon: daemon cache bytes diverged"; exit 1; }
+	@rm -f /tmp/paqoc_dm.sock /tmp/paqoc_dm.db /tmp/paqoc_dm_inproc.db \
+	  /tmp/paqoc_dm_inproc.txt /tmp/paqoc_dm_cold.txt /tmp/paqoc_dm_warm.txt \
+	  /tmp/paqoc_dm_serve.txt
+	@echo "check-daemon: daemon table and cache byte-identical; clean drain"
 
 # Render the API docs with odoc. Skipped with a notice when odoc is not
 # installed locally; the CI job installs odoc and runs this on every
@@ -59,7 +111,8 @@ bench-smoke:
 	@python3 scripts/check_bench_schema.py /tmp/paqoc_bench_cache_smoke.json
 	@python3 scripts/check_bench_schema.py BENCH_cache.json
 	@rm -f /tmp/paqoc_bench_cache_smoke.json
-	@echo "bench-smoke: BENCH_grape and BENCH_cache schemas OK"
+	@python3 scripts/check_bench_schema.py BENCH_serve.json
+	@echo "bench-smoke: BENCH_grape, BENCH_cache and BENCH_serve schemas OK"
 
 # Reference-vs-incremental search trajectory: compiles the 17-benchmark
 # suite cold and warm with both search implementations, refuses to emit
@@ -68,6 +121,15 @@ bench-smoke:
 bench-search:
 	dune exec bench/micro_main.exe -- --bench-search
 	@python3 scripts/check_bench_schema.py BENCH_search.json
+
+# Resident-daemon trajectory: a real daemon serving the 17-benchmark
+# suite over the socket cold and warm (requests/sec, p50/p95 request
+# latency, warm hit rate), plus the lazy-pool gate — the warm in-process
+# suite at --jobs 4 must be within 10% of --jobs 1. Refuses to emit on a
+# violated gate; run after a daemon or pool change and commit the JSON.
+bench-serve:
+	dune exec bench/micro_main.exe -- --bench-serve
+	@python3 scripts/check_bench_schema.py BENCH_serve.json
 
 # End-to-end search-equivalence golden: the compile-suite table must be
 # byte-identical between --search reference and --search incremental, at
@@ -106,5 +168,5 @@ check-search-golden:
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check doc bench bench-scaling bench-smoke bench-search \
-  check-search-golden update-golden
+.PHONY: check check-daemon doc bench bench-scaling bench-smoke \
+  bench-search bench-serve check-search-golden update-golden

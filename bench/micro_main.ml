@@ -30,7 +30,15 @@
                                                   -- emit the reference-vs-
                                                      incremental search
                                                      trajectory (default
-                                                     BENCH_search.json) *)
+                                                     BENCH_search.json)
+     dune exec bench/micro_main.exe -- --bench-serve[=PATH]
+                                                  -- emit the resident-daemon
+                                                     entry: warm requests/sec,
+                                                     p50/p95 request latency,
+                                                     warm hit rate and the
+                                                     lazy-pool jobs-4 gate
+                                                     (default
+                                                     BENCH_serve.json) *)
 
 let flag_value name args =
   let eq = "--" ^ name ^ "=" in
@@ -51,6 +59,7 @@ let () =
   let bench_grape = flag_value "bench-grape" args in
   let bench_cache = flag_value "bench-cache" args in
   let bench_search = flag_value "bench-search" args in
+  let bench_serve = flag_value "bench-serve" args in
   let phase = Option.join (flag_value "phase" args) in
   let iters = Option.bind (Option.join (flag_value "iters" args))
       int_of_string_opt in
@@ -61,11 +70,12 @@ let () =
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  (match (bench_search, bench_cache, bench_grape, bench_json) with
-  | Some path, _, _, _ -> Search.run_bench_search ?path ()
-  | None, Some path, _, _ -> Micro.run_bench_cache ?path ()
-  | None, None, Some path, _ ->
+  (match (bench_serve, bench_search, bench_cache, bench_grape, bench_json) with
+  | Some path, _, _, _, _ -> Serve.run_bench_serve ?path ()
+  | None, Some path, _, _, _ -> Search.run_bench_search ?path ()
+  | None, None, Some path, _, _ -> Micro.run_bench_cache ?path ()
+  | None, None, None, Some path, _ ->
     Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
-  | None, None, None, Some path -> Micro.run_bench_json ?path ~workers ()
-  | None, None, None, None -> Micro.run_scaling ~workers ());
+  | None, None, None, None, Some path -> Micro.run_bench_json ?path ~workers ()
+  | None, None, None, None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

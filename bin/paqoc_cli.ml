@@ -16,12 +16,16 @@ module Qasm = Paqoc_circuit.Qasm
 module Coupling = Paqoc_topology.Coupling
 module Transpile = Paqoc_topology.Transpile
 module Gen = Paqoc_pulse.Generator
+module Protocol = Paqoc_pulse.Protocol
+module Server = Paqoc_pulse.Server
+module Service = Paqoc_service.Service
 module Suite = Paqoc_benchmarks.Suite
 module Accqoc = Paqoc_accqoc.Accqoc
 module Slicer = Paqoc_accqoc.Slicer
 module Apa = Paqoc_mining.Apa
 module Miner = Paqoc_mining.Miner
 module Obs = Paqoc_obs.Obs
+module Clock = Paqoc_obs.Clock
 
 (* Shared --metrics/--trace plumbing: enable the sink before the work,
    dump the reports after it. Dumps are atomic (tmp + rename); a bad path
@@ -107,19 +111,23 @@ let load_circuit input =
         "error: %s is neither a QASM file nor a built-in benchmark\n" input;
       exit 1
 
-let device_of = function
-  | "5x5" -> Coupling.grid ~rows:5 ~cols:5
+let grid_of_spec = function
+  | "5x5" -> (5, 5)
   | spec -> (
     match String.split_on_char 'x' spec with
     | [ r; c ] -> (
       match (int_of_string_opt r, int_of_string_opt c) with
-      | Some r, Some c when r > 0 && c > 0 -> Coupling.grid ~rows:r ~cols:c
+      | Some r, Some c when r > 0 && c > 0 -> (r, c)
       | _ ->
         Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
         exit 1)
     | _ ->
       Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
       exit 1)
+
+let device_of spec =
+  let rows, cols = grid_of_spec spec in
+  Coupling.grid ~rows ~cols
 
 (* Shared --cache plumbing: open (or create) the journaled shared pulse
    cache around the work, always closing it — close compacts any pending
@@ -142,26 +150,41 @@ let with_cache cache_file f =
   | Some path -> (
     try
       Paqoc_pulse.Cache.with_file path (fun c ->
-          let r = f (Some c) in
-          let s = Paqoc_pulse.Cache.stats c in
-          Printf.printf
-            "pulse cache     : %s (%d entries; %d hits / %d misses, %d \
-             published)\n"
-            path
-            (Paqoc_pulse.Cache.size c)
-            s.Paqoc_pulse.Cache.hits s.Paqoc_pulse.Cache.misses
-            s.Paqoc_pulse.Cache.publishes;
-          r)
+          (* a Ctrl-C / SIGTERM mid-run must still compact-and-close the
+             journal: register the cache with the interrupt-cleanup
+             registry for the duration of the work (close is idempotent,
+             so the normal with_file close after an un-fired handler is
+             fine) *)
+          Server.Cleanup.register_cache c;
+          Server.Cleanup.install_handlers ();
+          Fun.protect
+            ~finally:(fun () -> Server.Cleanup.unregister_cache c)
+            (fun () ->
+              let r = f (Some c) in
+              let s = Paqoc_pulse.Cache.stats c in
+              Printf.printf
+                "pulse cache     : %s (%d entries; %d hits / %d misses, %d \
+                 published)\n"
+                path
+                (Paqoc_pulse.Cache.size c)
+                s.Paqoc_pulse.Cache.hits s.Paqoc_pulse.Cache.misses
+                s.Paqoc_pulse.Cache.publishes;
+              r))
     with Failure msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1)
 
 (* One compilation under a named scheme; shared by compile and
    compile-suite. *)
-let run_scheme scheme ~max_n ~top_k ~jobs ?(search = `Incremental) ?cache gen
-    physical =
+let run_scheme scheme ~max_n ~top_k ~jobs ?(search = `Incremental) ?cache
+    ?deadline gen physical =
   match scheme with
   | `Acc3 | `Acc5 ->
+    (* the AccQOC baseline has no stage-boundary deadline plumbing;
+       enforce the budget at its entry at least *)
+    (match deadline with
+    | Some d when Clock.now_s () > d -> raise Protocol.Deadline_exceeded
+    | _ -> ());
     let slicer =
       if scheme = `Acc3 then Slicer.accqoc_n3d3 else Slicer.accqoc_n3d5
     in
@@ -181,9 +204,80 @@ let run_scheme scheme ~max_n ~top_k ~jobs ?(search = `Incremental) ?cache gen
         merger = { Paqoc.Merger.default_config with max_n; top_k }
       }
     in
-    let r = Paqoc.compile ~scheme ~jobs ~search ?cache gen physical in
+    let r = Paqoc.compile ~scheme ~jobs ~search ?cache ?deadline gen physical in
     ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
       r.Paqoc.n_groups, r.Paqoc.fallbacks, r.Paqoc.grouped )
+
+(* ------------------------------------------------------------------ *)
+(* Daemon client plumbing (--connect)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let proto_scheme = function
+  | `M0 -> Protocol.M0
+  | `Mtuned -> Protocol.Mtuned
+  | `Minf -> Protocol.Minf
+  | `Acc3 -> Protocol.Acc3
+  | `Acc5 -> Protocol.Acc5
+
+let proto_search = function
+  | `Incremental -> Protocol.Incremental
+  | `Reference -> Protocol.Reference
+
+let proto_backend = function
+  | `Model -> Protocol.Model
+  | `Qoc -> Protocol.Qoc
+
+(* A file path becomes inline QASM on the wire — the daemon never reads
+   client paths; anything else is a benchmark name the daemon resolves. *)
+let proto_circuit input =
+  if Sys.file_exists input then
+    Protocol.Qasm (In_channel.with_open_bin input In_channel.input_all)
+  else Protocol.Benchmark input
+
+let refusal_to_string = function
+  | Protocol.Overloaded -> "daemon overloaded (admission queue full)"
+  | Protocol.Deadline_exceeded -> "deadline exceeded"
+  | Protocol.Shutting_down -> "daemon is shutting down"
+  | Protocol.Bad_request msg -> "bad request: " ^ msg
+  | Protocol.Internal msg -> "internal daemon error: " ^ msg
+
+(* timeout(1)-style 124 for a blown budget, EX_TEMPFAIL for back-pressure
+   a client can retry, plain 1 for everything else *)
+let refusal_exit : Protocol.error_kind -> int = function
+  | Protocol.Deadline_exceeded -> 124
+  | Protocol.Overloaded | Protocol.Shutting_down -> 75
+  | Protocol.Bad_request _ | Protocol.Internal _ -> 1
+
+let rpc_compile fd req =
+  match Server.rpc fd (Protocol.Compile req) with
+  | Protocol.Result r -> r
+  | Protocol.Refused e ->
+    Printf.eprintf "error: %s\n" (refusal_to_string e);
+    exit (refusal_exit e)
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Shutdown_ack ->
+    Printf.eprintf "error: unexpected daemon response to a compile\n";
+    exit 1
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Send the compilation to a resident $(b,paqoc serve) daemon on \
+           Unix-domain socket $(docv) instead of compiling in-process. \
+           The daemon's shared pulse cache serves all requests, so warm \
+           circuits come back without any synthesis.")
+
+let reject_with_connect flags =
+  match List.find_opt (fun (_, set) -> set) flags with
+  | Some (name, _) ->
+    Printf.eprintf
+      "error: %s cannot be combined with --connect (it belongs to the \
+       daemon process; pass it to paqoc serve)\n"
+      name;
+    exit 1
+  | None -> ()
 
 let scheme_arg =
   Arg.(
@@ -285,8 +379,37 @@ let compile_cmd =
             "Wall-clock budget per synthesis task; once exceeded the task \
              degrades to the fallback instead of retrying.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-seconds" ] ~docv:"S"
+          ~doc:
+            "Whole-compile wall-clock budget; once exceeded the pipeline \
+             aborts at the next stage boundary (exit 124). With \
+             $(b,--connect) the budget travels with the request and is \
+             enforced by the daemon (queue time counts).")
+  in
+  let print_result (r : Protocol.compile_result) input =
+    Printf.printf
+      "transpiled %s: %d logical qubits -> %d-qubit device, %d physical \
+       gates (%d swaps inserted)\n"
+      input r.Protocol.logical_qubits r.Protocol.device_qubits
+      r.Protocol.physical_gates r.Protocol.swaps_added;
+    Printf.printf "circuit latency : %.0f dt\n" r.Protocol.latency;
+    Printf.printf "estimated ESP   : %.4f\n" r.Protocol.esp;
+    Printf.printf "compile cost    : %.1f s (modeled QOC time)\n"
+      r.Protocol.compile_seconds;
+    Printf.printf "pulse episodes  : %d\n" r.Protocol.episodes;
+    if r.Protocol.fallbacks > 0 then
+      Printf.printf
+        "fallback groups : %d (QOC failed; decomposed default-basis pulses, \
+         latency penalty included above)\n"
+        r.Protocol.fallbacks
+  in
   let run input scheme search device max_n top_k show_groups jobs db
-      cache_file backend retries task_seconds inject metrics trace =
+      cache_file backend retries task_seconds connect deadline_s inject
+      metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -295,76 +418,114 @@ let compile_cmd =
       Printf.eprintf "error: --retries must be >= 1 (got %d)\n" retries;
       exit 1
     end;
-    arm_injection inject;
-    with_observability ~metrics ~trace @@ fun () ->
-    let logical = load_circuit input in
-    let coupling = device_of device in
-    let t = Transpile.run ~coupling logical in
-    let physical = t.Transpile.physical in
-    Printf.printf
-      "transpiled %s: %d logical qubits -> %d-qubit device, %d physical \
-       gates (%d swaps inserted)\n"
-      input logical.Circuit.n_qubits
-      (Coupling.n_qubits coupling)
-      (Circuit.n_gates physical) t.Transpile.swaps_added;
-    let retry =
-      { Gen.default_retry with
-        Gen.max_attempts = retries;
-        Gen.task_seconds
-      }
-    in
-    let gen =
-      match backend with
-      | `Model -> Gen.model_default ~retry ()
-      | `Qoc -> Gen.qoc_default ~retry ()
-    in
-    (match db with
-    | Some file when Sys.file_exists file -> (
-      try
-        Gen.load_database gen file;
-        Printf.printf "pulse database: loaded %d entries from %s\n"
-          (Gen.database_size gen) file
-      with Failure msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 1)
-    | _ -> ());
-    let latency, esp, seconds, groups, fallbacks, grouped =
-      with_cache cache_file (fun cache ->
-          run_scheme scheme ~max_n ~top_k ~jobs ~search ?cache gen physical)
-    in
-    Printf.printf "circuit latency : %.0f dt\n" latency;
-    Printf.printf "estimated ESP   : %.4f\n" esp;
-    Printf.printf "compile cost    : %.1f s (modeled QOC time)\n" seconds;
-    Printf.printf "pulse episodes  : %d\n" groups;
-    if fallbacks > 0 then
+    match connect with
+    | Some sock ->
+      reject_with_connect
+        [ ("--db", db <> None); ("--cache", cache_file <> None);
+          ("--show-groups", show_groups); ("--inject", inject <> None);
+          ("--retries", retries <> Gen.default_retry.Gen.max_attempts);
+          ("--task-seconds", task_seconds <> None) ];
+      with_observability ~metrics ~trace @@ fun () ->
+      let rows, cols = grid_of_spec device in
+      let req =
+        { Protocol.circuit = proto_circuit input;
+          scheme = proto_scheme scheme;
+          search = proto_search search;
+          backend = proto_backend backend;
+          rows;
+          cols;
+          max_n;
+          top_k;
+          jobs;
+          deadline_s
+        }
+      in
+      (try
+         Server.with_connection sock (fun fd ->
+             print_result (rpc_compile fd req) input)
+       with Failure msg ->
+         Printf.eprintf "error: %s\n" msg;
+         exit 1)
+    | None -> (
+      arm_injection inject;
+      with_observability ~metrics ~trace @@ fun () ->
+      let logical = load_circuit input in
+      let coupling = device_of device in
+      let t = Transpile.run ~coupling logical in
+      let physical = t.Transpile.physical in
       Printf.printf
-        "fallback groups : %d (QOC failed; decomposed default-basis pulses, \
-         latency penalty included above)\n"
-        fallbacks;
-    if show_groups then
-      List.iteri
-        (fun i (g : Gate.app) ->
-          Printf.printf "  group %3d: %s\n" i (Gate.app_to_string g))
-        grouped.Circuit.gates;
-    match db with
-    | Some file -> (
-      try
-        Gen.save_database gen file;
-        Printf.printf "pulse database: saved %d entries to %s\n"
-          (Gen.database_size gen) file
-      with Failure msg ->
-        (* the save is atomic, so a failure (I/O or injected) leaves any
-           existing database intact; report it and fail the run *)
-        Printf.eprintf "error: %s\n" msg;
-        exit 1)
-    | None -> ()
+        "transpiled %s: %d logical qubits -> %d-qubit device, %d physical \
+         gates (%d swaps inserted)\n"
+        input logical.Circuit.n_qubits
+        (Coupling.n_qubits coupling)
+        (Circuit.n_gates physical) t.Transpile.swaps_added;
+      let retry =
+        { Gen.default_retry with
+          Gen.max_attempts = retries;
+          Gen.task_seconds
+        }
+      in
+      let gen =
+        match backend with
+        | `Model -> Gen.model_default ~retry ()
+        | `Qoc -> Gen.qoc_default ~retry ()
+      in
+      (match db with
+      | Some file when Sys.file_exists file -> (
+        try
+          Gen.load_database gen file;
+          Printf.printf "pulse database: loaded %d entries from %s\n"
+            (Gen.database_size gen) file
+        with Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+      | _ -> ());
+      let deadline = Option.map (fun s -> Clock.now_s () +. s) deadline_s in
+      let latency, esp, seconds, groups, fallbacks, grouped =
+        match
+          with_cache cache_file (fun cache ->
+              run_scheme scheme ~max_n ~top_k ~jobs ~search ?cache ?deadline
+                gen physical)
+        with
+        | r -> r
+        | exception Protocol.Deadline_exceeded ->
+          Printf.eprintf "error: deadline exceeded\n";
+          exit 124
+      in
+      Printf.printf "circuit latency : %.0f dt\n" latency;
+      Printf.printf "estimated ESP   : %.4f\n" esp;
+      Printf.printf "compile cost    : %.1f s (modeled QOC time)\n" seconds;
+      Printf.printf "pulse episodes  : %d\n" groups;
+      if fallbacks > 0 then
+        Printf.printf
+          "fallback groups : %d (QOC failed; decomposed default-basis \
+           pulses, latency penalty included above)\n"
+          fallbacks;
+      if show_groups then
+        List.iteri
+          (fun i (g : Gate.app) ->
+            Printf.printf "  group %3d: %s\n" i (Gate.app_to_string g))
+          grouped.Circuit.gates;
+      match db with
+      | Some file -> (
+        try
+          Gen.save_database gen file;
+          Printf.printf "pulse database: saved %d entries to %s\n"
+            (Gen.database_size gen) file
+        with Failure msg ->
+          (* the save is atomic, so a failure (I/O or injected) leaves any
+             existing database intact; report it and fail the run *)
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+      | None -> ())
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
       const run $ input $ scheme_arg $ search_arg $ device $ max_n $ top_k
       $ show_groups $ jobs $ db $ cache_arg $ backend $ retries
-      $ task_seconds $ inject_arg $ metrics_arg $ trace_arg)
+      $ task_seconds $ connect_arg $ deadline_arg $ inject_arg $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile-suite                                                       *)
@@ -400,66 +561,64 @@ let compile_suite_cmd =
             "Pulse engine: $(b,model) (analytic latency model, instant) or \
              $(b,qoc) (real GRAPE searches; slow, small circuits only).")
   in
-  let run scheme search device jobs cache_file backend inject metrics trace =
+  let run scheme search device jobs cache_file backend connect inject metrics
+      trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
     end;
-    arm_injection inject;
-    with_observability ~metrics ~trace @@ fun () ->
-    let coupling = device_of device in
-    with_cache cache_file @@ fun cache ->
-    Printf.printf "compiling %d benchmarks on %s (jobs %d%s)\n"
-      (List.length Suite.all) device jobs
-      (match cache_file with
-      | Some p -> Printf.sprintf ", cache %s" p
-      | None -> ", no cache");
-    Printf.printf "  %-14s %9s %7s %9s %6s %5s %9s\n" "benchmark" "latency"
-      "esp" "episodes" "synth" "hits" "hit-rate";
-    let tot_synth = ref 0 and tot_hits = ref 0 and tot_misses = ref 0 in
-    List.iter
-      (fun (e : Suite.entry) ->
-        let physical =
-          (Transpile.run ~coupling (e.Suite.build ())).Transpile.physical
-        in
-        let gen =
-          match backend with
-          | `Model -> Gen.model_default ()
-          | `Qoc -> Gen.qoc_default ()
-        in
-        let stats0 = Option.map Paqoc_pulse.Cache.stats cache in
-        let latency, esp, _seconds, groups, _fallbacks, _grouped =
-          run_scheme scheme ~max_n:3 ~top_k:1 ~jobs ~search ?cache gen
-            physical
-        in
-        let synth = Gen.pulses_generated gen in
-        let hits, misses =
-          match (cache, stats0) with
-          | Some c, Some s0 ->
-            let s1 = Paqoc_pulse.Cache.stats c in
-            ( s1.Paqoc_pulse.Cache.hits - s0.Paqoc_pulse.Cache.hits,
-              s1.Paqoc_pulse.Cache.misses - s0.Paqoc_pulse.Cache.misses )
-          | _ -> (0, 0)
-        in
-        let rate =
-          if hits + misses = 0 then "-"
-          else
-            Printf.sprintf "%5.1f%%"
-              (100.0 *. float_of_int hits /. float_of_int (hits + misses))
-        in
-        tot_synth := !tot_synth + synth;
-        tot_hits := !tot_hits + hits;
-        tot_misses := !tot_misses + misses;
-        Printf.printf "  %-14s %9.0f %7.4f %9d %6d %5d %9s\n" e.Suite.name
-          latency esp groups synth hits rate)
-      Suite.all;
-    let lookups = !tot_hits + !tot_misses in
-    Printf.printf "suite totals    : %d pulses synthesized, %d cache hits"
-      !tot_synth !tot_hits;
-    if lookups > 0 then
-      Printf.printf " (hit rate %.1f%%)"
-        (100.0 *. float_of_int !tot_hits /. float_of_int lookups);
-    print_newline ()
+    let rows, cols = grid_of_spec device in
+    let mk_req (e : Suite.entry) =
+      { Protocol.default_compile with
+        Protocol.circuit = Protocol.Benchmark e.Suite.name;
+        scheme = proto_scheme scheme;
+        search = proto_search search;
+        backend = proto_backend backend;
+        rows;
+        cols;
+        jobs
+      }
+    in
+    (* both paths print through Service's formatters from the same
+       result record, so the table bytes cannot depend on the transport *)
+    let print_table compile_one =
+      print_string Service.suite_header;
+      let tot_synth = ref 0 and tot_hits = ref 0 and tot_misses = ref 0 in
+      List.iter
+        (fun (e : Suite.entry) ->
+          let r = compile_one e in
+          tot_synth := !tot_synth + r.Protocol.synthesized;
+          tot_hits := !tot_hits + r.Protocol.cache_hits;
+          tot_misses := !tot_misses + r.Protocol.cache_misses;
+          print_string (Service.suite_row e.Suite.name r))
+        Suite.all;
+      print_string
+        (Service.suite_totals ~synthesized:!tot_synth ~hits:!tot_hits
+           ~misses:!tot_misses)
+    in
+    match connect with
+    | Some sock ->
+      reject_with_connect
+        [ ("--cache", cache_file <> None); ("--inject", inject <> None) ];
+      with_observability ~metrics ~trace @@ fun () ->
+      Printf.printf "compiling %d benchmarks via daemon %s (jobs %d)\n"
+        (List.length Suite.all) sock jobs;
+      (try
+         Server.with_connection sock (fun fd ->
+             print_table (fun e -> rpc_compile fd (mk_req e)))
+       with Failure msg ->
+         Printf.eprintf "error: %s\n" msg;
+         exit 1)
+    | None ->
+      arm_injection inject;
+      with_observability ~metrics ~trace @@ fun () ->
+      with_cache cache_file @@ fun cache ->
+      Printf.printf "compiling %d benchmarks on %s (jobs %d%s)\n"
+        (List.length Suite.all) device jobs
+        (match cache_file with
+        | Some p -> Printf.sprintf ", cache %s" p
+        | None -> ", no cache");
+      print_table (fun e -> Service.handle ?cache ~deadline:None (mk_req e))
   in
   Cmd.v
     (Cmd.info "compile-suite"
@@ -468,7 +627,7 @@ let compile_suite_cmd =
           and report per-benchmark cache hit rates.")
     Term.(
       const run $ scheme_arg $ search_arg $ device $ jobs $ cache_arg
-      $ backend $ inject_arg $ metrics_arg $ trace_arg)
+      $ backend $ connect_arg $ inject_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)
@@ -642,10 +801,151 @@ let pulse_cmd =
       const run $ gate $ fidelity $ dump $ plot $ inject_arg $ metrics_arg
       $ trace_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / stop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"SOCK"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving compile requests (shared by all \
+             connections; spawned lazily on the first compile).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission bound: at most $(docv) compiles queued-or-running; \
+             requests beyond that are refused with the typed \
+             $(b,overloaded) error instead of growing the queue.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-seconds" ] ~docv:"S"
+          ~doc:
+            "Default per-request budget for requests that name none; \
+             measured from admission, so time spent queueing counts.")
+  in
+  let idle =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"S"
+          ~doc:
+            "Drain and exit after $(docv) seconds with no connection and \
+             no in-flight work.")
+  in
+  let run socket jobs queue_cap deadline idle cache_file inject metrics trace =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    if queue_cap < 1 then begin
+      Printf.eprintf "error: --queue-cap must be >= 1 (got %d)\n" queue_cap;
+      exit 1
+    end;
+    arm_injection inject;
+    with_observability ~metrics ~trace @@ fun () ->
+    let cache =
+      match cache_file with
+      | None -> None
+      | Some path -> (
+        try Some (Paqoc_pulse.Cache.open_file path)
+        with Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+    in
+    let on_close () =
+      match (cache, cache_file) with
+      | Some c, Some path ->
+        (* the drain is done: compact the journal back to its snapshot
+           form (atomic tmp + rename) so the next open is warm *)
+        (try
+           Paqoc_pulse.Cache.close c;
+           Printf.printf "pulse cache     : %s (%d entries persisted)\n%!"
+             path (Paqoc_pulse.Cache.size c)
+         with Failure msg -> Printf.eprintf "error: %s\n" msg)
+      | _ -> ()
+    in
+    let config =
+      { Server.socket_path = socket;
+        jobs;
+        queue_cap;
+        default_deadline_s = deadline;
+        idle_timeout_s = idle
+      }
+    in
+    let t =
+      try Server.create ?cache ~on_close config (Service.handler ?cache ())
+      with Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        (match cache with
+        | Some c -> ( try Paqoc_pulse.Cache.close c with Failure _ -> ())
+        | None -> ());
+        exit 1
+    in
+    Server.install_stop_signals t;
+    Printf.printf "paqoc daemon listening on %s (jobs %d, queue cap %d%s)\n%!"
+      socket jobs queue_cap
+      (match cache_file with
+      | Some p -> Printf.sprintf ", cache %s" p
+      | None -> ", no cache");
+    Server.run t;
+    let s = Server.stats t in
+    Printf.printf
+      "daemon exiting  : served %d, overloaded %d, deadline-exceeded %d, \
+       errors %d\n"
+      s.Protocol.served s.Protocol.rejected_overload
+      s.Protocol.rejected_deadline s.Protocol.errors
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident compile daemon: one shared in-memory pulse \
+          cache, bounded concurrent admission, per-request deadlines, \
+          graceful drain-and-persist on SIGTERM or shutdown request.")
+    Term.(
+      const run $ socket_arg $ jobs $ queue_cap $ deadline $ idle $ cache_arg
+      $ inject_arg $ metrics_arg $ trace_arg)
+
+let stop_cmd =
+  let run socket =
+    try
+      Server.with_connection socket (fun fd ->
+          match Server.rpc fd Protocol.Shutdown with
+          | Protocol.Shutdown_ack ->
+            Printf.printf "daemon at %s is draining\n" socket
+          | _ ->
+            Printf.eprintf "error: unexpected daemon response\n";
+            exit 1)
+    with Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "stop"
+       ~doc:
+         "Ask a running daemon to drain in-flight work, persist its \
+          cache and exit.")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "PAQOC: program-aware QOC pulse generation" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paqoc" ~doc)
-          [ compile_cmd; compile_suite_cmd; mine_cmd; benchmarks_cmd;
-            pulse_cmd ]))
+          [ compile_cmd; compile_suite_cmd; serve_cmd; stop_cmd; mine_cmd;
+            benchmarks_cmd; pulse_cmd ]))

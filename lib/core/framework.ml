@@ -55,10 +55,21 @@ let with_shared_cache ?cache gen f =
       ~finally:(fun () -> Generator.set_shared_cache gen previous)
       f
 
+(* Deadline checks sit at stage boundaries only: a stage either ran to
+   completion (its pulses are committed to the database and usable by the
+   next request) or never started — an expired budget can never leave the
+   generator half-committed. *)
+let check_deadline deadline =
+  match deadline with
+  | Some d when Clock.now_s () > d ->
+    raise Paqoc_pulse.Protocol.Deadline_exceeded
+  | _ -> ()
+
 let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?(search = `Incremental) ?cache
-    gen (c : Circuit.t) =
+    ?deadline gen (c : Circuit.t) =
   with_shared_cache ?cache gen @@ fun () ->
   Obs.with_span "paqoc.compile" @@ fun () ->
+  check_deadline deadline;
   (* wall time on the monotonic clock — [Sys.time] (CPU time) would count
      every worker domain's work again on top of the elapsed time *)
   let wall0 = Clock.now_s () in
@@ -92,8 +103,10 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?(search = `Incremental) ?cache
         | _ -> None)
       apa.Apa.circuit.Circuit.gates
   in
+  check_deadline deadline;
   Obs.with_span "paqoc.offline_batch" (fun () ->
       ignore (Generator.generate_batch ~jobs gen apa_groups));
+  check_deadline deadline;
   (* 2. Observation-1 pre-processing, then the criticality search *)
   let pre = Candidates.preprocess apa.Apa.circuit ~maxN:scheme.merger.Merger.max_n in
   let grouped, merge_stats =
@@ -113,6 +126,7 @@ let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?(search = `Incremental) ?cache
         } )
     end
   in
+  check_deadline deadline;
   (* 3. make sure every episode of the final schedule has its pulse; the
      episodes are independent so the leftover (non-merged, non-APA) ones
      synthesise in parallel too *)

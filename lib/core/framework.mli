@@ -71,12 +71,22 @@ type report = {
     compile: groups already priced there skip synthesis, and freshly
     synthesised groups are published back — the suite driver's
     cross-benchmark dedup. The generator's previous attachment is
-    restored when the compile returns. *)
+    restored when the compile returns.
+
+    [deadline] is an absolute {!Paqoc_obs.Clock.now_s} time; when it
+    passes, the pipeline raises {!Paqoc_pulse.Protocol.Deadline_exceeded}
+    at the next stage boundary (mining, offline batch, search,
+    finalize) instead of completing — the compile-daemon's per-request
+    budget. The check sits between stages, not inside them, so a
+    deadline never yields a half-committed generator state: every stage
+    either ran to completion (its pulses are in the database and usable
+    by the next request) or never started. *)
 val compile :
   ?scheme:scheme ->
   ?jobs:int ->
   ?search:[ `Incremental | `Reference ] ->
   ?cache:Paqoc_pulse.Cache.t ->
+  ?deadline:float ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->
   report

@@ -205,8 +205,13 @@ let run ?(config = default_config) ?(jobs = 1) gen c =
   (* Parallel candidate exploration: pair contents are pure, so missing
      memo entries can be computed on the pool in any order and inserted
      in deterministic (edge) order — results are identical at any
-     [jobs]; only the wall clock changes. Worth it only when a commit
-     just created many unseen pairs. *)
+     [jobs]; only the wall clock changes. Worth it only when a single
+     pair is expensive to price — on the analytic Model backend a pair
+     costs microseconds, so dispatching it loses twice: the chunk
+     round-trip costs more than the pricing, and the spawned worker
+     domains then tax every minor collection the serial score/attempt
+     phases run (measured 1.7x on a warm all-cache-hit suite). *)
+  let pool_pays = jobs > 1 && not (Generator.pricing_is_analytic gen) in
   let prefill pool =
     let dag = Engine.dag eng in
     let n = Dag.n_nodes dag in
@@ -392,7 +397,7 @@ let run ?(config = default_config) ?(jobs = 1) gen c =
       incr iterations;
       Obs.count "merger.iterations";
       Engine.refresh eng;
-      if jobs > 1 then Obs.with_span "merger.prefill" (fun () -> prefill pool);
+      if pool_pays then Obs.with_span "merger.prefill" (fun () -> prefill pool);
       let scored = Obs.with_span "merger.score" score_edges in
       let batch, any_valid =
         Obs.with_span "merger.select" (fun () -> select scored)

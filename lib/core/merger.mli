@@ -37,7 +37,10 @@ type stats = {
     full re-analysis per merge step, candidate content (merged keys and
     latency estimates) is memoized on stable node uids, validity checks
     run allocation-free, and with [jobs > 1] independent candidates are
-    explored on a {!Paqoc_pulse.Pool} (commit order stays
+    explored on a {!Paqoc_pulse.Pool} when a single candidate is worth
+    dispatching — i.e. on a real QOC backend; analytic pricing stays
+    inline, so the pool spawns no workers and an all-cache-hit compile
+    at any [jobs] runs at [jobs = 1] speed (commit order stays
     deterministic — results are identical at any [jobs]). The decision
     sequence, the generated pulse keys and order, the returned circuit
     and the statistics are all exactly those of {!run_reference}; the

@@ -269,6 +269,9 @@ let counter_value name =
 let gauge_last name =
   Option.map fst (List.assoc_opt name (merged_gauges ()))
 
+let gauge_max name =
+  Option.map snd (List.assoc_opt name (merged_gauges ()))
+
 let span_count name =
   match List.assoc_opt name (merged_spans ()) with
   | Some (n, _, _, _) -> n

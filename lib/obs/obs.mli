@@ -79,6 +79,10 @@ val counter_value : string -> int
 (** Last value set on a gauge, across all domains ([None] when absent). *)
 val gauge_last : string -> float option
 
+(** Maximum value ever set on a gauge ([None] when absent) — e.g. the
+    high-water [server.queue_depth] of a daemon run. *)
+val gauge_max : string -> float option
+
 (** Number of completed spans recorded under a name, across all domains. *)
 val span_count : string -> int
 

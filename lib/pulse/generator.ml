@@ -193,6 +193,9 @@ let qoc_default ?retry () =
 
 let retry_policy t = t.retry
 
+let pricing_is_analytic t =
+  match t.backend with Model _ -> true | Qoc _ -> false
+
 let model_config t =
   match t.backend with Model cfg | Qoc (_, cfg) -> cfg
 

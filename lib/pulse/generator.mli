@@ -104,6 +104,14 @@ val qoc_default : ?retry:retry -> unit -> t
 (** The resilience policy [t] was created with. *)
 val retry_policy : t -> retry
 
+(** [pricing_is_analytic t] is [true] on the {!Model} backend, where
+    pricing a group is a closed-form evaluation (microseconds) rather
+    than a GRAPE run (seconds). Callers deciding whether a pricing batch
+    is worth dispatching onto a {!Pool} should check this: parallel
+    dispatch of analytic pricing costs more than it saves, and the
+    spawned worker domains tax every subsequent minor collection. *)
+val pricing_is_analytic : t -> bool
+
 (** {1 The shared cross-run cache}
 
     A generator may be attached to a {!Cache} shared by any number of

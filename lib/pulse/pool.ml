@@ -18,6 +18,7 @@ type t = {
   m : Mutex.t;
   work : Condition.t;  (** signalled on push and on shutdown *)
   mutable closed : bool;
+  mutable spawned : bool;  (** worker domains exist (first real submit) *)
   mutable workers : unit Domain.t list;
   counts : int array;
 }
@@ -45,14 +46,15 @@ let worker t idx =
     end
     else begin
       let task = Queue.pop t.queue in
+      (* count before running: the task fulfills its future, and a caller
+         awaiting that future may read [task_counts] immediately — the
+         increment must already be visible then *)
+      t.counts.(idx) <- t.counts.(idx) + 1;
       Mutex.unlock t.m;
       idle := !idle +. (now () -. w0);
       let t0 = now () in
       Obs.with_span "pool.task" task;
       busy := !busy +. (now () -. t0);
-      Mutex.lock t.m;
-      t.counts.(idx) <- t.counts.(idx) + 1;
-      Mutex.unlock t.m;
       loop ()
     end
   in
@@ -62,21 +64,31 @@ let worker t idx =
     Obs.observe "pool.worker.idle_s" !idle
   end
 
+(* Worker domains are spawned lazily, on the first task actually
+   submitted — not in [create]. A pool that never receives a task (the
+   common case on warm, all-cache-hit batches, where planning answers
+   everything and [execute] submits nothing) therefore costs nothing:
+   no domain spawns and, just as important, no idle domains raising the
+   price of every minor-GC stop-the-world section while the submitting
+   domain does all the work. Called with [t.m] held. *)
+let spawn_workers_locked t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    t.workers <-
+      List.init t.n_jobs (fun i -> Domain.spawn (fun () -> worker t i))
+  end
+
 let create ?(jobs = 1) () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  let t =
-    { n_jobs = jobs;
-      queue = Queue.create ();
-      m = Mutex.create ();
-      work = Condition.create ();
-      closed = false;
-      workers = [];
-      counts = Array.make jobs 0
-    }
-  in
-  if jobs > 1 then
-    t.workers <- List.init jobs (fun i -> Domain.spawn (fun () -> worker t i));
-  t
+  { n_jobs = jobs;
+    queue = Queue.create ();
+    m = Mutex.create ();
+    work = Condition.create ();
+    closed = false;
+    spawned = false;
+    workers = [];
+    counts = Array.make jobs 0
+  }
 
 let fulfill fut v =
   Mutex.lock fut.fm;
@@ -105,6 +117,7 @@ let submit t f =
       Mutex.unlock t.m;
       invalid_arg "Pool.submit: pool is shut down"
     end;
+    spawn_workers_locked t;
     Queue.push run t.queue;
     if Obs.enabled () then
       Obs.gauge "pool.queue_depth" (float_of_int (Queue.length t.queue));
@@ -138,6 +151,12 @@ let task_counts t =
   let c = Array.copy t.counts in
   Mutex.unlock t.m;
   c
+
+let live_workers t =
+  Mutex.lock t.m;
+  let n = List.length t.workers in
+  Mutex.unlock t.m;
+  n
 
 let shutdown t =
   if t.n_jobs > 1 then begin

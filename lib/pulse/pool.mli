@@ -11,11 +11,17 @@
     domains at all and runs every task inline on the submitting domain, in
     submission order — so code written against the pool degrades to the
     exact serial execution, which is what the generator's determinism
-    guarantee is stated against. *)
+    guarantee is stated against.
+
+    Worker domains are spawned {e lazily}, on the first submitted task:
+    a pool that is created and shut down without ever receiving work (a
+    warm, all-cache-hit batch) spawns nothing and adds no idle domains
+    to the runtime's minor-GC stop-the-world sections. *)
 
 type t
 
-(** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]: none).
+(** [create ~jobs ()] is a pool of [jobs] worker domains ([jobs <= 1]:
+    none). No domain is spawned until the first {!submit} of a task.
     @raise Invalid_argument when [jobs < 1]. *)
 val create : ?jobs:int -> unit -> t
 
@@ -44,6 +50,11 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Per-worker completed-task counts, merged on read (diagnostics; slot 0
     is the submitting domain when [jobs <= 1]). *)
 val task_counts : t -> int array
+
+(** Worker domains currently alive: [0] before the first submitted task
+    (and always with [jobs <= 1]), [jobs] afterwards, [0] again after
+    {!shutdown} — the observable face of the lazy-spawn contract. *)
+val live_workers : t -> int
 
 (** [shutdown t] drains the queue, stops the workers and joins their
     domains. Idempotent. Tasks already queued still run. *)

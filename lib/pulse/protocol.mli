@@ -1,0 +1,178 @@
+(** The daemon wire protocol: framing, JSON, typed messages.
+
+    [paqoc serve] turns the compiler into a resident service so the
+    shared pulse {!Cache} stays hot in one process while any number of
+    thin front-ends connect. This module is the contract between the two
+    sides: a tiny self-contained JSON codec (the repo deliberately has
+    no JSON dependency), a length-prefixed frame layer over a stream
+    socket, and the typed request/response messages with their codecs —
+    everything except the sockets and threads, which live in {!Server}.
+
+    {b Frame format} (see [docs/daemon.md] for the byte-level spec):
+    every message is one frame — a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON. Frames longer than
+    {!max_frame_bytes} are rejected before any allocation proportional
+    to the claimed length, so a garbage header cannot make the daemon
+    allocate gigabytes.
+
+    The codec is total in both directions: any [request]/[response]
+    round-trips through its JSON, and any byte string either decodes or
+    yields a typed [Error] — malformed input is a value, not an
+    exception, so one bad client frame can never kill the daemon. *)
+
+(** {1 JSON} *)
+
+(** A JSON value. Numbers are floats (the wire format of every numeric
+    field here); integers round-trip exactly up to 2{^53}. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(** [json_to_string j] prints compact JSON (no whitespace), escaping
+    control characters, quotes and backslashes per RFC 8259. *)
+val json_to_string : json -> string
+
+(** [json_of_string s] parses one JSON value (surrounding whitespace
+    allowed; trailing garbage is an error). *)
+val json_of_string : string -> (json, string) result
+
+(** {1 Frames} *)
+
+(** Hard cap on a frame payload (16 MiB) — an admission bound, not a
+    tuning knob. *)
+val max_frame_bytes : int
+
+(** Raised by the frame layer on a malformed or truncated frame (bad
+    length header, oversized claim, EOF mid-payload). Connection-fatal;
+    daemon-harmless. *)
+exception Frame_error of string
+
+(** [write_frame fd payload] writes one complete frame (header +
+    payload), looping over short writes.
+    @raise Frame_error when [payload] exceeds {!max_frame_bytes}.
+    @raise Unix.Unix_error on I/O failure. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] reads one complete frame payload; [None] on a clean
+    EOF at a frame boundary (the peer closed between messages).
+    @raise Frame_error on a truncated or oversized frame.
+    @raise Unix.Unix_error on I/O failure. *)
+val read_frame : Unix.file_descr -> string option
+
+(** {1 Messages} *)
+
+(** The circuit of a compile request: a built-in Table I benchmark by
+    name, or inline OpenQASM 2.0 source (the client ships file contents;
+    the daemon never touches client paths). *)
+type circuit = Benchmark of string | Qasm of string
+
+type scheme = M0 | Mtuned | Minf | Acc3 | Acc5
+type search = Incremental | Reference
+type backend = Model | Qoc
+
+val scheme_name : scheme -> string
+val scheme_of_name : string -> scheme option
+val search_name : search -> string
+val backend_name : backend -> string
+
+type compile_request = {
+  circuit : circuit;
+  scheme : scheme;
+  search : search;
+  backend : backend;
+  rows : int;  (** device grid rows *)
+  cols : int;  (** device grid cols *)
+  max_n : int;  (** the paper's maxN *)
+  top_k : int;  (** the paper's topK *)
+  jobs : int;  (** worker domains {e inside} this one compile (>= 1) *)
+  deadline_s : float option;
+      (** per-request budget in seconds, measured from admission; spent
+          queueing counts. [None] uses the server's default. *)
+}
+
+(** A compile request with the CLI's defaults ([bv] on the paper's 5x5
+    grid, paqoc-m0, incremental search, model backend, maxN 3, topK 1,
+    jobs 1, no deadline) — override fields as needed. *)
+val default_compile : compile_request
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of compile_request
+
+(** Everything the CLI prints about one compile, so the client-side
+    output can be byte-identical to the in-process path. *)
+type compile_result = {
+  latency : float;
+  esp : float;
+  compile_seconds : float;
+  episodes : int;
+  fallbacks : int;
+  synthesized : int;  (** pulses generated for this request *)
+  cache_hits : int;  (** shared-cache hits during this request *)
+  cache_misses : int;
+  logical_qubits : int;
+  device_qubits : int;
+  physical_gates : int;
+  swaps_added : int;
+}
+
+type server_stats = {
+  served : int;  (** compile requests answered with a result *)
+  rejected_overload : int;
+  rejected_deadline : int;
+  errors : int;  (** bad requests + internal errors *)
+  inflight : int;  (** queued or running right now *)
+  cache_entries : int;
+  srv_cache_hits : int;  (** lifetime, whole cache *)
+  srv_cache_misses : int;
+  uptime_s : float;
+}
+
+(** Typed refusals. [Overloaded] and [Deadline_exceeded] are the
+    admission-control outcomes a well-behaved client retries or sheds;
+    [Bad_request] and [Internal] carry a diagnostic message;
+    [Shutting_down] means the daemon is draining and will not admit new
+    work. *)
+type error_kind =
+  | Overloaded
+  | Deadline_exceeded
+  | Bad_request of string
+  | Shutting_down
+  | Internal of string
+
+val error_name : error_kind -> string
+
+type response =
+  | Pong
+  | Stats_reply of server_stats
+  | Shutdown_ack
+  | Result of compile_result
+  | Refused of error_kind
+
+(** The typed per-request deadline signal: raised by deadline-aware
+    pipeline stages ({!Paqoc}[.compile ~deadline]) and by the server's
+    dispatch when a request's budget expires while queued; {!Server}
+    maps it to the [deadline_exceeded] wire error. *)
+exception Deadline_exceeded
+
+(** {1 Codecs} *)
+
+val request_to_json : request -> json
+val request_of_json : json -> (request, string) result
+val response_to_json : response -> json
+val response_of_json : json -> (response, string) result
+
+(** [write_request fd r] / [read_response fd] — one framed message each
+    way, composing the codec with the frame layer. [read_response]
+    raises {!Frame_error} on EOF mid-conversation ([None] would mean the
+    daemon hung up without answering). *)
+val write_request : Unix.file_descr -> request -> unit
+
+val read_response : Unix.file_descr -> (response, string) result
+val write_response : Unix.file_descr -> response -> unit

@@ -1,0 +1,144 @@
+module Protocol = Paqoc_pulse.Protocol
+module Cache = Paqoc_pulse.Cache
+module Gen = Paqoc_pulse.Generator
+module Circuit = Paqoc_circuit.Circuit
+module Qasm = Paqoc_circuit.Qasm
+module Coupling = Paqoc_topology.Coupling
+module Transpile = Paqoc_topology.Transpile
+module Suite = Paqoc_benchmarks.Suite
+module Accqoc = Paqoc_accqoc.Accqoc
+module Slicer = Paqoc_accqoc.Slicer
+module Apa = Paqoc_mining.Apa
+module Clock = Paqoc_obs.Clock
+
+let resolve_circuit = function
+  | Protocol.Benchmark name -> (
+    match Suite.find name with
+    | e -> e.Suite.build ()
+    | exception Not_found ->
+      failwith (Printf.sprintf "unknown benchmark %s" name))
+  | Protocol.Qasm src -> (
+    try Qasm.parse src
+    with Qasm.Parse_error msg -> failwith ("QASM parse error: " ^ msg))
+
+let check_deadline = function
+  | Some d when Clock.now_s () > d -> raise Protocol.Deadline_exceeded
+  | _ -> ()
+
+let handle ?cache ~deadline (req : Protocol.compile_request) =
+  if req.Protocol.rows < 1 || req.Protocol.cols < 1 then
+    failwith
+      (Printf.sprintf "bad device grid %dx%d" req.Protocol.rows
+         req.Protocol.cols);
+  if req.Protocol.jobs < 1 then
+    failwith (Printf.sprintf "jobs must be >= 1 (got %d)" req.Protocol.jobs);
+  if req.Protocol.max_n < 1 || req.Protocol.top_k < 1 then
+    failwith "max_qubits and top_k must be >= 1";
+  let logical = resolve_circuit req.Protocol.circuit in
+  let coupling = Coupling.grid ~rows:req.Protocol.rows ~cols:req.Protocol.cols in
+  let t = Transpile.run ~coupling logical in
+  let physical = t.Transpile.physical in
+  (* fresh generator per request: no cross-request database aliasing, and
+     [synthesized] below is exactly this request's work. All reuse flows
+     through the shared cache. *)
+  let gen =
+    match req.Protocol.backend with
+    | Protocol.Model -> Gen.model_default ()
+    | Protocol.Qoc -> Gen.qoc_default ()
+  in
+  let stats0 = Option.map Cache.stats cache in
+  let jobs = req.Protocol.jobs in
+  let latency, esp, compile_seconds, episodes, fallbacks =
+    match req.Protocol.scheme with
+    | Protocol.Acc3 | Protocol.Acc5 ->
+      (* the AccQOC baseline has no stage-boundary deadline plumbing;
+         enforce the budget at its entry at least *)
+      check_deadline deadline;
+      let slicer =
+        if req.Protocol.scheme = Protocol.Acc3 then Slicer.accqoc_n3d3
+        else Slicer.accqoc_n3d5
+      in
+      let r = Accqoc.compile ~slicer ~jobs ?cache gen physical in
+      ( r.Accqoc.latency, r.Accqoc.esp, r.Accqoc.compile_seconds,
+        r.Accqoc.n_groups, r.Accqoc.fallbacks )
+    | (Protocol.M0 | Protocol.Mtuned | Protocol.Minf) as m ->
+      let mode =
+        match m with
+        | Protocol.M0 -> Apa.M_zero
+        | Protocol.Mtuned -> Apa.M_tuned
+        | _ -> Apa.M_inf
+      in
+      let scheme =
+        { Paqoc.paqoc_m0 with
+          apa_mode = mode;
+          merger =
+            { Paqoc.Merger.default_config with
+              max_n = req.Protocol.max_n;
+              top_k = req.Protocol.top_k
+            }
+        }
+      in
+      let search =
+        match req.Protocol.search with
+        | Protocol.Incremental -> `Incremental
+        | Protocol.Reference -> `Reference
+      in
+      let r = Paqoc.compile ~scheme ~jobs ~search ?cache ?deadline gen physical in
+      ( r.Paqoc.latency, r.Paqoc.esp, r.Paqoc.compile_seconds,
+        r.Paqoc.n_groups, r.Paqoc.fallbacks )
+  in
+  let cache_hits, cache_misses =
+    match (cache, stats0) with
+    | Some c, Some s0 ->
+      let s1 = Cache.stats c in
+      ( s1.Cache.hits - s0.Cache.hits, s1.Cache.misses - s0.Cache.misses )
+    | _ -> (0, 0)
+  in
+  { Protocol.latency;
+    esp;
+    compile_seconds;
+    episodes;
+    fallbacks;
+    synthesized = Gen.pulses_generated gen;
+    cache_hits;
+    cache_misses;
+    logical_qubits = logical.Circuit.n_qubits;
+    device_qubits = Coupling.n_qubits coupling;
+    physical_gates = Circuit.n_gates physical;
+    swaps_added = t.Transpile.swaps_added
+  }
+
+let handler ?cache () ~deadline req = handle ?cache ~deadline req
+
+(* ------------------------------------------------------------------ *)
+(* Suite-table formatting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let suite_header =
+  Printf.sprintf "  %-14s %9s %7s %9s %6s %5s %9s\n" "benchmark" "latency"
+    "esp" "episodes" "synth" "hits" "hit-rate"
+
+let suite_row name (r : Protocol.compile_result) =
+  let lookups = r.Protocol.cache_hits + r.Protocol.cache_misses in
+  let rate =
+    if lookups = 0 then "-"
+    else
+      Printf.sprintf "%5.1f%%"
+        (100.0 *. float_of_int r.Protocol.cache_hits /. float_of_int lookups)
+  in
+  Printf.sprintf "  %-14s %9.0f %7.4f %9d %6d %5d %9s\n" name
+    r.Protocol.latency r.Protocol.esp r.Protocol.episodes
+    r.Protocol.synthesized r.Protocol.cache_hits rate
+
+let suite_totals ~synthesized ~hits ~misses =
+  let lookups = hits + misses in
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "suite totals    : %d pulses synthesized, %d cache hits"
+       synthesized hits);
+  if lookups > 0 then
+    Buffer.add_string b
+      (Printf.sprintf " (hit rate %.1f%%)"
+         (100.0 *. float_of_int hits /. float_of_int lookups));
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** The daemon's compile brain: one {!Paqoc_pulse.Protocol} request in,
+    one result out.
+
+    {!Paqoc_pulse.Server} is deliberately transport-only — it cannot
+    depend on the compiler, which sits {e above} the pulse layer in the
+    library graph. This module closes the loop from the top: it resolves
+    a wire-level {!Paqoc_pulse.Protocol.compile_request} (benchmark name
+    or inline QASM) into a circuit, transpiles it onto the requested
+    grid, runs the selected scheme through a {b fresh generator} against
+    the shared cache, and packs everything the CLI prints into the
+    {!Paqoc_pulse.Protocol.compile_result} — which is how the
+    daemon-served [compile-suite] table comes out byte-identical to the
+    in-process one: both sides print the same record through the same
+    formatters below.
+
+    A fresh generator per request keeps requests isolated (no
+    cross-request pulse-database aliasing, deterministic per-request
+    [synthesized] counts); all cross-request reuse flows through the
+    shared {!Paqoc_pulse.Cache}, exactly like the suite driver's
+    cross-benchmark dedup. *)
+
+(** [handle ?cache ~deadline req] compiles one request. [deadline] is an
+    absolute {!Paqoc_obs.Clock} time forwarded to the pipeline's
+    stage-boundary checks.
+    @raise Paqoc_pulse.Protocol.Deadline_exceeded when the budget
+    expires at a stage boundary.
+    @raise Failure on an unresolvable request (unknown benchmark, QASM
+    parse error, bad grid/knobs) — the server maps it to a typed wire
+    error. *)
+val handle :
+  ?cache:Paqoc_pulse.Cache.t ->
+  deadline:float option ->
+  Paqoc_pulse.Protocol.compile_request ->
+  Paqoc_pulse.Protocol.compile_result
+
+(** [handler ?cache ()] is {!handle} packaged as the server's callback
+    ({!Paqoc_pulse.Server.handler}), closing over the daemon's shared
+    cache. *)
+val handler :
+  ?cache:Paqoc_pulse.Cache.t -> unit -> Paqoc_pulse.Server.handler
+
+(** {1 Suite-table formatting}
+
+    The exact bytes [compile-suite] prints, shared by the in-process and
+    [--connect] paths so the two tables cannot drift. *)
+
+(** The column-header line (includes the trailing newline). *)
+val suite_header : string
+
+(** [suite_row name r] — one benchmark row (trailing newline included).
+    The hit-rate column is ["-"] when the request saw no cache. *)
+val suite_row : string -> Paqoc_pulse.Protocol.compile_result -> string
+
+(** [suite_totals ~synthesized ~hits ~misses] — the final totals line
+    (trailing newline included). *)
+val suite_totals : synthesized:int -> hits:int -> misses:int -> string

@@ -5,8 +5,9 @@ Used by `make bench-smoke` (and CI) to catch drift in the benchmark
 emission paths: a field rename, a type change or an empty run list fails
 here before anyone tries to plot a perf trajectory from broken entries.
 Dispatches on the document's "bench" tag: "grape" (per-iteration GRAPE
-cost), "cache" (cold-vs-warm shared-cache suite compile) or "search"
-(reference-vs-incremental criticality-search trajectory).
+cost), "cache" (cold-vs-warm shared-cache suite compile), "search"
+(reference-vs-incremental criticality-search trajectory) or "serve"
+(resident-daemon throughput/latency plus the lazy-pool jobs gate).
 """
 import json
 import sys
@@ -141,8 +142,61 @@ def check_search(path, doc, runs):
              f"incremental engine is slower than the reference")
 
 
+SERVE_RUN_FIELDS = {
+    "phase": str,
+    "wall_s": (int, float),
+    "requests": int,
+    "requests_per_s": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "synthesized": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "hit_rate": (int, float),
+}
+
+
+def check_serve(path, doc, runs):
+    n = doc.get("benchmarks")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        fail(f"{path}: benchmarks must be a positive int")
+    phases = []
+    for i, run in enumerate(runs):
+        check_fields(path, f"runs[{i}]", run, SERVE_RUN_FIELDS)
+        phases.append(run["phase"])
+        if run["wall_s"] <= 0 or run["requests_per_s"] <= 0:
+            fail(f"{path}: runs[{i}] wall_s/requests_per_s must be positive")
+        if run["requests"] != n:
+            fail(f"{path}: runs[{i}].requests is {run['requests']}, want {n}")
+        if not 0.0 <= run["hit_rate"] <= 1.0:
+            fail(f"{path}: runs[{i}].hit_rate must be in [0,1]")
+        if run["p50_ms"] <= 0 or run["p95_ms"] < run["p50_ms"]:
+            fail(f"{path}: runs[{i}] needs 0 < p50_ms <= p95_ms")
+    if phases != ["cold", "warm"]:
+        fail(f"{path}: run phases are {phases}, want ['cold', 'warm']")
+    warm = runs[1]
+    # a warm daemon answers everything from the shared cache
+    if warm["synthesized"] != 0:
+        fail(f"{path}: warm run synthesized {warm['synthesized']} pulses, "
+             f"want 0 — the daemon's shared cache is not being hit")
+    if warm["hit_rate"] != 1.0:
+        fail(f"{path}: warm hit_rate is {warm['hit_rate']}, want 1.0")
+    for field in ("warm_jobs1_wall_s", "warm_jobs4_wall_s", "warm_jobs_ratio"):
+        v = doc.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+            fail(f"{path}: {field} must be a positive number")
+    # the lazy-pool guarantee: an all-cache-hit suite at --jobs 4 must not
+    # pay for idle worker domains (±10%)
+    if doc["warm_jobs_ratio"] > 1.1:
+        fail(f"{path}: warm_jobs_ratio {doc['warm_jobs_ratio']} > 1.1 — "
+             f"warm --jobs 4 is paying for worker domains again")
+    if doc.get("byte_identical") is not True:
+        fail(f"{path}: byte_identical must be true — daemon rows diverged "
+             f"from the in-process path")
+
+
 CHECKERS = {"grape": check_grape, "cache": check_cache,
-            "search": check_search}
+            "search": check_search, "serve": check_serve}
 
 
 def check(path):

@@ -22,5 +22,6 @@ let () =
       ("kernels", Test_kernels.suite);
       ("search", Test_search.suite);
       ("golden", Test_golden.suite);
-      ("cache", Test_cache.suite)
+      ("cache", Test_cache.suite);
+      ("server", Test_server.suite)
     ]

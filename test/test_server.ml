@@ -1,0 +1,605 @@
+(* The compile daemon: protocol codec round-trips, frame hardening, lazy
+   pool spawning, concurrent multi-client serving, typed deadline and
+   overload refusals, shutdown-persists-cache, interrupt cleanup, and
+   client-vs-in-process byte identity. *)
+open Test_util
+module Protocol = Paqoc_pulse.Protocol
+module Server = Paqoc_pulse.Server
+module Pool = Paqoc_pulse.Pool
+module Cache = Paqoc_pulse.Cache
+module Db = Paqoc_pulse.Db_format
+module Faultin = Paqoc_pulse.Faultin
+module Service = Paqoc_service.Service
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let tmp_name suffix =
+  let path = Filename.temp_file "paqoc_srv" suffix in
+  Sys.remove path;
+  path
+
+(* Run a daemon around [f]: server on its own thread, [f] gets the socket
+   path, shutdown + join always happen. *)
+let with_server ?cache ?on_close ?(config_of = fun c -> c) handler f =
+  let socket_path = tmp_name ".sock" in
+  let config = config_of (Server.default_config ~socket_path) in
+  let t = Server.create ?cache ?on_close config handler in
+  let thread = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop t;
+      Thread.join thread;
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () -> f socket_path t)
+
+let null_result =
+  { Protocol.latency = 0.0;
+    esp = 0.0;
+    compile_seconds = 0.0;
+    episodes = 0;
+    fallbacks = 0;
+    synthesized = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    logical_qubits = 0;
+    device_qubits = 0;
+    physical_gates = 0;
+    swaps_added = 0
+  }
+
+let echo_handler ~deadline:_ (req : Protocol.compile_request) =
+  { null_result with Protocol.episodes = req.Protocol.jobs }
+
+let rpc_result fd req =
+  match Server.rpc fd (Protocol.Compile req) with
+  | Protocol.Result r -> r
+  | Protocol.Refused e ->
+    Alcotest.failf "daemon refused: %s" (Protocol.error_name e)
+  | _ -> Alcotest.fail "unexpected daemon response"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_requests =
+  [ Protocol.Ping;
+    Protocol.Stats;
+    Protocol.Shutdown;
+    Protocol.Compile Protocol.default_compile;
+    Protocol.Compile
+      { Protocol.circuit = Protocol.Qasm "OPENQASM 2.0;\nqreg q[1];\n";
+        scheme = Protocol.Acc5;
+        search = Protocol.Reference;
+        backend = Protocol.Qoc;
+        rows = 2;
+        cols = 7;
+        max_n = 4;
+        top_k = 2;
+        jobs = 3;
+        deadline_s = Some 1.5
+      } ]
+
+let sample_responses =
+  [ Protocol.Pong;
+    Protocol.Shutdown_ack;
+    Protocol.Result
+      { Protocol.latency = 3339.0;
+        esp = 0.7789;
+        compile_seconds = 12.25;
+        episodes = 23;
+        fallbacks = 1;
+        synthesized = 13;
+        cache_hits = 7;
+        cache_misses = 6;
+        logical_qubits = 21;
+        device_qubits = 25;
+        physical_gates = 210;
+        swaps_added = 22
+      };
+    Protocol.Stats_reply
+      { Protocol.served = 5;
+        rejected_overload = 1;
+        rejected_deadline = 2;
+        errors = 3;
+        inflight = 4;
+        cache_entries = 1105;
+        srv_cache_hits = 204;
+        srv_cache_misses = 1105;
+        uptime_s = 1.0
+      };
+    Protocol.Refused Protocol.Overloaded;
+    Protocol.Refused Protocol.Deadline_exceeded;
+    Protocol.Refused Protocol.Shutting_down;
+    Protocol.Refused (Protocol.Bad_request "bad \"quoted\" \n field");
+    Protocol.Refused (Protocol.Internal "boom") ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> check_true "request round-trips" (req = req')
+      | Error msg -> Alcotest.failf "request decode failed: %s" msg)
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let s = Protocol.json_to_string (Protocol.response_to_json resp) in
+      match Protocol.json_of_string s with
+      | Error msg -> Alcotest.failf "reparse failed: %s" msg
+      | Ok j -> (
+        match Protocol.response_of_json j with
+        | Ok resp' -> check_true "response round-trips" (resp = resp')
+        | Error msg -> Alcotest.failf "response decode failed: %s" msg))
+    sample_responses
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match Protocol.json_of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "nul";
+      "{\"a\":1,}"; "\"bad \\x escape\"" ]
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      Unix.close b)
+    (fun () ->
+      Protocol.write_frame a "hello";
+      Protocol.write_frame a "";
+      Alcotest.(check (option string))
+        "frame 1" (Some "hello") (Protocol.read_frame b);
+      Alcotest.(check (option string))
+        "frame 2 (empty payload)" (Some "") (Protocol.read_frame b);
+      Unix.close a;
+      Alcotest.(check (option string))
+        "clean EOF at boundary" None (Protocol.read_frame b))
+
+let test_frame_truncated () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close b)
+    (fun () ->
+      (* header promises 100 bytes, peer hangs up after 3 *)
+      let header = Bytes.of_string "\x00\x00\x00\x64" in
+      ignore (Unix.write a header 0 4);
+      ignore (Unix.write_substring a "abc" 0 3);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | exception Protocol.Frame_error _ -> ()
+      | _ -> Alcotest.fail "truncated frame was not rejected")
+
+let test_frame_oversized () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      (* header claims ~4 GiB; must be rejected from the header alone *)
+      let header = Bytes.of_string "\xff\xff\xff\xff" in
+      ignore (Unix.write a header 0 4);
+      match Protocol.read_frame b with
+      | exception Protocol.Frame_error _ -> ()
+      | _ -> Alcotest.fail "oversized frame was not rejected")
+
+(* ------------------------------------------------------------------ *)
+(* Lazy pool spawning (the warm-suite regression fix)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_lazy_spawn () =
+  let pool = Pool.create ~jobs:4 () in
+  check_int "no workers before first submit" 0 (Pool.live_workers pool);
+  let fut = Pool.submit pool (fun () -> 6 * 7) in
+  check_int "task result" 42 (Pool.await fut);
+  check_int "workers spawned on first submit" 4 (Pool.live_workers pool);
+  Pool.shutdown pool
+
+let test_pool_no_spawn_on_idle_shutdown () =
+  let pool = Pool.create ~jobs:4 () in
+  Pool.shutdown pool;
+  check_int "idle pool never spawned" 0 (Pool.live_workers pool)
+
+let test_pool_inline_never_spawns () =
+  let pool = Pool.create ~jobs:1 () in
+  check_int "inline result" 7 (Pool.await (Pool.submit pool (fun () -> 7)));
+  check_int "jobs=1 stays inline" 0 (Pool.live_workers pool);
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Server behaviour                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ping_and_stats () =
+  with_server echo_handler @@ fun socket _t ->
+  Server.with_connection socket @@ fun fd ->
+  (match Server.rpc fd Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "expected pong");
+  match Server.rpc fd Protocol.Stats with
+  | Protocol.Stats_reply s ->
+    check_int "nothing served yet" 0 s.Protocol.served;
+    check_int "nothing in flight" 0 s.Protocol.inflight
+  | _ -> Alcotest.fail "expected stats"
+
+let test_concurrent_clients () =
+  let n_clients = 8 and per_client = 5 in
+  let slot_handler ~deadline:_ (req : Protocol.compile_request) =
+    (* tiny but real work so requests genuinely overlap *)
+    Thread.yield ();
+    { null_result with Protocol.episodes = req.Protocol.top_k }
+  in
+  with_server
+    ~config_of:(fun c -> { c with Server.jobs = 2 })
+    slot_handler
+  @@ fun socket t ->
+  let failures = Atomic.make 0 in
+  let client k () =
+    Server.with_connection socket @@ fun fd ->
+    for i = 1 to per_client do
+      let req =
+        { Protocol.default_compile with Protocol.top_k = (k * 100) + i }
+      in
+      match Server.rpc fd (Protocol.Compile req) with
+      | Protocol.Result r when r.Protocol.episodes = (k * 100) + i -> ()
+      | _ -> Atomic.incr failures
+    done
+  in
+  let threads = List.init n_clients (fun k -> Thread.create (client k) ()) in
+  List.iter Thread.join threads;
+  check_int "every request answered with its own result" 0
+    (Atomic.get failures);
+  let s = Server.stats t in
+  check_int "all requests served" (n_clients * per_client) s.Protocol.served;
+  check_int "no refusals under cap" 0 s.Protocol.rejected_overload
+
+let test_deadline_refusal () =
+  (* a zero-second budget is spent by the time the task starts (the
+     server's expiry check is [>=] on a monotonic clock) — deterministic,
+     no sleeps *)
+  let ran = Atomic.make false in
+  let handler ~deadline:_ _req =
+    Atomic.set ran true;
+    null_result
+  in
+  with_server handler @@ fun socket t ->
+  (Server.with_connection socket @@ fun fd ->
+   let req =
+     { Protocol.default_compile with Protocol.deadline_s = Some 0.0 }
+   in
+   match Server.rpc fd (Protocol.Compile req) with
+   | Protocol.Refused Protocol.Deadline_exceeded -> ()
+   | _ -> Alcotest.fail "expected deadline_exceeded");
+  check_true "handler never ran" (not (Atomic.get ran));
+  check_int "counted as deadline refusal" 1
+    (Server.stats t).Protocol.rejected_deadline
+
+let test_deadline_mid_compile () =
+  (* a handler that hits its budget mid-pipeline raises the typed
+     exception; the server maps it to the wire error *)
+  let handler ~deadline:_ _req = raise Protocol.Deadline_exceeded in
+  with_server handler @@ fun socket t ->
+  (Server.with_connection socket @@ fun fd ->
+   match Server.rpc fd (Protocol.Compile Protocol.default_compile) with
+   | Protocol.Refused Protocol.Deadline_exceeded -> ()
+   | _ -> Alcotest.fail "expected deadline_exceeded");
+  check_int "not an internal error" 0 (Server.stats t).Protocol.errors
+
+let test_malformed_payload_keeps_connection () =
+  with_server echo_handler @@ fun socket _t ->
+  Server.with_connection socket @@ fun fd ->
+  Protocol.write_frame fd "this is not json";
+  (match Protocol.read_response fd with
+  | Ok (Protocol.Refused (Protocol.Bad_request _)) -> ()
+  | _ -> Alcotest.fail "expected bad_request for garbage payload");
+  Protocol.write_frame fd "{\"op\":\"launch-missiles\"}";
+  (match Protocol.read_response fd with
+  | Ok (Protocol.Refused (Protocol.Bad_request _)) -> ()
+  | _ -> Alcotest.fail "expected bad_request for unknown op");
+  Protocol.write_frame fd "{\"op\":\"compile\",\"deadline_s\":-1}";
+  (match Protocol.read_response fd with
+  | Ok (Protocol.Refused (Protocol.Bad_request _)) -> ()
+  | _ -> Alcotest.fail "expected bad_request for a negative deadline");
+  (* the same connection still works *)
+  match Server.rpc fd Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "connection should survive bad payloads"
+
+let test_torn_frame_keeps_daemon () =
+  with_server echo_handler @@ fun socket _t ->
+  (* connection 1 sends a frame header claiming 4 GiB: connection dies,
+     daemon must not *)
+  (Server.with_connection socket @@ fun fd ->
+   ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4));
+  (* daemon still answers fresh connections *)
+  Server.with_connection socket @@ fun fd ->
+  match Server.rpc fd Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "daemon should survive a torn frame"
+
+let test_overload_refusal () =
+  (* jobs=1 executes the handler inline on the connection thread, so a
+     blocked client A provably occupies the single admission slot while
+     client B is refused — no timing races *)
+  let gate = Mutex.create () in
+  let cond = Condition.create () in
+  let entered = ref false and release = ref false in
+  let blocking_handler ~deadline:_ _req =
+    Mutex.lock gate;
+    entered := true;
+    Condition.broadcast cond;
+    while not !release do
+      Condition.wait cond gate
+    done;
+    Mutex.unlock gate;
+    null_result
+  in
+  with_server
+    ~config_of:(fun c -> { c with Server.queue_cap = 1 })
+    blocking_handler
+  @@ fun socket t ->
+  let result_a = ref None in
+  let client_a =
+    Thread.create
+      (fun () ->
+        Server.with_connection socket @@ fun fd ->
+        result_a :=
+          Some (Server.rpc fd (Protocol.Compile Protocol.default_compile)))
+      ()
+  in
+  (* wait until A is inside the handler (slot taken) *)
+  Mutex.lock gate;
+  while not !entered do
+    Condition.wait cond gate
+  done;
+  Mutex.unlock gate;
+  (Server.with_connection socket @@ fun fd ->
+   match Server.rpc fd (Protocol.Compile Protocol.default_compile) with
+   | Protocol.Refused Protocol.Overloaded -> ()
+   | _ -> Alcotest.fail "expected overloaded at queue cap");
+  (* release A; it must complete normally *)
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock gate;
+  Thread.join client_a;
+  (match !result_a with
+  | Some (Protocol.Result _) -> ()
+  | _ -> Alcotest.fail "client A should have completed after release");
+  let s = Server.stats t in
+  check_int "one served" 1 s.Protocol.served;
+  check_int "one overload refusal" 1 s.Protocol.rejected_overload
+
+let test_shutdown_request_drains () =
+  with_server echo_handler @@ fun socket t ->
+  (Server.with_connection socket @@ fun fd ->
+   match Server.rpc fd Protocol.Shutdown with
+   | Protocol.Shutdown_ack -> ()
+   | _ -> Alcotest.fail "expected shutdown ack");
+  (* the run loop notices within one select tick *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Server.stopping t)) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  check_true "stop flag set by shutdown request" (Server.stopping t)
+
+let test_compiles_refused_while_draining () =
+  with_server echo_handler @@ fun socket t ->
+  Server.request_stop t;
+  Server.with_connection socket @@ fun fd ->
+  Protocol.write_request fd (Protocol.Compile Protocol.default_compile);
+  match Protocol.read_response fd with
+  | Ok (Protocol.Refused Protocol.Shutting_down) -> ()
+  (* the daemon may already have stopped reading: a closed or reset
+     connection is also a correct refusal *)
+  | exception Protocol.Frame_error _ -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  | _ -> Alcotest.fail "expected shutting_down or a closed connection"
+
+(* ------------------------------------------------------------------ *)
+(* Cache persistence through shutdown and interrupts                   *)
+(* ------------------------------------------------------------------ *)
+
+let entry lat =
+  { Cache.latency = lat;
+    error = 0.001;
+    fidelity = 0.999;
+    provenance = Db.Synthesized
+  }
+
+let test_shutdown_persists_cache () =
+  let path = tmp_name ".db" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let cache = Cache.open_file path in
+      let handler ~deadline:_ (req : Protocol.compile_request) =
+        Cache.publish cache
+          (Printf.sprintf "gate-%d" req.Protocol.top_k)
+          (entry (float_of_int req.Protocol.top_k));
+        { null_result with Protocol.synthesized = 1 }
+      in
+      with_server ~cache
+        ~on_close:(fun () -> Cache.close cache)
+        handler
+        (fun socket _t ->
+          Server.with_connection socket @@ fun fd ->
+          for k = 1 to 20 do
+            match
+              Server.rpc fd
+                (Protocol.Compile
+                   { Protocol.default_compile with Protocol.top_k = k })
+            with
+            | Protocol.Result _ -> ()
+            | _ -> Alcotest.fail "compile failed"
+          done);
+      (* with_server's finally has drained and closed: the file must be a
+         compacted snapshot (no journal tail) holding all 20 entries *)
+      let bytes = read_file path in
+      check_true "no journal tail after drain"
+        (not
+           (String.split_on_char '\n' bytes
+           |> List.exists (fun l -> String.length l > 0 && l.[0] = '+')));
+      let reopened = Cache.open_file path in
+      check_int "all entries persisted" 20 (Cache.size reopened);
+      check_true "spot check"
+        (match Cache.find reopened "gate-17" with
+        | Some e -> e.Cache.latency = 17.0
+        | None -> false);
+      Cache.close reopened)
+
+let test_cleanup_compacts_on_interrupt () =
+  let path = tmp_name ".db" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let cache = Cache.open_file path in
+      for k = 1 to 12 do
+        Cache.publish cache (Printf.sprintf "g%d" k) (entry (float_of_int k))
+      done;
+      check_true "journal has a pending tail before cleanup"
+        (String.split_on_char '\n' (read_file path)
+        |> List.exists (fun l -> String.length l > 0 && l.[0] = '+'));
+      Server.Cleanup.register_cache cache;
+      (* what the SIGINT/SIGTERM handler runs before exiting *)
+      Server.Cleanup.run_cleanup ();
+      Server.Cleanup.unregister_cache cache;
+      check_true "journal compacted by cleanup"
+        (not
+           (String.split_on_char '\n' (read_file path)
+           |> List.exists (fun l -> String.length l > 0 && l.[0] = '+')));
+      let reopened = Cache.open_file path in
+      check_int "nothing lost" 12 (Cache.size reopened);
+      Cache.close reopened)
+
+let test_cleanup_survives_failing_compaction () =
+  let path = tmp_name ".db" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let cache = Cache.open_file path in
+      for k = 1 to 7 do
+        Cache.publish cache (Printf.sprintf "g%d" k) (entry (float_of_int k))
+      done;
+      Server.Cleanup.register_cache cache;
+      (* the compaction inside close fails (injected): cleanup must
+         swallow it, and the journal file must still replay fully —
+         compaction is atomic, failure leaves the valid journal behind *)
+      Faultin.with_faults
+        [ (Faultin.Db_save_error, Faultin.Always) ]
+        Server.Cleanup.run_cleanup;
+      Server.Cleanup.unregister_cache cache;
+      let reopened = Cache.open_file path in
+      check_int "no torn file: every record replayed" 7 (Cache.size reopened);
+      Cache.close reopened)
+
+(* ------------------------------------------------------------------ *)
+(* Client-vs-in-process byte identity                                  *)
+(* ------------------------------------------------------------------ *)
+
+let identity_benchmarks = [ "simon"; "mod5d2_64"; "bv" ]
+
+let test_client_matches_inprocess () =
+  let req_of name =
+    { Protocol.default_compile with
+      Protocol.circuit = Protocol.Benchmark name
+    }
+  in
+  (* in-process: fresh in-memory cache, exactly the CLI's no-daemon path *)
+  let cache_a = Cache.create () in
+  let rows_a =
+    List.map
+      (fun name ->
+        Service.suite_row name
+          (Service.handle ~cache:cache_a ~deadline:None (req_of name)))
+      identity_benchmarks
+  in
+  (* daemon: same requests through the wire against its own fresh cache *)
+  let cache_b = Cache.create () in
+  let rows_b =
+    with_server ~cache:cache_b
+      (Service.handler ~cache:cache_b ())
+      (fun socket _t ->
+        Server.with_connection socket @@ fun fd ->
+        List.map
+          (fun name -> Service.suite_row name (rpc_result fd (req_of name)))
+          identity_benchmarks)
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "row bytes identical" a b)
+    rows_a rows_b;
+  (* the daemon-side cache holds the same entries as the in-process one *)
+  check_int "same cache population" (Cache.size cache_a) (Cache.size cache_b)
+
+let test_warm_daemon_synthesizes_nothing () =
+  let cache = Cache.create () in
+  with_server ~cache (Service.handler ~cache ()) @@ fun socket _t ->
+  Server.with_connection socket @@ fun fd ->
+  let req =
+    { Protocol.default_compile with
+      Protocol.circuit = Protocol.Benchmark "simon"
+    }
+  in
+  let cold = rpc_result fd req in
+  check_true "cold run synthesized something" (cold.Protocol.synthesized > 0);
+  let warm = rpc_result fd req in
+  check_int "warm run synthesized nothing" 0 warm.Protocol.synthesized;
+  check_int "warm run missed nothing" 0 warm.Protocol.cache_misses;
+  check_true "warm run all hits" (warm.Protocol.cache_hits > 0);
+  check_float "same latency" warm.Protocol.latency cold.Protocol.latency
+
+let test_idle_timeout_stops () =
+  let cfg c = { c with Server.idle_timeout_s = Some 0.05 } in
+  let socket_path = tmp_name ".sock" in
+  let config = cfg (Server.default_config ~socket_path) in
+  let t = Server.create config echo_handler in
+  let thread = Thread.create Server.run t in
+  (* no clients at all: the daemon must decide to exit by itself *)
+  Thread.join thread;
+  check_true "stopped via idle timeout" (Server.stopping t);
+  if Sys.file_exists socket_path then Sys.remove socket_path
+
+let suite =
+  [ case "protocol: requests round-trip" test_request_roundtrip;
+    case "protocol: responses round-trip" test_response_roundtrip;
+    case "protocol: malformed JSON is a typed error" test_json_malformed;
+    case "protocol: frames round-trip" test_frame_roundtrip;
+    case "protocol: truncated frame rejected" test_frame_truncated;
+    case "protocol: oversized frame rejected" test_frame_oversized;
+    case "pool: workers spawn lazily on first submit" test_pool_lazy_spawn;
+    case "pool: idle create+shutdown spawns nothing"
+      test_pool_no_spawn_on_idle_shutdown;
+    case "pool: jobs=1 stays inline" test_pool_inline_never_spawns;
+    case "server: ping and stats" test_ping_and_stats;
+    case "server: concurrent multi-client stress" test_concurrent_clients;
+    case "server: expired deadline refused before the handler"
+      test_deadline_refusal;
+    case "server: mid-compile deadline maps to the typed error"
+      test_deadline_mid_compile;
+    case "server: bad payloads keep the connection"
+      test_malformed_payload_keeps_connection;
+    case "server: torn frame kills the connection, not the daemon"
+      test_torn_frame_keeps_daemon;
+    case "server: overload refusal at queue cap" test_overload_refusal;
+    case "server: shutdown request drains" test_shutdown_request_drains;
+    case "server: compiles refused while draining"
+      test_compiles_refused_while_draining;
+    case "server: idle timeout stops the daemon" test_idle_timeout_stops;
+    case "cache: shutdown persists a compacted snapshot"
+      test_shutdown_persists_cache;
+    case "cache: interrupt cleanup compacts the journal"
+      test_cleanup_compacts_on_interrupt;
+    case "cache: cleanup survives a failing compaction (no torn file)"
+      test_cleanup_survives_failing_compaction;
+    slow_case "identity: daemon rows byte-identical to in-process"
+      test_client_matches_inprocess;
+    slow_case "identity: warm daemon serves entirely from cache"
+      test_warm_daemon_synthesizes_nothing ]
