@@ -19,6 +19,15 @@ check:
 	  | grep -q '/ 0 misses' \
 	  || (echo "check: warm cache run still missed" && exit 1)
 	@rm -f /tmp/paqoc_metrics.json /tmp/paqoc_trace.json /tmp/paqoc_cache.db
+	@rm -f /tmp/paqoc_canon.db
+	dune exec bin/paqoc_cli.exe -- compile bb84 --canonical-cache \
+	  --cache /tmp/paqoc_canon.db > /dev/null
+	@head -1 /tmp/paqoc_canon.db | grep -q 'paqoc-pulse-db v4' \
+	  || (echo "check: canonical cache did not upgrade to v4" && exit 1)
+	@grep -q '^C ' /tmp/paqoc_canon.db \
+	  || (echo "check: canonical compile published no class records" \
+	      && exit 1)
+	@rm -f /tmp/paqoc_canon.db
 	$(MAKE) check-daemon
 
 # Daemon round trip: serve in the background, compile the suite through
@@ -84,12 +93,14 @@ doc:
 	fi
 
 # Refresh the pinned goldens (test/golden/): the 17-benchmark latency
-# table and the GRAPE bit-determinism reference. Run after an intentional
-# change to latencies, episode counts or GRAPE arithmetic, and commit the
-# result; the golden tests render through the same code paths.
+# table, the GRAPE bit-determinism reference and the per-benchmark
+# canonical hit-rate table. Run after an intentional change to latencies,
+# episode counts, GRAPE arithmetic or the canonicalization invariants,
+# and commit the result; the golden tests render through the same code
+# paths.
 update-golden:
 	dune exec test/update_golden.exe -- test/golden/latency_table.txt \
-	  test/golden/grape_amplitudes.txt
+	  test/golden/grape_amplitudes.txt test/golden/canon_hit_rates.txt
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:

@@ -297,7 +297,10 @@ let run_bench_grape ?(path = "BENCH_grape.json") ?(phase = "current")
    with fresh generators, so every pulse lookup must be answered by the
    cache. The headline number is the synthesis skip rate — the fraction
    of the cold pass's synthesis calls the warm pass avoided (1.0 when the
-   cache answers everything). *)
+   cache answers everything). Both passes run with the canonicalization
+   layer on (--canonical-cache); the canonical_hits / canonical_hit_rate
+   fields record how much of each phase's hit rate the equivalence-class
+   tier contributed (replays of a class-mate's pulse). *)
 let run_bench_cache ?(path = "BENCH_cache.json") () =
   Printf.printf "\n%s\nCACHE  cold vs warm suite compile (17 benchmarks)\n%s\n"
     (String.make 78 '=') (String.make 78 '=');
@@ -312,23 +315,26 @@ let run_bench_cache ?(path = "BENCH_cache.json") () =
           in
           let gen = Gen.model_default () in
           let s0 = Cache.stats cache in
-          let r = Paqoc.compile ~cache gen physical in
+          let r = Paqoc.compile ~cache ~canonical:true gen physical in
           let s1 = Cache.stats cache in
           ( e.Suite.name,
             r.Paqoc.pulses_generated,
             s1.Cache.hits - s0.Cache.hits,
-            s1.Cache.misses - s0.Cache.misses ))
+            s1.Cache.misses - s0.Cache.misses,
+            s1.Cache.canonical_hits - s0.Cache.canonical_hits ))
         Suite.all
     in
     let wall = Clock.now_s () -. t0 in
     let sum f = List.fold_left (fun acc x -> acc + f x) 0 per in
-    let synth = sum (fun (_, s, _, _) -> s) in
-    let hits = sum (fun (_, _, h, _) -> h) in
-    let misses = sum (fun (_, _, _, m) -> m) in
+    let synth = sum (fun (_, s, _, _, _) -> s) in
+    let hits = sum (fun (_, _, h, _, _) -> h) in
+    let misses = sum (fun (_, _, _, m, _) -> m) in
+    let canonical = sum (fun (_, _, _, _, c) -> c) in
     Printf.printf
-      "  %-5s wall %6.2f s  %4d synthesized  %4d hits / %4d misses\n%!"
-      phase wall synth hits misses;
-    (phase, wall, synth, hits, misses, per)
+      "  %-5s wall %6.2f s  %4d synthesized  %4d hits (%d canonical) / %4d \
+       misses\n%!"
+      phase wall synth hits canonical misses;
+    (phase, wall, synth, hits, misses, canonical, per)
   in
   let cache_path = Filename.temp_file "paqoc_bench" ".cache" in
   let cold, warm =
@@ -340,7 +346,7 @@ let run_bench_cache ?(path = "BENCH_cache.json") () =
             let warm = pass ~phase:"warm" cache in
             (cold, warm)))
   in
-  let synth_of (_, _, s, _, _, _) = s in
+  let synth_of (_, _, s, _, _, _, _) = s in
   let skip_rate =
     if synth_of cold = 0 then 0.0
     else
@@ -355,22 +361,24 @@ let run_bench_cache ?(path = "BENCH_cache.json") () =
      \"runs\":["
     (List.length Suite.all);
   List.iteri
-    (fun i (phase, wall, synth, hits, misses, per) ->
+    (fun i (phase, wall, synth, hits, misses, canonical, per) ->
       if i > 0 then Buffer.add_char buf ',';
       let rate h m =
         if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
       in
       Printf.bprintf buf
         "{\"phase\":%S,\"wall_s\":%.6f,\"synthesized\":%d,\"cache_hits\":%d,\
-         \"cache_misses\":%d,\"hit_rate\":%.4f,\"per_benchmark\":["
-        phase wall synth hits misses (rate hits misses);
+         \"cache_misses\":%d,\"hit_rate\":%.4f,\"canonical_hits\":%d,\
+         \"canonical_hit_rate\":%.4f,\"per_benchmark\":["
+        phase wall synth hits misses (rate hits misses) canonical
+        (rate canonical (hits - canonical + misses));
       List.iteri
-        (fun j (name, s, h, m) ->
+        (fun j (name, s, h, m, c) ->
           if j > 0 then Buffer.add_char buf ',';
           Printf.bprintf buf
             "{\"name\":%S,\"synthesized\":%d,\"cache_hits\":%d,\
-             \"hit_rate\":%.4f}"
-            name s h (rate h m))
+             \"hit_rate\":%.4f,\"canonical_hits\":%d}"
+            name s h (rate h m) c)
         per;
       Buffer.add_string buf "]}")
     [ cold; warm ];

@@ -144,6 +144,22 @@ let cache_arg =
            $(b,--db), entries become durable as they are generated and \
            one cache file can back many compilations.")
 
+let canonical_arg =
+  Arg.(
+    value & flag
+    & info [ "canonical-cache" ]
+        ~doc:
+          "Add the equivalence-class tier to the shared $(b,--cache) \
+           lookups: gate groups whose unitaries differ only by \
+           single-qubit local rotations (and global phase) replay a \
+           class representative's already-priced pulse instead of \
+           synthesising, and fresh syntheses publish their class record \
+           (upgrading the cache file to paqoc-pulse-db v4). With \
+           $(b,--connect) the flag travels with the request and applies \
+           to the daemon's cache. Without this flag the cache bytes, \
+           counters and tables are identical to previous releases. See \
+           docs/canonicalization.md.")
+
 let with_cache cache_file f =
   match cache_file with
   | None -> f None
@@ -408,8 +424,8 @@ let compile_cmd =
         r.Protocol.fallbacks
   in
   let run input scheme search device max_n top_k show_groups jobs db
-      cache_file backend retries task_seconds connect deadline_s inject
-      metrics trace =
+      cache_file canonical backend retries task_seconds connect deadline_s
+      inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -437,6 +453,7 @@ let compile_cmd =
           max_n;
           top_k;
           jobs;
+          canonical;
           deadline_s
         }
       in
@@ -470,6 +487,7 @@ let compile_cmd =
         | `Model -> Gen.model_default ~retry ()
         | `Qoc -> Gen.qoc_default ~retry ()
       in
+      Gen.set_canonical gen canonical;
       (match db with
       | Some file when Sys.file_exists file -> (
         try
@@ -523,9 +541,9 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
       const run $ input $ scheme_arg $ search_arg $ device $ max_n $ top_k
-      $ show_groups $ jobs $ db $ cache_arg $ backend $ retries
-      $ task_seconds $ connect_arg $ deadline_arg $ inject_arg $ metrics_arg
-      $ trace_arg)
+      $ show_groups $ jobs $ db $ cache_arg $ canonical_arg $ backend
+      $ retries $ task_seconds $ connect_arg $ deadline_arg $ inject_arg
+      $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile-suite                                                       *)
@@ -561,8 +579,8 @@ let compile_suite_cmd =
             "Pulse engine: $(b,model) (analytic latency model, instant) or \
              $(b,qoc) (real GRAPE searches; slow, small circuits only).")
   in
-  let run scheme search device jobs cache_file backend connect inject metrics
-      trace =
+  let run scheme search device jobs cache_file canonical backend connect
+      inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -576,7 +594,8 @@ let compile_suite_cmd =
         backend = proto_backend backend;
         rows;
         cols;
-        jobs
+        jobs;
+        canonical
       }
     in
     (* both paths print through Service's formatters from the same
@@ -627,7 +646,8 @@ let compile_suite_cmd =
           and report per-benchmark cache hit rates.")
     Term.(
       const run $ scheme_arg $ search_arg $ device $ jobs $ cache_arg
-      $ backend $ connect_arg $ inject_arg $ metrics_arg $ trace_arg)
+      $ canonical_arg $ backend $ connect_arg $ inject_arg $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)

@@ -1,0 +1,32 @@
+(** The pinned per-benchmark canonical hit-rate table.
+
+    Compiles the 17 Table I benchmarks in order through one shared
+    in-memory cache with the canonicalization layer on (the cold pass of
+    [--canonical-cache]), recording per benchmark how many pulses were
+    synthesized, how many consults the cache answered, and how many of
+    those answers came from the equivalence-class tier. The rendering is
+    a deterministic function of those integers, pinned byte-for-byte by
+    test/golden/canon_hit_rates.txt and refreshed by [make
+    update-golden]. *)
+
+type row = {
+  name : string;
+  synthesized : int;  (** pulses priced fresh for this benchmark *)
+  hits : int;  (** cache consults answered (either tier) *)
+  canonical_hits : int;  (** the subset answered by a class-mate replay *)
+}
+
+(** [hit_rate r] is [hits / (hits + synthesized)] ([0.0] when empty). *)
+val hit_rate : row -> float
+
+(** [compute ()] runs the cold canonical suite. [jobs] (default 1) only
+    sets the worker count — the rows are jobs-invariant. *)
+val compute : ?jobs:int -> unit -> row list
+
+(** [render rows] is the golden file contents (header + one line per
+    benchmark). *)
+val render : row list -> string
+
+(** [parse s] inverts {!render} (ignoring the rendered rate column).
+    @raise Failure on a malformed row. *)
+val parse : string -> row list

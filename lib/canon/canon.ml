@@ -1,0 +1,462 @@
+(* Unitary canonicalization: equivalence-class keys and replay
+   corrections for the shared pulse cache. See canon.mli for the
+   invariant/quantization/verification story. *)
+
+module Cmat = Paqoc_linalg.Cmat
+module Cx = Paqoc_linalg.Cx
+module Gate = Paqoc_circuit.Gate
+
+let tolerance = 1e-6
+let verify_tol = 1e-7
+
+(* Eigenvalues of Re(MᵀM) closer than this are treated as one cluster
+   when the commuting imaginary part is diagonalized inside it; the
+   spectrum lives in [-1, 1], so 1e-5 comfortably separates the exact
+   degeneracies of gate-set unitaries from distinct eigenvalues. *)
+let cluster_eps = 1e-5
+
+let quantize x =
+  let r = Float.round (x /. tolerance) in
+  (* Invariant components are bounded (angles by 2π, Makhlin traces by
+     16, unitary entries by 1), so the grid index fits an int with nine
+     orders of magnitude to spare. *)
+  int_of_float r
+
+let arg z = Float.atan2 (Cx.im z) (Cx.re z)
+
+(* Determinant of a small complex matrix by Gaussian elimination with
+   partial pivoting; Cmat has no det and dims here are at most 8. *)
+let det (m : Cmat.t) : Cx.t =
+  let n = Cmat.rows m in
+  if n = 2 then
+    Cx.sub
+      (Cx.mul (Cmat.get m 0 0) (Cmat.get m 1 1))
+      (Cx.mul (Cmat.get m 0 1) (Cmat.get m 1 0))
+  else begin
+    let a = Array.init n (fun r -> Array.init n (fun c -> Cmat.get m r c)) in
+    let d = ref Cx.one in
+    (try
+       for k = 0 to n - 1 do
+         let p = ref k in
+         for r = k + 1 to n - 1 do
+           if Cx.abs a.(r).(k) > Cx.abs a.(!p).(k) then p := r
+         done;
+         if !p <> k then begin
+           let t = a.(k) in
+           a.(k) <- a.(!p);
+           a.(!p) <- t;
+           d := Cx.neg !d
+         end;
+         let piv = a.(k).(k) in
+         if Cx.abs piv < 1e-300 then begin
+           d := Cx.zero;
+           raise Exit
+         end;
+         d := Cx.mul !d piv;
+         for r = k + 1 to n - 1 do
+           let f = Cx.div a.(r).(k) piv in
+           for c = k to n - 1 do
+             a.(r).(c) <- Cx.sub a.(r).(c) (Cx.mul f a.(k).(c))
+           done
+         done
+       done
+     with Exit -> ());
+    !d
+  end
+
+(* ------------------------------------------------------------------ *)
+(* 1-qubit groups: ZYZ middle angle                                    *)
+(* ------------------------------------------------------------------ *)
+
+let theta_1q u =
+  2. *. Float.atan2 (Cx.abs (Cmat.get u 1 0)) (Cx.abs (Cmat.get u 0 0))
+
+let key_1q u = Printf.sprintf "1q:%d" (quantize (theta_1q u))
+
+(* [u = e^{iφ} RZ(α) RY(θ) RZ(β)] with the repo's RZ(λ) =
+   diag(e^{-iλ/2}, e^{iλ/2}); returns (α, θ, β). At θ = 0 (resp. π) only
+   α+β (resp. α-β) is determined; the free combination is pinned to 0 so
+   class-mates decompose consistently. *)
+let zyz u =
+  let dt = det u in
+  let s = Cx.polar (sqrt (Cx.abs dt)) (arg dt /. 2.) in
+  let v = Cmat.scale (Cx.div Cx.one s) u in
+  let v00 = Cmat.get v 0 0 and v10 = Cmat.get v 1 0 in
+  let c = Cx.abs v00 and sn = Cx.abs v10 in
+  let theta = 2. *. Float.atan2 sn c in
+  let sum = if c > 1e-12 then -2. *. arg v00 else 0. in
+  let diff = if sn > 1e-12 then 2. *. arg v10 else 0. in
+  ((sum +. diff) /. 2., theta, (sum -. diff) /. 2.)
+
+let rz lambda =
+  Cmat.of_lists
+    [ [ Cx.exp_i (-.lambda /. 2.); Cx.zero ];
+      [ Cx.zero; Cx.exp_i (lambda /. 2.) ] ]
+
+let relate_1q ~rep ~target =
+  let a1, _, b1 = zyz rep and a2, _, b2 = zyz target in
+  let l = rz (a2 -. a1) and r = rz (b2 -. b1) in
+  if Cmat.equal_up_to_phase ~tol:verify_tol (Cmat.mul (Cmat.mul l rep) r) target
+  then Some (l, r)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* 2-qubit groups: Makhlin invariants in the magic basis               *)
+(* ------------------------------------------------------------------ *)
+
+let magic_b =
+  let s2 = 1. /. sqrt 2. in
+  let z = Cx.zero in
+  let re x = Cx.of_float (x *. s2) and im x = Cx.make 0. (x *. s2) in
+  Cmat.of_lists
+    [ [ re 1.; z; z; im 1. ];
+      [ z; im 1.; re 1.; z ];
+      [ z; im 1.; re (-1.); z ];
+      [ re 1.; z; z; im (-1.) ] ]
+
+let magic_b_dag = Cmat.adjoint magic_b
+
+(* U scaled onto SU(4) with the principal det^(1/4) branch. *)
+let su4_of u =
+  let dt = det u in
+  let s = Cx.polar (Float.sqrt (Float.sqrt (Cx.abs dt))) (arg dt /. 4.) in
+  Cmat.scale (Cx.div Cx.one s) u
+
+let magic_m v = Cmat.mul (Cmat.mul magic_b_dag v) magic_b
+
+let key_2q u =
+  let m = magic_m (su4_of u) in
+  let mm = Cmat.mul (Cmat.transpose m) m in
+  let t1 = Cmat.trace mm in
+  let t2 = Cmat.trace (Cmat.mul mm mm) in
+  let t1sq = Cx.mul t1 t1 in
+  let g1 = Cx.scale (1. /. 16.) t1sq in
+  let g2 = Cx.scale 0.25 (Cx.sub t1sq t2) in
+  Printf.sprintf "2q:%d:%d:%d:%d"
+    (quantize (Cx.re g1)) (quantize (Cx.im g1))
+    (quantize (Cx.re g2)) (quantize (Cx.im g2))
+
+(* --- small real-symmetric eigen machinery (4x4 at most) --- *)
+
+let rident n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let rmul a b =
+  let n = Array.length a and m = Array.length b.(0) and k = Array.length b in
+  Array.init n (fun r ->
+      Array.init m (fun c ->
+          let acc = ref 0. in
+          for j = 0 to k - 1 do
+            acc := !acc +. (a.(r).(j) *. b.(j).(c))
+          done;
+          !acc))
+
+let rtranspose a =
+  let n = Array.length a and m = Array.length a.(0) in
+  Array.init m (fun r -> Array.init n (fun c -> a.(c).(r)))
+
+let rmat_to_cmat a =
+  let n = Array.length a and m = Array.length a.(0) in
+  Cmat.init n m (fun r c -> Cx.of_float a.(r).(c))
+
+(* Cyclic Jacobi on a real symmetric matrix; [a] is destroyed (diagonal
+   left in place), the returned [v] has [a_orig = v · diag · vᵀ]. *)
+let jacobi a n =
+  let v = rident n in
+  let off () =
+    let s = ref 0. in
+    for r = 0 to n - 1 do
+      for c = r + 1 to n - 1 do
+        s := !s +. (a.(r).(c) *. a.(r).(c))
+      done
+    done;
+    !s
+  in
+  let sweeps = ref 0 in
+  while off () > 1e-28 && !sweeps < 64 do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Float.abs a.(p).(q) > 1e-15 then begin
+          let apq = a.(p).(q) in
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2. *. apq) in
+          let t =
+            if Float.abs theta > 1e12 then 1. /. (2. *. theta)
+            else
+              let s = if theta >= 0. then 1. else -1. in
+              s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+          in
+          let c = 1. /. sqrt ((t *. t) +. 1.) in
+          let s = t *. c in
+          let tau = s /. (1. +. c) in
+          a.(p).(p) <- a.(p).(p) -. (t *. apq);
+          a.(q).(q) <- a.(q).(q) +. (t *. apq);
+          a.(p).(q) <- 0.;
+          a.(q).(p) <- 0.;
+          for i = 0 to n - 1 do
+            if i <> p && i <> q then begin
+              let g = a.(i).(p) and h = a.(i).(q) in
+              a.(i).(p) <- g -. (s *. (h +. (g *. tau)));
+              a.(i).(q) <- h +. (s *. (g -. (h *. tau)));
+              a.(p).(i) <- a.(i).(p);
+              a.(q).(i) <- a.(i).(q)
+            end
+          done;
+          for i = 0 to n - 1 do
+            let g = v.(i).(p) and h = v.(i).(q) in
+            v.(i).(p) <- g -. (s *. (h +. (g *. tau)));
+            v.(i).(q) <- h +. (s *. (g -. (h *. tau)))
+          done
+        end
+      done
+    done
+  done;
+  v
+
+(* Common orthogonal eigenbasis of the commuting real symmetric pair
+   (sr, si): diagonalize sr, then block-diagonalize si inside each
+   cluster of (numerically) equal sr-eigenvalues. *)
+let sym_eig_pair sr si n =
+  let a = Array.map Array.copy sr in
+  let q = jacobi a n in
+  let lam = Array.init n (fun i -> a.(i).(i)) in
+  let idx = Array.init n Fun.id in
+  Array.sort (fun i j -> compare lam.(i) lam.(j)) idx;
+  let qp =
+    Array.init n (fun r -> Array.init n (fun c -> q.(r).(idx.(c))))
+  in
+  let lamp = Array.map (fun i -> lam.(i)) idx in
+  let t = rmul (rtranspose qp) (rmul si qp) in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while !j < n && lamp.(!j) -. lamp.(!j - 1) <= cluster_eps do
+      incr j
+    done;
+    let m = !j - !i in
+    if m > 1 then begin
+      let blk =
+        Array.init m (fun r ->
+            Array.init m (fun c ->
+                (* symmetrize against fp asymmetry *)
+                0.5 *. (t.(!i + r).(!i + c) +. t.(!i + c).(!i + r))))
+      in
+      let vb = jacobi blk m in
+      for r = 0 to n - 1 do
+        let row = Array.init m (fun c -> qp.(r).(!i + c)) in
+        for c = 0 to m - 1 do
+          let acc = ref 0. in
+          for k = 0 to m - 1 do
+            acc := !acc +. (row.(k) *. vb.(k).(c))
+          done;
+          qp.(r).(!i + c) <- !acc
+        done
+      done
+    end;
+    i := !j
+  done;
+  qp
+
+(* Decompose the magic-basis image M: returns (q, e) with S = MᵀM =
+   Q diag(e) Qᵀ, Q real orthogonal, columns sorted by the quantized
+   complex eigenvalue so class-mates order their spectra identically. *)
+let sorted_decomp m =
+  let n = Cmat.rows m in
+  let s = Cmat.mul (Cmat.transpose m) m in
+  let sr = Array.init n (fun r -> Array.init n (fun c -> Cmat.get_re s r c)) in
+  let si = Array.init n (fun r -> Array.init n (fun c -> Cmat.get_im s r c)) in
+  let q = sym_eig_pair sr si n in
+  let eig k =
+    (* e_k = (Qᵀ S Q)_kk *)
+    let acc = ref Cx.zero in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        acc :=
+          Cx.add !acc
+            (Cx.scale (q.(r).(k) *. q.(c).(k)) (Cmat.get s r c))
+      done
+    done;
+    !acc
+  in
+  let e = Array.init n eig in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let ki = (quantize (Cx.re e.(i)), quantize (Cx.im e.(i))) in
+      let kj = (quantize (Cx.re e.(j)), quantize (Cx.im e.(j))) in
+      let c = compare ki kj in
+      if c <> 0 then c else compare (Cx.re e.(i), Cx.im e.(i)) (Cx.re e.(j), Cx.im e.(j)))
+    order;
+  let qs =
+    Array.init n (fun r -> Array.init n (fun c -> q.(r).(order.(c))))
+  in
+  let es = Array.map (fun i -> e.(i)) order in
+  (qs, es)
+
+let quantized_spec e =
+  Array.map (fun z -> (quantize (Cx.re z), quantize (Cx.im z))) e
+
+(* Re(M · Q · D⁻¹) as a real matrix — the left orthogonal factor of
+   M = O_l D Qᵀ (real by construction for a unitary M, up to the class
+   tolerance; the final verification guards the residual). *)
+let left_factor m q d =
+  let n = Cmat.rows m in
+  let x = Cmat.mul m (rmat_to_cmat q) in
+  Array.init n (fun r ->
+      Array.init n (fun c -> Cx.re (Cx.div (Cmat.get x r c) d.(c))))
+
+let relate_2q ~rep ~target =
+  let m1 = magic_m (su4_of rep) in
+  let q1, e1 = sorted_decomp m1 in
+  let spec1 = quantized_spec e1 in
+  let d = Array.map (fun e -> Cx.exp_i (arg e /. 2.)) e1 in
+  let ol1 = left_factor m1 q1 d in
+  let v2 = su4_of target in
+  let rec try_branch j =
+    if j > 3 then None
+    else begin
+      let v2j = Cmat.scale (Cx.exp_i (Float.pi /. 2. *. float_of_int j)) v2 in
+      let m2 = magic_m v2j in
+      let q2, e2 = sorted_decomp m2 in
+      if quantized_spec e2 <> spec1 then try_branch (j + 1)
+      else begin
+        let ol2 = left_factor m2 q2 d in
+        let l =
+          Cmat.mul (Cmat.mul magic_b (rmat_to_cmat (rmul ol2 (rtranspose ol1))))
+            magic_b_dag
+        in
+        let r =
+          Cmat.mul (Cmat.mul magic_b (rmat_to_cmat (rmul q1 (rtranspose q2))))
+            magic_b_dag
+        in
+        if
+          Cmat.equal_up_to_phase ~tol:verify_tol
+            (Cmat.mul (Cmat.mul l rep) r)
+            target
+        then Some (l, r)
+        else try_branch (j + 1)
+      end
+    end
+  in
+  try_branch 0
+
+(* ------------------------------------------------------------------ *)
+(* 3-qubit groups: phase-normalized quantized unitary                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rotate the first maximal-magnitude entry onto the positive real axis;
+   phase-equivalent unitaries pick the same pivot (magnitudes are phase
+   invariant) and land on the same matrix. *)
+let phase_normalize u =
+  let n = Cmat.rows u in
+  let mx = Cmat.max_abs u in
+  let piv = ref Cx.one in
+  (try
+     for r = 0 to n - 1 do
+       for c = 0 to n - 1 do
+         let z = Cmat.get u r c in
+         if Cx.abs z >= mx -. 1e-9 then begin
+           piv := z;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  let z = !piv in
+  Cmat.scale (Cx.div (Cx.of_float (Cx.abs z)) z) u
+
+let key_3q u =
+  let w = phase_normalize u in
+  let n = Cmat.rows u in
+  let buf = Buffer.create 512 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d;" (quantize (Cmat.get_re w r c))
+           (quantize (Cmat.get_im w r c)))
+    done
+  done;
+  "3q:" ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let relate_3q ~rep ~target =
+  let t = Cmat.trace (Cmat.mul_adjoint_left rep target) in
+  if Cx.abs t < 1e-6 then None
+  else begin
+    let z = Cx.div t (Cx.of_float (Cx.abs t)) in
+    let n = Cmat.rows rep in
+    if Cmat.max_abs_diff (Cmat.scale z rep) target <= verify_tol then
+      Some (Cmat.scale z (Cmat.identity n), Cmat.identity n)
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let group_unitary ~n_qubits (gates : Gate.app list) =
+  if List.exists (fun (a : Gate.app) -> Gate.is_symbolic a.Gate.kind) gates
+  then None
+  else Some (Gate.unitary_of_apps ~n_qubits gates)
+
+let class_key_of_unitary u =
+  match Cmat.rows u with
+  | 2 -> Some (key_1q u)
+  | 4 -> Some (key_2q u)
+  | 8 -> Some (key_3q u)
+  | _ -> None
+
+let class_key ~n_qubits gates =
+  if n_qubits < 1 || n_qubits > 3 then None
+  else
+    match group_unitary ~n_qubits gates with
+    | None -> None
+    | Some u -> (
+        match class_key_of_unitary u with
+        | None -> None
+        | Some k -> Some (k, u))
+
+let relate ~rep ~target =
+  if Cmat.rows rep <> Cmat.rows target then None
+  else
+    match Cmat.rows rep with
+    | 2 -> relate_1q ~rep ~target
+    | 4 -> relate_2q ~rep ~target
+    | 8 -> relate_3q ~rep ~target
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (v4 class records)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let unitary_to_floats u =
+  let n = Cmat.rows u in
+  let a = Array.make (2 * n * n) 0. in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      a.(2 * ((r * n) + c)) <- Cmat.get_re u r c;
+      a.((2 * ((r * n) + c)) + 1) <- Cmat.get_im u r c
+    done
+  done;
+  a
+
+let unitary_of_floats ~n_qubits a =
+  if n_qubits < 1 || n_qubits > 3 then
+    Error (Printf.sprintf "bad class arity %d" n_qubits)
+  else begin
+    let n = 1 lsl n_qubits in
+    if Array.length a <> 2 * n * n then
+      Error
+        (Printf.sprintf "class unitary has %d floats, want %d"
+           (Array.length a) (2 * n * n))
+    else begin
+      let u = Cmat.create n n in
+      for r = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          Cmat.set_re_im u r c
+            a.(2 * ((r * n) + c))
+            a.((2 * ((r * n) + c)) + 1)
+        done
+      done;
+      Ok u
+    end
+  end

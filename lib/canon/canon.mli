@@ -1,0 +1,114 @@
+(** Unitary canonicalization for the shared pulse cache (EPOC-style).
+
+    The exact-key cache tier from PR 5 keys on literal gate sequences, so
+    two merged groups that implement the {e same unitary} through different
+    gates never share a pulse. This module reduces a group to an
+    {e equivalence-class key}: two groups receive the same key exactly when
+    their unitaries are related by transformations whose pulse-level replay
+    is free and fidelity-preserving —
+
+    - a global phase (invisible to the trace fidelity GRAPE optimises),
+    - for 1-qubit groups, virtual-Z frames: [U' = e^{iφ} RZ(a) U RZ(b)]
+      (frame changes cost no pulse time on virtual-Z hardware), and
+    - for 2-qubit groups, arbitrary local (single-qubit) rotations on
+      either side: [U' = e^{iφ} (k1⊗k2) U (k3⊗k4)] — the KAK/Cartan
+      equivalence of EPOC (arXiv 2405.03804).
+
+    {1 Invariants}
+
+    - 1q: the middle ZYZ angle [θ] of [U = e^{iφ} RZ(α) RY(θ) RZ(β)],
+      computed as [θ = 2 atan2(|U₁₀|, |U₀₀|) ∈ [0, π]] — the complete
+      invariant under virtual-Z frames.
+    - 2q: the Makhlin local invariants of [U]: with
+      [M = B† (U / det(U)^¼) B] in the magic basis and [m = MᵀM],
+      [G₁ = tr²(m)/16 ∈ ℂ] and [G₂ = (tr²(m) − tr(m²))/4 ∈ ℝ]. Two
+      2-qubit unitaries are locally equivalent iff their [(G₁, G₂)]
+      agree; both are invariant under the 4-fold [det^¼] branch choice.
+    - 3q: no tractable complete local invariant is used; the class is the
+      global-phase-normalized unitary itself (pivot entry rotated to the
+      positive real axis), entrywise quantized and digested. This still
+      collapses commutation-reordered or resynthesized sequences with
+      bitwise-equal semantics.
+
+    {1 Quantization}
+
+    Invariant components are snapped to a grid of pitch {!tolerance}
+    (round-half-away-from-zero, i.e. [round (x / tolerance)] as an
+    integer). Floating-point noise in the invariants of genuinely
+    equivalent sequences is ~1e-12, six orders of magnitude below the
+    half-bin distance, so equivalent groups land in the same bin and the
+    key is a stable function of the input floats — bit-identical across
+    runs and [--jobs] levels. Gate-set angles (multiples of π/2ᵏ) produce
+    invariants at or near grid points, maximally far from bin boundaries.
+
+    {1 Replay safety}
+
+    A matching class key {e nominates} a cached pulse for reuse; it is
+    not trusted on its own (distinct unitaries within ~{!tolerance} of a
+    bin boundary could share a bin). {!relate} reconstructs the explicit
+    correction [(l, r)] with [target ≈ e^{iφ} l · rep · r] and verifies
+    it to {!verify_tol} in max-norm, returning [None] — a cache miss —
+    when reconstruction fails. An accepted correction bounds the replayed
+    trace-fidelity drift by [4·verify_tol < 1e-6], the differential-test
+    budget. Because the trace fidelity [|tr(V†W)|/d] is invariant under
+    unitary [l, r], a replayed pulse scores {e exactly} the
+    representative's recorded fidelity against the corrected target. *)
+
+(** Quantization pitch for invariant components (documented above). *)
+val tolerance : float
+
+(** Max-norm acceptance threshold for {!relate}'s reconstructed
+    correction; [4 · verify_tol] bounds the replayed fidelity drift. *)
+val verify_tol : float
+
+(** [quantize x] is [x] snapped to the {!tolerance} grid, as the grid
+    index (round-half-away-from-zero). *)
+val quantize : float -> int
+
+(** [group_unitary ~n_qubits gates] is the unitary of a merged group over
+    local wires [0 .. n_qubits-1], or [None] when a gate has unbound
+    symbolic parameters (no unitary exists to canonicalize). *)
+val group_unitary :
+  n_qubits:int -> Paqoc_circuit.Gate.app list -> Paqoc_linalg.Cmat.t option
+
+(** [class_key_of_unitary u] is the canonical equivalence-class key of the
+    [2ⁿ×2ⁿ] unitary [u], or [None] for [n > 3] (beyond the group sizes
+    PAQOC merges; no invariant is computed). Keys are space-free strings
+    prefixed with the qubit count (["1q:"], ["2q:"], ["3q:"]) so classes
+    of different arities can never collide. *)
+val class_key_of_unitary : Paqoc_linalg.Cmat.t -> string option
+
+(** [class_key ~n_qubits gates] combines {!group_unitary} and
+    {!class_key_of_unitary}, returning the key together with the group
+    unitary (needed later for {!relate} and for publishing the class
+    record). [None] for symbolic groups and for [n_qubits > 3]. *)
+val class_key :
+  n_qubits:int ->
+  Paqoc_circuit.Gate.app list ->
+  (string * Paqoc_linalg.Cmat.t) option
+
+(** [relate ~rep ~target] reconstructs the local-frame correction from a
+    class representative's unitary to a class-mate's:
+    [Some (l, r)] with [target ≈ e^{iφ} · l · rep · r] (global phase
+    free), verified to {!verify_tol}; [None] when the two are not in fact
+    equivalent to that precision (the caller must treat this as a cache
+    miss). [l] and [r] are unitary; for 1q they are virtual-Z rotations,
+    for 2q magic-basis conjugates of real orthogonals (local up to
+    phase), for 3q scalar phases. *)
+val relate :
+  rep:Paqoc_linalg.Cmat.t ->
+  target:Paqoc_linalg.Cmat.t ->
+  (Paqoc_linalg.Cmat.t * Paqoc_linalg.Cmat.t) option
+
+(** {1 Serialization}
+
+    Class records in the v4 pulse DB carry the representative's unitary
+    so later runs can reconstruct corrections. *)
+
+(** [unitary_to_floats u] flattens row-major as [re, im] pairs. *)
+val unitary_to_floats : Paqoc_linalg.Cmat.t -> float array
+
+(** [unitary_of_floats ~n_qubits a] rebuilds a [2ⁿ×2ⁿ] matrix, checking
+    the length is [2 · 4ⁿ]. *)
+val unitary_of_floats :
+  n_qubits:int -> float array -> (Paqoc_linalg.Cmat.t, string) result

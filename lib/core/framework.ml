@@ -55,6 +55,19 @@ let with_shared_cache ?cache gen f =
       ~finally:(fun () -> Generator.set_shared_cache gen previous)
       f
 
+(* [?canonical] scopes the equivalence-class cache tier the same way:
+   enable for this compile, restore the generator's previous setting on
+   the way out. [None] leaves the generator untouched. *)
+let with_canonical ?canonical gen f =
+  match canonical with
+  | None -> f ()
+  | Some b ->
+    let previous = Generator.canonical_enabled gen in
+    Generator.set_canonical gen b;
+    Fun.protect
+      ~finally:(fun () -> Generator.set_canonical gen previous)
+      f
+
 (* Deadline checks sit at stage boundaries only: a stage either ran to
    completion (its pulses are committed to the database and usable by the
    next request) or never started — an expired budget can never leave the
@@ -66,8 +79,9 @@ let check_deadline deadline =
   | _ -> ()
 
 let compile ?(scheme = paqoc_m0) ?(jobs = 1) ?(search = `Incremental) ?cache
-    ?deadline gen (c : Circuit.t) =
+    ?canonical ?deadline gen (c : Circuit.t) =
   with_shared_cache ?cache gen @@ fun () ->
+  with_canonical ?canonical gen @@ fun () ->
   Obs.with_span "paqoc.compile" @@ fun () ->
   check_deadline deadline;
   (* wall time on the monotonic clock — [Sys.time] (CPU time) would count

@@ -73,6 +73,13 @@ type report = {
     cross-benchmark dedup. The generator's previous attachment is
     restored when the compile returns.
 
+    [canonical] (with a [cache]) additionally enables the
+    equivalence-class tier for this compile
+    ({!Paqoc_pulse.Generator.set_canonical}): groups locally equivalent
+    to an already-priced class representative replay its pulse instead
+    of synthesising. The generator's previous setting is restored when
+    the compile returns; omitted, the setting is left untouched.
+
     [deadline] is an absolute {!Paqoc_obs.Clock.now_s} time; when it
     passes, the pipeline raises {!Paqoc_pulse.Protocol.Deadline_exceeded}
     at the next stage boundary (mining, offline batch, search,
@@ -86,6 +93,7 @@ val compile :
   ?jobs:int ->
   ?search:[ `Incremental | `Reference ] ->
   ?cache:Paqoc_pulse.Cache.t ->
+  ?canonical:bool ->
   ?deadline:float ->
   Paqoc_pulse.Generator.t ->
   Paqoc_circuit.Circuit.t ->

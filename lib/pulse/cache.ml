@@ -10,18 +10,20 @@ type entry = Db_format.entry = {
 type stats = {
   hits : int;
   misses : int;
+  canonical_hits : int;
   publishes : int;
   compactions : int;
   appends : int;
 }
 
-(* One shard: a mutex and the two tables it guards. Keys are sharded by
+(* One shard: a mutex and the tables it guards. Keys are sharded by
    [Hashtbl.hash], so two compilations publishing different groups
    almost always take different locks. *)
 type stripe = {
   slock : Mutex.t;
   entries : (string, entry) Hashtbl.t;
   shapes : (string, unit) Hashtbl.t;
+  classes : (string, Db_format.class_info) Hashtbl.t;
 }
 
 (* The persistence side: a journal fd plus the append accounting that
@@ -36,6 +38,9 @@ type journal = {
   mutable fd : Unix.file_descr;
   mutable pending : int;  (** journal records since the last compaction *)
   mutable open_ : bool;
+  mutable disk_version : Db_format.version;
+      (** header version of the backing file right now; the first class
+          append upgrades a v3 file to v4 via compaction *)
 }
 
 type t = {
@@ -43,6 +48,7 @@ type t = {
   journal : journal option;
   n_hits : int Atomic.t;
   n_misses : int Atomic.t;
+  n_canonical : int Atomic.t;
   n_publishes : int Atomic.t;
   n_compactions : int Atomic.t;
   n_appends : int Atomic.t;
@@ -62,7 +68,8 @@ let make_stripes n =
   Array.init n (fun _ ->
       { slock = Mutex.create ();
         entries = Hashtbl.create 64;
-        shapes = Hashtbl.create 64
+        shapes = Hashtbl.create 64;
+        classes = Hashtbl.create 64
       })
 
 let make ~journal ~stripes =
@@ -71,6 +78,7 @@ let make ~journal ~stripes =
     journal;
     n_hits = Atomic.make 0;
     n_misses = Atomic.make 0;
+    n_canonical = Atomic.make 0;
     n_publishes = Atomic.make 0;
     n_compactions = Atomic.make 0;
     n_appends = Atomic.make 0
@@ -83,6 +91,7 @@ let path t = Option.map (fun j -> j.jpath) t.journal
 let stats t =
   { hits = Atomic.get t.n_hits;
     misses = Atomic.get t.n_misses;
+    canonical_hits = Atomic.get t.n_canonical;
     publishes = Atomic.get t.n_publishes;
     compactions = Atomic.get t.n_compactions;
     appends = Atomic.get t.n_appends
@@ -96,16 +105,74 @@ let probe t key =
   let s = stripe_of t key in
   locked s.slock (fun () -> Hashtbl.find_opt s.entries key)
 
+(* Single accounting choke point for authoritative consults. Exposed so
+   {!Generator}'s batch planner can score a consult it resolved from
+   in-batch state (work the serial commit order would already have
+   published here) without a redundant probe. *)
+let note_consult t = function
+  | `Hit ->
+    Atomic.incr t.n_hits;
+    Obs.count "cache.hit"
+  | `Canonical_hit ->
+    Atomic.incr t.n_hits;
+    Atomic.incr t.n_canonical;
+    Obs.count "cache.hit";
+    Obs.count "cache.canonical_hit"
+  | `Miss ->
+    Atomic.incr t.n_misses;
+    Obs.count "cache.miss"
+
 let find t key =
   match probe t key with
   | Some _ as hit ->
-    Atomic.incr t.n_hits;
-    Obs.count "cache.hit";
+    note_consult t `Hit;
     hit
   | None ->
-    Atomic.incr t.n_misses;
-    Obs.count "cache.miss";
+    note_consult t `Miss;
     None
+
+let class_stripe_of t ck =
+  t.stripes.(Hashtbl.hash ck mod Array.length t.stripes)
+
+let probe_class t ck =
+  let s = class_stripe_of t ck in
+  locked s.slock (fun () -> Hashtbl.find_opt s.classes ck)
+
+type 'a tiered =
+  | Hit_exact of entry
+  | Hit_class of entry * Db_format.class_info * 'a
+  | Tiered_miss
+
+(* The two-tier authoritative consult. With [class_key = None] this is
+   byte-for-byte [find] (same probe, same counters) — the
+   canonicalization-off path stays untouched. A class-tier candidate is
+   counted as a hit only once [validate] has accepted it (the caller
+   reconstructs and verifies the replay correction there); a rejected or
+   dangling class record falls through to an ordinary miss. *)
+let find_canonical t ~key ~class_key ~validate =
+  match probe t key with
+  | Some e ->
+    note_consult t `Hit;
+    Hit_exact e
+  | None -> (
+    let miss () =
+      note_consult t `Miss;
+      Tiered_miss
+    in
+    match class_key with
+    | None -> miss ()
+    | Some ck -> (
+      match probe_class t ck with
+      | None -> miss ()
+      | Some ci -> (
+        match probe t ci.Db_format.rep_key with
+        | None -> miss ()
+        | Some e -> (
+          match validate ci with
+          | None -> miss ()
+          | Some v ->
+            note_consult t `Canonical_hit;
+            Hit_class (e, ci, v)))))
 
 let mem_shape t sign =
   let s = shape_stripe_of t sign in
@@ -131,25 +198,38 @@ let n_shapes t =
     (fun acc s -> acc + locked s.slock (fun () -> Hashtbl.length s.shapes))
     0 t.stripes
 
+let n_classes t =
+  Array.fold_left
+    (fun acc s -> acc + locked s.slock (fun () -> Hashtbl.length s.classes))
+    0 t.stripes
+
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let collect t =
-  let entries = ref [] and shapes = ref [] in
+  let entries = ref [] and shapes = ref [] and classes = ref [] in
   Array.iter
     (fun s ->
       locked s.slock (fun () ->
           Hashtbl.iter (fun k e -> entries := (k, e) :: !entries) s.entries;
-          Hashtbl.iter (fun sign () -> shapes := sign :: !shapes) s.shapes))
+          Hashtbl.iter (fun sign () -> shapes := sign :: !shapes) s.shapes;
+          Hashtbl.iter (fun _ ci -> classes := ci :: !classes) s.classes))
     t.stripes;
-  (!entries, !shapes)
+  (!entries, !shapes, !classes)
 
 (* Atomic snapshot write shared by [compact] and [save]: everything goes
    to [path.tmp], renamed over [path] only once fully written — the same
-   contract (and the same injection point) as [Generator.save_database]. *)
-let write_snapshot ~ctx ~path entries shapes =
+   contract (and the same injection point) as [Generator.save_database].
+   The header version is chosen by content: a cache with no class
+   records writes exactly the v3 bytes it always wrote, so a run that
+   never canonicalizes leaves the file byte-identical. Returns the
+   version written. *)
+let write_snapshot ~ctx ~path entries shapes classes =
   let fail msg = failwith (Printf.sprintf "%s: %s (%s)" ctx msg path) in
+  let version =
+    match classes with [] -> Db_format.V3 | _ :: _ -> Db_format.V4
+  in
   let tmp = path ^ ".tmp" in
   let oc = try open_out tmp with Sys_error msg -> fail msg in
   (try
@@ -158,8 +238,8 @@ let write_snapshot ~ctx ~path entries shapes =
        (fun () ->
          if Faultin.fire Faultin.Db_save_error then
            raise (Sys_error "injected db-save fault");
-         output_string oc (Db_format.magic Db_format.V3 ^ "\n");
-         output_string oc (Db_format.snapshot_body entries shapes);
+         output_string oc (Db_format.magic version ^ "\n");
+         output_string oc (Db_format.snapshot_body ~classes entries shapes);
          flush oc)
    with
    | Sys_error msg ->
@@ -168,11 +248,12 @@ let write_snapshot ~ctx ~path entries shapes =
    | e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  try Sys.rename tmp path with Sys_error msg -> fail msg
+  (try Sys.rename tmp path with Sys_error msg -> fail msg);
+  version
 
 let save t path =
-  let entries, shapes = collect t in
-  write_snapshot ~ctx:"Cache.save" ~path entries shapes
+  let entries, shapes, classes = collect t in
+  ignore (write_snapshot ~ctx:"Cache.save" ~path entries shapes classes)
 
 let open_append path =
   Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
@@ -181,8 +262,9 @@ let open_append path =
    Called with [jlock] held. The rename is atomic, so a failure leaves
    the previous file (snapshot + journal) fully intact. *)
 let compact_locked t j =
-  let entries, shapes = collect t in
-  write_snapshot ~ctx:"Cache.compact" ~path:j.jpath entries shapes;
+  let entries, shapes, classes = collect t in
+  j.disk_version <-
+    write_snapshot ~ctx:"Cache.compact" ~path:j.jpath entries shapes classes;
   (* the old fd points at the pre-rename inode; swap it for the new file *)
   (try Unix.close j.fd with Unix.Unix_error _ -> ());
   j.fd <- open_append j.jpath;
@@ -208,34 +290,51 @@ let rec write_fully fd s pos len =
    newline) goes through writes that are rolled back with [ftruncate] on
    any failure, so a failed append can never leave a torn record behind —
    the file always ends on a record boundary. *)
+let append_locked t j record =
+  let line = Db_format.journal_line record ^ "\n" in
+  let pos = Unix.lseek j.fd 0 Unix.SEEK_END in
+  (try
+     if Faultin.fire Faultin.Journal_append_error then
+       raise (Sys_error "injected journal-append fault");
+     write_fully j.fd line 0 (String.length line)
+   with e ->
+     (try Unix.ftruncate j.fd pos with Unix.Unix_error _ -> ());
+     (* the in-memory tables are now ahead of the journal; counting
+        the failed append as pending work makes the next compaction
+        (auto or at [close]) persist the orphaned entry *)
+     j.pending <- j.pending + 1;
+     let msg =
+       match e with
+       | Sys_error m -> m
+       | Unix.Unix_error (err, _, _) -> Unix.error_message err
+       | e -> raise e
+     in
+     failwith (Printf.sprintf "Cache.publish: %s (%s)" msg j.jpath));
+  j.pending <- j.pending + 1;
+  Atomic.incr t.n_appends;
+  if j.pending >= j.compact_every then compact_locked t j
+
 let append t record =
   match t.journal with
   | None -> ()
   | Some j ->
     locked j.jlock (fun () ->
         if not j.open_ then failwith "Cache.publish: cache is closed";
-        let line = Db_format.journal_line record ^ "\n" in
-        let pos = Unix.lseek j.fd 0 Unix.SEEK_END in
-        (try
-           if Faultin.fire Faultin.Journal_append_error then
-             raise (Sys_error "injected journal-append fault");
-           write_fully j.fd line 0 (String.length line)
-         with e ->
-           (try Unix.ftruncate j.fd pos with Unix.Unix_error _ -> ());
-           (* the in-memory tables are now ahead of the journal; counting
-              the failed append as pending work makes the next compaction
-              (auto or at [close]) persist the orphaned entry *)
-           j.pending <- j.pending + 1;
-           let msg =
-             match e with
-             | Sys_error m -> m
-             | Unix.Unix_error (err, _, _) -> Unix.error_message err
-             | e -> raise e
-           in
-           failwith (Printf.sprintf "Cache.publish: %s (%s)" msg j.jpath));
-        j.pending <- j.pending + 1;
-        Atomic.incr t.n_appends;
-        if j.pending >= j.compact_every then compact_locked t j)
+        append_locked t j record)
+
+(* A [+C] record may only land in a v4-headered file. The first class
+   append against a v3 file compacts instead: the class is already in
+   the in-memory tables, so the compaction writes a v4 snapshot that
+   contains it — that is the v3 -> v4 migration, and it only ever
+   happens when a class is actually published. *)
+let append_class t ci =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    locked j.jlock (fun () ->
+        if not j.open_ then failwith "Cache.publish: cache is closed";
+        if j.disk_version <> Db_format.V4 then compact_locked t j
+        else append_locked t j (Db_format.Class ci))
 
 (* ------------------------------------------------------------------ *)
 (* Publish                                                             *)
@@ -269,6 +368,21 @@ let publish_shape t sign =
   in
   if fresh then append t (Db_format.Shape sign)
 
+let publish_class t (ci : Db_format.class_info) =
+  let s = class_stripe_of t ci.Db_format.class_key in
+  let fresh =
+    locked s.slock (fun () ->
+        if Hashtbl.mem s.classes ci.Db_format.class_key then false
+        else begin
+          Hashtbl.replace s.classes ci.Db_format.class_key ci;
+          true
+        end)
+  in
+  if fresh then begin
+    Obs.count "cache.class_publish";
+    append_class t ci
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Open / close                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -280,6 +394,10 @@ let insert_mem t = function
   | Db_format.Shape sign ->
     let s = shape_stripe_of t sign in
     locked s.slock (fun () -> Hashtbl.replace s.shapes sign ())
+  | Db_format.Class ci ->
+    let s = class_stripe_of t ci.Db_format.class_key in
+    locked s.slock (fun () ->
+        Hashtbl.replace s.classes ci.Db_format.class_key ci)
 
 let open_file ?(stripes = 16) ?(compact_every = 256) path =
   if compact_every < 1 then
@@ -300,21 +418,24 @@ let open_file ?(stripes = 16) ?(compact_every = 256) path =
       compact_every;
       fd = Unix.stdin;  (* placeholder; replaced below *)
       pending = 0;
-      open_ = true
+      open_ = true;
+      disk_version = Db_format.V3
     }
   in
   let t = make ~journal:(Some journal) ~stripes in
   (match contents with
   | None ->
     (* fresh file: just the v3 header *)
-    write_snapshot ~ctx:"Cache.open_file" ~path [] [];
+    journal.disk_version <-
+      write_snapshot ~ctx:"Cache.open_file" ~path [] [] [];
     journal.fd <- open_append path
   | Some c ->
     List.iter (insert_mem t) c.snapshot;
     (* journal replay, last-wins *)
     List.iter (insert_mem t) c.journal;
     (match c.version with
-    | Db_format.V3 ->
+    | Db_format.V3 | Db_format.V4 ->
+      journal.disk_version <- c.version;
       journal.fd <- open_append path;
       if c.torn_tail then
         (* drop the torn record from disk too, so appends resume on a

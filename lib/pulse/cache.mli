@@ -48,8 +48,13 @@ type t
 
 (** Monotonic per-instance counters, readable at any time. *)
 type stats = {
-  hits : int;  (** {!find} calls answered from the cache *)
-  misses : int;  (** {!find} calls the cache could not answer *)
+  hits : int;
+      (** {!find} / {!find_canonical} calls answered from the cache
+          (either tier) *)
+  misses : int;  (** consults the cache could not answer *)
+  canonical_hits : int;
+      (** the subset of [hits] answered by the class tier of
+          {!find_canonical} — replays of a class-mate's pulse *)
   publishes : int;  (** fresh entries accepted by {!publish} *)
   compactions : int;  (** journal compactions (incl. v1/v2 migration) *)
   appends : int;  (** journal records appended since open *)
@@ -64,9 +69,11 @@ val create : ?stripes:int -> unit -> t
 
     - a missing or empty file is initialised as an empty v3 journal;
     - an existing v1/v2 snapshot is loaded and compacted to v3 in place;
-    - an existing v3 file is loaded (snapshot, then journal replay with
-      last-wins semantics); a torn trailing record is dropped and
-      truncated away so subsequent appends start from a clean tail.
+    - an existing v3 or v4 file is loaded (snapshot, then journal replay
+      with last-wins semantics); a torn trailing record is dropped and
+      truncated away so subsequent appends start from a clean tail. A v3
+      file stays v3 unless a class record is published into it
+      ({!publish_class}'s v4 upgrade).
 
     [compact_every] (default 256) bounds the journal: once that many
     records have been appended since the last compaction, the next
@@ -96,6 +103,45 @@ val find : t -> string -> entry option
     should not distort the hit rate. *)
 val probe : t -> string -> entry option
 
+(** Result of the two-tier consult {!find_canonical}. *)
+type 'a tiered =
+  | Hit_exact of entry  (** the exact key was published *)
+  | Hit_class of entry * Db_format.class_info * 'a
+      (** no exact entry, but the group's equivalence class is known:
+          the representative's entry, its class record, and the value
+          returned by the caller's [validate] (the verified replay
+          correction) *)
+  | Tiered_miss
+
+(** [find_canonical t ~key ~class_key ~validate] is the authoritative
+    two-tier consult: the exact tier first, then — only when [class_key]
+    is [Some] — the equivalence-class tier. A class-tier candidate
+    becomes a hit only if [validate] (given the class record; expected
+    to reconstruct and verify the local-frame correction with
+    [Paqoc_canon.Canon.relate]) returns [Some]; otherwise the consult is
+    an ordinary miss. Counting: an exact hit counts [cache.hit]; a class
+    hit counts [cache.hit] {e and} [cache.canonical_hit] (it is a hit,
+    not a miss — no pulse needs synthesising); everything else counts
+    one [cache.miss]. With [class_key = None] this is exactly {!find}. *)
+val find_canonical :
+  t ->
+  key:string ->
+  class_key:string option ->
+  validate:(Db_format.class_info -> 'a option) ->
+  'a tiered
+
+(** [probe_class t class_key] reads the class tier without accounting. *)
+val probe_class : t -> string -> Db_format.class_info option
+
+(** [note_consult t verdict] records one authoritative consult's outcome
+    in the counters without probing. {!find} / {!find_canonical} are
+    built on the same accounting; this hook exists for {!Generator}'s
+    batch planner, which can resolve a consult from in-batch state that
+    the serial commit order would already have published to this cache
+    (an in-batch class-mate replay scores [`Canonical_hit]; in-batch
+    exact duplicates are generator-table hits and are not scored). *)
+val note_consult : t -> [ `Hit | `Canonical_hit | `Miss ] -> unit
+
 (** [publish t key e] makes [e] available under [key] and, on a
     persistent cache, appends one journal record. Publishing an
     already-present key is a no-op (the cache is content-addressed:
@@ -113,6 +159,17 @@ val publish : t -> string -> entry -> unit
     {!publish}. *)
 val publish_shape : t -> string -> unit
 
+(** [publish_class t ci] records an equivalence-class representative:
+    future groups whose canonical key equals [ci.class_key] replay the
+    pulse priced under [ci.rep_key]. First-publisher-wins (a duplicate
+    class key is a no-op), so with serialised publishes the
+    representative — and every byte that follows — is independent of the
+    worker count. On a persistent cache the first class record upgrades
+    a v3 backing file to v4 by compaction; after that each fresh class
+    appends one [+C] journal record. Counts [cache.class_publish].
+    @raise Failure as {!publish}. *)
+val publish_class : t -> Db_format.class_info -> unit
+
 (** [mem_shape t sign] — whether [sign] has been published. *)
 val mem_shape : t -> string -> bool
 
@@ -122,21 +179,24 @@ val iter_shapes : t -> (string -> unit) -> unit
 
 (** {1 Maintenance} *)
 
-(** Number of priced entries / shape signatures currently held. *)
+(** Number of priced entries / shape signatures / class records held. *)
 val size : t -> int
 
 val n_shapes : t -> int
+val n_classes : t -> int
 val stats : t -> stats
 
-(** [compact t] rewrites the backing file as a sorted v3 snapshot with
-    an empty journal (atomic: tmp + rename). No-op on an in-memory
-    cache. @raise Failure on an I/O error (including an armed
+(** [compact t] rewrites the backing file as a sorted snapshot with an
+    empty journal (atomic: tmp + rename) — v3 bytes when no class
+    records exist, v4 otherwise. No-op on an in-memory cache.
+    @raise Failure on an I/O error (including an armed
     {!Faultin.Db_save_error}); the existing file is left intact. *)
 val compact : t -> unit
 
-(** [save t path] writes a sorted v3 snapshot of the current contents to
-    an arbitrary [path] (atomic), leaving the backing journal (if any)
-    untouched. @raise Failure on an I/O error. *)
+(** [save t path] writes a sorted snapshot (v3, or v4 when class records
+    exist) of the current contents to an arbitrary [path] (atomic),
+    leaving the backing journal (if any) untouched.
+    @raise Failure on an I/O error. *)
 val save : t -> string -> unit
 
 (** [close t] compacts any pending journal records and closes the

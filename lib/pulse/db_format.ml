@@ -7,19 +7,28 @@ type entry = {
   provenance : provenance;
 }
 
-type record = Priced of string * entry | Shape of string
+type class_info = {
+  class_key : string;
+  n_qubits : int;
+  unitary : float array;
+  rep_key : string;
+}
 
-type version = V1 | V2 | V3
+type record = Priced of string * entry | Shape of string | Class of class_info
+
+type version = V1 | V2 | V3 | V4
 
 let magic = function
   | V1 -> "paqoc-pulse-db v1"
   | V2 -> "paqoc-pulse-db v2"
   | V3 -> "paqoc-pulse-db v3"
+  | V4 -> "paqoc-pulse-db v4"
 
 let version_of_magic line =
   if String.equal line (magic V1) then Some V1
   else if String.equal line (magic V2) then Some V2
   else if String.equal line (magic V3) then Some V3
+  else if String.equal line (magic V4) then Some V4
   else None
 
 let provenance_char = function Synthesized -> 'q' | Fallback -> 'f'
@@ -29,14 +38,29 @@ let record_line = function
     Printf.sprintf "K %.17g %.17g %.17g %c %s" e.latency e.error e.fidelity
       (provenance_char e.provenance) key
   | Shape sign -> "S " ^ sign
+  | Class c ->
+    (* class key and arity are space-free, so the rep key (which may
+       contain spaces) can close the line, mirroring K records *)
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "C %s %d" c.class_key c.n_qubits);
+    Array.iter
+      (fun f -> Buffer.add_string buf (Printf.sprintf " %.17g" f))
+      c.unitary;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf c.rep_key;
+    Buffer.contents buf
 
 let journal_line r = "+" ^ record_line r
 
-let snapshot_body entries shapes =
+let snapshot_body ?(classes = []) entries shapes =
   let entries =
     List.sort (fun (a, _) (b, _) -> String.compare a b) entries
   in
   let shapes = List.sort String.compare shapes in
+  let classes =
+    List.sort (fun a b -> String.compare a.class_key b.class_key) classes
+  in
   let buf = Buffer.create 1024 in
   List.iter
     (fun (key, e) ->
@@ -48,6 +72,11 @@ let snapshot_body entries shapes =
       Buffer.add_string buf (record_line (Shape sign));
       Buffer.add_char buf '\n')
     shapes;
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (record_line (Class c));
+      Buffer.add_char buf '\n')
+    classes;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -76,7 +105,7 @@ let parse_record version line =
       let provenance_and_key =
         match version with
         | V1 -> Ok (Synthesized, rest)
-        | V2 | V3 -> (
+        | V2 | V3 | V4 -> (
           match rest with
           | "q" :: kp -> Ok (Synthesized, kp)
           | "f" :: kp -> Ok (Fallback, kp)
@@ -98,6 +127,44 @@ let parse_record version line =
     | _ -> Error "bad K line"
   else if String.length line >= 2 && line.[0] = 'S' then
     Ok (Shape (String.sub line 2 (String.length line - 2)))
+  else if String.length line >= 2 && line.[0] = 'C' then begin
+    match version with
+    | V1 | V2 | V3 -> Error "class record in a pre-v4 file"
+    | V4 -> (
+      match String.split_on_char ' ' line with
+      | "C" :: ck :: nq :: rest when ck <> "" -> (
+        match int_of_string_opt nq with
+        | None -> Error "bad class arity"
+        | Some n_qubits ->
+          if n_qubits < 1 || n_qubits > 3 then Error "bad class arity"
+          else begin
+            let d = 1 lsl n_qubits in
+            let need = 2 * d * d in
+            let rec take k acc rest =
+              if k = 0 then Ok (List.rev acc, rest)
+              else
+                match rest with
+                | [] -> Error "truncated class record"
+                | x :: tl -> (
+                  match float_of_string_opt x with
+                  | Some f -> take (k - 1) (f :: acc) tl
+                  | None -> Error "bad class float")
+            in
+            match take need [] rest with
+            | Error e -> Error e
+            | Ok (floats, key_parts) ->
+              if key_parts = [] then Error "truncated class record"
+              else
+                Ok
+                  (Class
+                     { class_key = ck;
+                       n_qubits;
+                       unitary = Array.of_list floats;
+                       rep_key = String.concat " " key_parts
+                     })
+          end)
+      | _ -> Error "bad C line")
+  end
   else Error "unrecognised line"
 
 let parse_string s =
@@ -130,7 +197,7 @@ let parse_string s =
                snapshots are written atomically, so an unterminated final
                line there is parsed normally (hand-written files) *)
             match version with
-            | V3 -> torn := true
+            | V3 | V4 -> torn := true
             | V1 | V2 -> (
               match parse_record version line with
               | Ok r ->
@@ -141,7 +208,7 @@ let parse_string s =
           else if line.[0] = '+' then begin
             match version with
             | V1 | V2 -> error := Some "journal record in a snapshot file"
-            | V3 -> (
+            | V3 | V4 -> (
               in_journal := true;
               match
                 parse_record version

@@ -15,6 +15,15 @@
       journal back into the sorted snapshot. A file whose final journal
       record was torn by a crash (no trailing newline) is still loadable:
       the torn tail is dropped during replay.
+    - {b v4} — v3 plus [C] (equivalence-class) records: the canonical
+      class key, the representative group's qubit count and unitary
+      (flattened [%.17g] floats, exact round trip) and, last because keys
+      may contain spaces, the representative's exact key. [C] lines close
+      the sorted snapshot (after [K] and [S]) and [+C] may appear in the
+      journal. A v3 file is a valid v4 file with no class section, and a
+      cache that never publishes a class writes v3 bytes — the
+      canonicalization-off byte-identity guarantee
+      (see [docs/canonicalization.md]).
 
     This module is pure parsing and serialisation — no table semantics.
     Consumers decide how duplicate keys merge (the generator keeps the
@@ -34,11 +43,23 @@ type entry = {
   provenance : provenance;
 }
 
-(** A parsed record: a priced entry keyed by the canonical group key, or
-    a known shape signature. *)
-type record = Priced of string * entry | Shape of string
+(** One equivalence class (v4 [C] record): distinct exact keys whose
+    unitaries are locally equivalent (see [Paqoc_canon.Canon]) share the
+    pulse priced under [rep_key]. The representative's unitary rides
+    along so a later run can reconstruct the local-frame correction
+    before replaying. *)
+type class_info = {
+  class_key : string;  (** canonical class key; space-free *)
+  n_qubits : int;  (** 1..3 *)
+  unitary : float array;  (** representative unitary, row-major re/im *)
+  rep_key : string;  (** exact key the class's pulse is priced under *)
+}
 
-type version = V1 | V2 | V3
+(** A parsed record: a priced entry keyed by the canonical group key, a
+    known shape signature, or an equivalence-class record (v4). *)
+type record = Priced of string * entry | Shape of string | Class of class_info
+
+type version = V1 | V2 | V3 | V4
 
 (** [magic v] is the header line of version [v],
     e.g. ["paqoc-pulse-db v3"]. *)
@@ -50,20 +71,24 @@ val version_of_magic : string -> version option
 (** {1 Serialisation} *)
 
 (** [record_line r] is the snapshot line for [r], without the trailing
-    newline — ["K <lat> <err> <fid> <q|f> <key>"] or ["S <sign>"]
-    (floats printed as [%.17g], so round-trips are exact). *)
+    newline — ["K <lat> <err> <fid> <q|f> <key>"], ["S <sign>"] or
+    ["C <class_key> <n> <floats…> <rep_key>"] (floats printed as
+    [%.17g], so round-trips are exact). *)
 val record_line : record -> string
 
-(** [journal_line r] is the v3 journal form: ["+"] followed by
+(** [journal_line r] is the v3/v4 journal form: ["+"] followed by
     {!record_line}. *)
 val journal_line : record -> string
 
-(** [snapshot_body entries shapes] renders the canonical snapshot body:
-    [K] lines sorted by key, then [S] lines sorted by signature, each
-    newline-terminated. The bytes are a pure function of the contents,
-    which is what makes saved databases comparable across runs and
-    worker counts. *)
-val snapshot_body : (string * entry) list -> string list -> string
+(** [snapshot_body ?classes entries shapes] renders the canonical
+    snapshot body: [K] lines sorted by key, then [S] lines sorted by
+    signature, then [C] lines sorted by class key, each
+    newline-terminated. With [classes = []] (the default) the bytes are
+    exactly the pre-v4 body. The bytes are a pure function of the
+    contents, which is what makes saved databases comparable across runs
+    and worker counts. *)
+val snapshot_body :
+  ?classes:class_info list -> (string * entry) list -> string list -> string
 
 (** {1 Parsing} *)
 
@@ -81,11 +106,14 @@ type contents = {
 (** [parse_string s] parses a whole database file image.
 
     Rules: the header must be a known magic; every complete line must
-    parse ([K]/[S] in the snapshot section, [+K]/[+S] after the first
-    journal record; blank lines are skipped); a snapshot record after a
-    journal record is an error. In a v3 file only, a final segment with
-    no trailing newline is a torn journal tail and is dropped (that is
-    the crash-replay rule — appends are a single write, so a crash can
+    parse ([K]/[S] in the snapshot section — plus [C] in v4 —
+    [+K]/[+S]/[+C] after the first journal record; blank lines are
+    skipped); a snapshot record after a journal record is an error, as is
+    a [C] record in a pre-v4 file and a malformed or truncated class
+    record (["bad class arity"], ["bad class float"],
+    ["truncated class record"]). In a v3/v4 file only, a final segment
+    with no trailing newline is a torn journal tail and is dropped (that
+    is the crash-replay rule — appends are a single write, so a crash can
     only tear the last record). *)
 val parse_string : string -> (contents, string) result
 

@@ -1,5 +1,6 @@
 module Gate = Paqoc_circuit.Gate
 module Cmat = Paqoc_linalg.Cmat
+module Canon = Paqoc_canon.Canon
 module Fidelity = Paqoc_linalg.Fidelity
 module Obs = Paqoc_obs.Obs
 module Clock = Paqoc_obs.Clock
@@ -95,6 +96,20 @@ type retry = {
 let default_retry =
   { max_attempts = 3; jitter_seed = 0x5eed; iter_budget = 0; task_seconds = None }
 
+(* A canonical-class replay: the group's pulse was not synthesised but
+   borrowed from a locally-equivalent class-mate already priced in the
+   shared cache. Everything a caller needs to audit (or re-simulate) the
+   replay is recorded: whose pulse was borrowed, the verified local-frame
+   correction [l . rep . r = target], the representative's waveform when
+   this run holds it, and the requesting group's own unitary. *)
+type replay = {
+  rep_key : string;
+  correction_l : Cmat.t;
+  correction_r : Cmat.t;
+  rep_pulse : Pulse.t option;
+  target : Cmat.t;
+}
+
 type t = {
   backend : backend;
   retry : retry;
@@ -116,6 +131,12 @@ type t = {
   mutable shared : Cache.t option;
       (** cross-run cache; consulted after the local tables miss,
           published to from the commit phase *)
+  mutable canonical : bool;
+      (** when set (and a shared cache is attached), the shared consult
+          adds the equivalence-class tier and synthesised pulses publish
+          their class record *)
+  replays : (string, replay) Hashtbl.t;
+      (** class-tier hits taken this run, by the requesting group's key *)
   priced : (string, float) Hashtbl.t;
       (** write-through memo of the peek-or-estimate latency per canonical
           key: entries are updated in place whenever [cache] gains a row,
@@ -164,6 +185,8 @@ let create ?(retry = default_retry) ?shared backend =
     n_similar = 0;
     n_fallback = 0;
     shared;
+    canonical = false;
+    replays = Hashtbl.create 16;
     priced = Hashtbl.create 256;
     price_epoch = 0;
     price_misses = 0
@@ -179,6 +202,13 @@ let table_put t k (o : outcome) =
 
 let set_shared_cache t c = locked t (fun () -> t.shared <- c)
 let shared_cache t = locked t (fun () -> t.shared)
+let set_canonical t b = locked t (fun () -> t.canonical <- b)
+let canonical_enabled t = locked t (fun () -> t.canonical)
+
+let canonical_replays t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.replays []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let model_default ?retry () = create ?retry (Model Latency_model.default)
 
@@ -415,7 +445,23 @@ type plan =
       sign : string;
       cls : seed_class;
       src : seed_source;
+      canon : (string * Cmat.t) option;
+          (** class key and group unitary, kept so the commit phase can
+              publish the class record once the pulse is priced *)
     }
+  | P_replay_batch of {
+      j : int;  (** in-batch class representative task *)
+      k : string;
+      sign : string;
+      rep_key : string;  (** the representative task's exact key *)
+      l : Cmat.t;
+      r : Cmat.t;
+      target : Cmat.t;
+    }
+      (** class-mate of an earlier task in this batch: the serial commit
+          order publishes the representative's class record before this
+          group's consult, so the batch planner replays it the same way
+          a shared-cache class hit would *)
 
 (* Serial-order seed planning; call with [t.lock] held. *)
 let plan_batch t groups =
@@ -433,12 +479,52 @@ let plan_batch t groups =
     | Some j -> Some (Batch j)
     | None -> if Hashtbl.mem t.by_shape s then Some Db else None
   in
-  (* shared-cache consults, all after the batch and local tables miss:
-     [shared_find] is the authoritative (counted) lookup for a task's own
-     key; [shared_probe]/[shared_mem_shape] are uncounted warm-start
-     probes, so planning noise never distorts the suite hit rate *)
-  let shared_find k =
-    match t.shared with None -> None | Some c -> Cache.find c k
+  (* shared-cache consults, all after the batch and local tables miss.
+     The authoritative consult replays the serial commit order over
+     probes: the shared exact tier first, then — with canonicalization on
+     — the shared class tier, then class representatives planned earlier
+     in this batch (serial commits would have published them before this
+     group's consult), each class candidate accepted only once
+     [Canon.relate] verifies the correction. Exactly one
+     [Cache.note_consult] scores the outcome, so with canonicalization
+     off the counters are byte-for-byte the historical [Cache.find].
+     [shared_probe]/[shared_mem_shape] are uncounted warm-start probes,
+     so planning noise never distorts the suite hit rate *)
+  let batch_class = Hashtbl.create 8 in
+  let class_key_of g =
+    if t.canonical && t.shared <> None && g.n_qubits <= 3 then
+      Canon.class_key ~n_qubits:g.n_qubits g.gates
+    else None
+  in
+  let shared_class_mate c canon =
+    match canon with
+    | None -> None
+    | Some (ck, target) -> (
+      match Cache.probe_class c ck with
+      | None -> None
+      | Some (ci : Db_format.class_info) -> (
+        match Cache.probe c ci.rep_key with
+        | None -> None (* dangling class record: rep entry missing *)
+        | Some e -> (
+          match
+            Canon.unitary_of_floats ~n_qubits:ci.n_qubits ci.unitary
+          with
+          | Error _ -> None
+          | Ok rep -> (
+            match Canon.relate ~rep ~target with
+            | None -> None
+            | Some (l, r) -> Some (e, ci, l, r, target)))))
+  in
+  let batch_class_mate canon =
+    match canon with
+    | None -> None
+    | Some (ck, target) -> (
+      match Hashtbl.find_opt batch_class ck with
+      | None -> None
+      | Some (j, rep_key, rep_u) -> (
+        match Canon.relate ~rep:rep_u ~target with
+        | None -> None
+        | Some (l, r) -> Some (j, rep_key, l, r, target)))
   in
   let shared_probe k =
     match t.shared with None -> None | Some c -> Cache.probe c k
@@ -522,8 +608,9 @@ let plan_batch t groups =
       | Some Db -> P_hit_db (Hashtbl.find t.cache k)
       | Some (Batch j) -> P_hit_batch j
       | None -> (
-        match shared_find k with
-        | Some e ->
+        let canon = class_key_of g in
+        let sign = shape_signature g in
+        let import_entry e =
           (* import the shared entry into the local tables right here (we
              hold [t.lock] while planning), so the rest of this batch and
              every later one sees it exactly as a database hit — and a
@@ -531,16 +618,63 @@ let plan_batch t groups =
              would have *)
           let o = outcome_of_entry e in
           table_put t k o;
-          let sign = shape_signature g in
           if not (Hashtbl.mem t.by_shape sign) then
             Hashtbl.replace t.by_shape sign None;
-          P_hit_db o
-        | None ->
-          let sign = shape_signature g in
+          o
+        in
+        let plan_synth () =
           let cls, src = plan_seed g sign in
           Hashtbl.replace batch_cache k i;
           Hashtbl.replace batch_shape sign i;
-          P_synth { g; k; sign; cls; src }))
+          (match canon with
+          | Some (ck, u) when not (Hashtbl.mem batch_class ck) ->
+            (* first-planned-wins, mirroring [Cache.publish_class]'s
+               first-publisher-wins under serial commits *)
+            Hashtbl.add batch_class ck (i, k, u)
+          | _ -> ());
+          P_synth { g; k; sign; cls; src; canon }
+        in
+        match t.shared with
+        | None -> plan_synth ()
+        | Some c -> (
+          match Cache.probe c k with
+          | Some e ->
+            Cache.note_consult c `Hit;
+            P_hit_db (import_entry e)
+          | None -> (
+            match shared_class_mate c canon with
+            | Some (e, ci, l, r, target) ->
+              (* the class tier vouched for a locally-equivalent
+                 representative and [Canon.relate] verified the
+                 correction; import the representative's price under the
+                 requester's own key (latency and fidelity are
+                 local-frame invariants) and record the replay so
+                 callers can audit it *)
+              Cache.note_consult c `Canonical_hit;
+              let o = import_entry e in
+              Hashtbl.replace t.replays k
+                { rep_key = ci.Db_format.rep_key;
+                  correction_l = l;
+                  correction_r = r;
+                  rep_pulse =
+                    (match
+                       Hashtbl.find_opt t.cache ci.Db_format.rep_key
+                     with
+                    | Some (ro : outcome) -> ro.pulse
+                    | None -> None);
+                  target
+                };
+              P_hit_db o
+            | None -> (
+              match batch_class_mate canon with
+              | Some (j, rep_key, l, r, target) ->
+                Cache.note_consult c `Canonical_hit;
+                if not (Hashtbl.mem t.by_shape sign) then
+                  Hashtbl.replace t.by_shape sign None;
+                P_replay_batch { j; k; sign; rep_key; l; r; target }
+              | None ->
+                Cache.note_consult c `Miss;
+                plan_synth ())))))
     groups
 
 (* Graceful degradation: price the group as its decomposed default-basis
@@ -694,7 +828,7 @@ let execute pool t plans =
       (match p with
       | P_synth { src = Src_batch j; _ } -> level.(i) <- level.(j) + 1
       | P_synth _ -> level.(i) <- 0
-      | P_hit_db _ | P_hit_batch _ -> ());
+      | P_hit_db _ | P_hit_batch _ | P_replay_batch _ -> ());
       if level.(i) > !max_level then max_level := level.(i))
     plans;
   let outcome_of j =
@@ -720,7 +854,7 @@ let execute pool t plans =
             in
             let fut = Pool.submit pool thunk in
             futures := (i, fut, thunk) :: !futures
-          | P_hit_db _ | P_hit_batch _ -> ())
+          | P_hit_db _ | P_hit_batch _ | P_replay_batch _ -> ())
       plans;
     List.iter
       (fun (i, fut, thunk) ->
@@ -760,7 +894,36 @@ let commit_batch t plans results =
         t.seconds <- t.seconds +. lookup_cost;
         Obs.count "generator.cache_hit";
         { (outcome_of j) with cache_hit = true; gen_seconds = lookup_cost }
-      | P_synth { k; sign; cls; _ } ->
+      | P_replay_batch { j; k; sign = _; rep_key; l; r; target } ->
+        (* class-mate of a task synthesised earlier in this batch: price
+           as the representative's entry, exactly as a shared class hit
+           would have (the consult was already scored at plan time) *)
+        let ro = outcome_of j in
+        t.hits <- t.hits + 1;
+        t.seconds <- t.seconds +. lookup_cost;
+        Obs.count "generator.cache_hit";
+        let o =
+          { latency = ro.latency;
+            error = ro.error;
+            gen_seconds = lookup_cost;
+            cache_hit = true;
+            seeded = false;
+            fidelity = ro.fidelity;
+            pulse = None;
+            provenance = ro.provenance;
+            attempts = 0
+          }
+        in
+        table_put t k o;
+        Hashtbl.replace t.replays k
+          { rep_key;
+            correction_l = l;
+            correction_r = r;
+            rep_pulse = ro.pulse;
+            target
+          };
+        o
+      | P_synth { g; k; sign; cls; canon; _ } ->
         let o = outcome_of i in
         (match cls with
         | C_cold ->
@@ -795,7 +958,19 @@ let commit_batch t plans results =
                 fidelity = o.fidelity;
                 provenance = o.provenance
               };
-            Cache.publish_shape c sign
+            Cache.publish_shape c sign;
+            (match canon with
+            | Some (ck, u) ->
+              (* first-publisher-wins inside [publish_class], and the
+                 commit phase is serial, so the class representative is
+                 independent of the worker count *)
+              Cache.publish_class c
+                { Db_format.class_key = ck;
+                  n_qubits = g.n_qubits;
+                  unitary = Canon.unitary_to_floats u;
+                  rep_key = k
+                }
+            | None -> ())
           with Failure _ ->
             (* persistence degraded, compilation unaffected: the entry
                stays live in the shared cache's memory and lands on disk
@@ -968,6 +1143,10 @@ let load_database t path =
         | Db_format.Shape sign ->
           if not (Hashtbl.mem t.by_shape sign) then
             Hashtbl.replace t.by_shape sign None
+        | Db_format.Class _ ->
+          (* class records belong to the shared cache's tier; the
+             per-run table neither stores nor writes them (it saves v2) *)
+          ()
       in
       List.iter add c.Db_format.snapshot;
       List.iter add c.Db_format.journal)

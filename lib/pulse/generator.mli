@@ -132,6 +132,46 @@ val set_shared_cache : t -> Cache.t option -> unit
 
 val shared_cache : t -> Cache.t option
 
+(** {1 Canonicalization (equivalence-class replay)}
+
+    With {!set_canonical} on and a shared cache attached, the shared
+    consult becomes {!Cache.find_canonical}'s two-tier lookup: the exact
+    key first and, on miss, the group's {!Paqoc_canon.Canon.class_key} —
+    groups whose unitaries differ only by single-qubit local rotations
+    (and global phase) replay the class representative's pulse instead
+    of synthesising. A class-tier hit is accepted only after
+    {!Paqoc_canon.Canon.relate} reconstructs and verifies the
+    local-frame correction; it imports the representative's price under
+    the requester's key (latency and trace fidelity are local-frame
+    invariants) and counts [cache.canonical_hit] on top of [cache.hit].
+    Synthesised pulses additionally publish their class record
+    ({!Cache.publish_class}). With canonicalization off (the default)
+    the consult, its counters and every byte the cache persists are
+    identical to the exact-only path. See [docs/canonicalization.md]. *)
+
+(** [set_canonical t b] enables/disables the equivalence-class tier for
+    subsequent generations. *)
+val set_canonical : t -> bool -> unit
+
+val canonical_enabled : t -> bool
+
+(** A class-tier replay taken by this generator, recorded for audit:
+    [correction_l . U_rep . correction_r = U_target] up to global phase,
+    verified to {!Paqoc_canon.Canon.verify_tol} in max norm at plan
+    time. [rep_pulse] is the representative's waveform when this run
+    synthesised it (the persistent cache stores no waveforms). *)
+type replay = {
+  rep_key : string;  (** exact key whose pulse was borrowed *)
+  correction_l : Paqoc_linalg.Cmat.t;  (** left local correction *)
+  correction_r : Paqoc_linalg.Cmat.t;  (** right local correction *)
+  rep_pulse : Pulse.t option;
+  target : Paqoc_linalg.Cmat.t;  (** the requesting group's unitary *)
+}
+
+(** [canonical_replays t] lists every class-tier hit taken since
+    creation, as [(requesting key, replay)], sorted by key. *)
+val canonical_replays : t -> (string * replay) list
+
 (** [generate t g] prices (and, on the QOC backend, synthesises) the pulse
     for group [g], consulting and updating the pulse database. Atomic:
     the whole call holds the generator's mutex, so concurrent callers

@@ -361,6 +361,10 @@ type compile_request = {
   max_n : int;
   top_k : int;
   jobs : int;
+  canonical : bool;
+      (** enable the equivalence-class cache tier for this request; only
+          serialised when [true], so frames to pre-canonicalization
+          daemons are byte-identical to before *)
   deadline_s : float option;
 }
 
@@ -374,6 +378,7 @@ let default_compile =
     max_n = 3;
     top_k = 1;
     jobs = 1;
+    canonical = false;
     deadline_s = None
   }
 
@@ -456,6 +461,7 @@ let request_to_json = function
          ("top_k", int_ c.top_k);
          ("jobs", int_ c.jobs)
        ]
+      @ (if c.canonical then [ ("canonical", Bool true) ] else [])
       @
       match c.deadline_s with
       | None -> []
@@ -518,6 +524,12 @@ let compile_request_of_json j =
   let* max_n = int_or "max_qubits" default_compile.max_n in
   let* top_k = int_or "top_k" default_compile.top_k in
   let* jobs = int_or "jobs" default_compile.jobs in
+  let* canonical =
+    match field "canonical" j with
+    | None -> Ok default_compile.canonical
+    | Some (Bool b) -> Ok b
+    | Some _ -> Error "field \"canonical\" must be a boolean"
+  in
   let* deadline_s =
     match field "deadline_s" j with
     | None -> Ok None
@@ -527,7 +539,7 @@ let compile_request_of_json j =
   Ok
     (Compile
        { circuit; scheme; search; backend; rows; cols; max_n; top_k; jobs;
-         deadline_s
+         canonical; deadline_s
        })
 
 let request_of_json j =

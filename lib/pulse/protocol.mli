@@ -89,6 +89,10 @@ type compile_request = {
   max_n : int;  (** the paper's maxN *)
   top_k : int;  (** the paper's topK *)
   jobs : int;  (** worker domains {e inside} this one compile (>= 1) *)
+  canonical : bool;
+      (** enable the shared cache's equivalence-class tier
+          ([--canonical-cache]); serialised only when [true], so frames
+          to daemons predating the field are unchanged *)
   deadline_s : float option;
       (** per-request budget in seconds, measured from admission; spent
           queueing counts. [None] uses the server's default. *)
@@ -96,7 +100,8 @@ type compile_request = {
 
 (** A compile request with the CLI's defaults ([bv] on the paper's 5x5
     grid, paqoc-m0, incremental search, model backend, maxN 3, topK 1,
-    jobs 1, no deadline) — override fields as needed. *)
+    jobs 1, canonicalization off, no deadline) — override fields as
+    needed. *)
 val default_compile : compile_request
 
 type request =

@@ -46,6 +46,9 @@ let handle ?cache ~deadline (req : Protocol.compile_request) =
     | Protocol.Model -> Gen.model_default ()
     | Protocol.Qoc -> Gen.qoc_default ()
   in
+  (* the generator is fresh, so this scopes the equivalence-class tier
+     to exactly this request — both the PAQOC and AccQOC paths *)
+  Gen.set_canonical gen req.Protocol.canonical;
   let stats0 = Option.map Cache.stats cache in
   let jobs = req.Protocol.jobs in
   let latency, esp, compile_seconds, episodes, fallbacks =

@@ -29,6 +29,8 @@ CACHE_RUN_FIELDS = {
     "cache_hits": int,
     "cache_misses": int,
     "hit_rate": (int, float),
+    "canonical_hits": int,
+    "canonical_hit_rate": (int, float),
     "per_benchmark": list,
 }
 
@@ -37,6 +39,7 @@ CACHE_PER_BENCHMARK_FIELDS = {
     "synthesized": int,
     "cache_hits": int,
     "hit_rate": (int, float),
+    "canonical_hits": int,
 }
 
 
@@ -75,6 +78,11 @@ def check_cache(path, doc, runs):
         phases.append(run["phase"])
         if not 0.0 <= run["hit_rate"] <= 1.0:
             fail(f"{path}: runs[{i}].hit_rate must be in [0,1]")
+        if not 0.0 <= run["canonical_hit_rate"] <= 1.0:
+            fail(f"{path}: runs[{i}].canonical_hit_rate must be in [0,1]")
+        if run["canonical_hits"] > run["cache_hits"]:
+            fail(f"{path}: runs[{i}].canonical_hits exceeds cache_hits — "
+                 f"class-tier hits are a subset of all hits")
         per = run["per_benchmark"]
         if len(per) != n:
             fail(f"{path}: runs[{i}].per_benchmark has {len(per)} entries, "

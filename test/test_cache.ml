@@ -7,6 +7,7 @@ module Db = Paqoc_pulse.Db_format
 module Gen = Paqoc_pulse.Generator
 module Faultin = Paqoc_pulse.Faultin
 module Suite = Paqoc_benchmarks.Suite
+module Canon = Paqoc_canon.Canon
 
 let entry ?(provenance = Db.Synthesized) lat =
   { Cache.latency = lat; error = 0.001; fidelity = 0.999; provenance }
@@ -339,5 +340,193 @@ let suite =
         check_float "warm latency identical" r0.Paqoc.latency
           r2.Paqoc.latency;
         check_true "warm database is byte-identical too"
-          (String.equal bytes0 bytes2))
+          (String.equal bytes0 bytes2));
+    case "v4 class records persist and reload" (fun () ->
+        with_tmp @@ fun path ->
+        let h = Canon.unitary_to_floats (Gate.unitary Gate.H) in
+        Cache.with_file path (fun c ->
+            Cache.publish c "1;h@0" (entry 40.0);
+            Cache.publish_class c
+              { Db.class_key = "1q:1570796"; n_qubits = 1; unitary = h;
+                rep_key = "1;h@0" };
+            check_int "one class held" 1 (Cache.n_classes c));
+        check_true "file upgraded to v4"
+          (String.sub (read_file path) 0 17 = "paqoc-pulse-db v4");
+        Cache.with_file path (fun c ->
+            check_int "class survives reopen" 1 (Cache.n_classes c);
+            match Cache.probe_class c "1q:1570796" with
+            | None -> Alcotest.fail "class record lost"
+            | Some ci ->
+              check_true "rep key survives" (ci.Db.rep_key = "1;h@0");
+              check_int "unitary floats survive" (Array.length h)
+                (Array.length ci.Db.unitary);
+              check_true "floats roundtrip exactly"
+                (Array.for_all2 ( = ) h ci.Db.unitary)));
+    case "first class publish upgrades a v3 file in place" (fun () ->
+        with_tmp @@ fun path ->
+        Cache.with_file path (fun c -> Cache.publish c "1;h@0" (entry 40.0));
+        check_true "starts as v3"
+          (String.sub (read_file path) 0 17 = "paqoc-pulse-db v3");
+        Cache.with_file path (fun c ->
+            Cache.publish_class c
+              { Db.class_key = "1q:0"; n_qubits = 1;
+                unitary = Canon.unitary_to_floats (Cmat.identity 2);
+                rep_key = "1;h@0" };
+            (* the upgrade is a compaction, visible before close *)
+            check_true "v4 header already on disk"
+              (String.sub (read_file path) 0 17 = "paqoc-pulse-db v4");
+            (* a duplicate class key is a no-op: first publisher wins *)
+            Cache.publish_class c
+              { Db.class_key = "1q:0"; n_qubits = 1;
+                unitary = Canon.unitary_to_floats (Cmat.identity 2);
+                rep_key = "9;other" };
+            check_int "duplicate not recorded" 1 (Cache.n_classes c);
+            match Cache.probe_class c "1q:0" with
+            | Some ci -> check_true "first rep kept" (ci.Db.rep_key = "1;h@0")
+            | None -> Alcotest.fail "class lost"));
+    case "malformed class sections load as typed errors" (fun () ->
+        with_tmp @@ fun path ->
+        let expect_error want body =
+          write_file path body;
+          try
+            ignore (Cache.open_file path);
+            Alcotest.failf "expected failure %S" want
+          with Failure msg ->
+            let contains s sub =
+              let n = String.length s and m = String.length sub in
+              let rec go i = i + m <= n
+                             && (String.sub s i m = sub || go (i + 1)) in
+              go 0
+            in
+            check_true
+              (Printf.sprintf "%S mentions %S" msg want)
+              (contains msg want)
+        in
+        expect_error "class record in a pre-v4 file"
+          "paqoc-pulse-db v3\nC 1q:0 1 1 0 0 0 0 0 1 0 k\n";
+        expect_error "bad class arity"
+          "paqoc-pulse-db v4\nC 1q:0 nine 1 0 0 0 0 0 1 0 k\n";
+        expect_error "bad class arity"
+          "paqoc-pulse-db v4\nC 1q:0 7 1 0 0 0 0 0 1 0 k\n";
+        expect_error "bad class float"
+          "paqoc-pulse-db v4\nC 1q:0 1 1 0 bogus 0 0 0 1 0 k\n";
+        expect_error "truncated class record"
+          "paqoc-pulse-db v4\nC 1q:0 1 1 0 0 0\n";
+        expect_error "bad C line" "paqoc-pulse-db v4\nC 2q:0\n");
+    case "v4 snapshots round-trip byte-stably" (fun () ->
+        with_tmp @@ fun path ->
+        Cache.with_file path (fun c ->
+            Cache.publish c "2;cx@0,1" (entry 96.0);
+            Cache.publish c "2;cz@0,1" (entry 96.0);
+            Cache.publish_shape c "2;cx@0,1";
+            Cache.publish_class c
+              { Db.class_key = "2q:0:0:1000000:0"; n_qubits = 2;
+                unitary = Canon.unitary_to_floats (Gate.unitary Gate.CX);
+                rep_key = "2;cx@0,1" });
+        let bytes1 = read_file path in
+        check_true "v4 header" (String.sub bytes1 0 17 = "paqoc-pulse-db v4");
+        (* open/close with no writes must not move a byte *)
+        Cache.with_file path (fun c ->
+            check_int "classes loaded" 1 (Cache.n_classes c));
+        check_true "reopen/close is byte-stable"
+          (String.equal bytes1 (read_file path));
+        (* and a fresh save of the loaded contents reproduces the bytes *)
+        with_tmp @@ fun snap ->
+        Cache.with_file path (fun c -> Cache.save c snap);
+        check_true "save reproduces the snapshot bytes"
+          (String.equal bytes1 (read_file snap)));
+    case "find_canonical consults both tiers with honest counters"
+      (fun () ->
+        let c = Cache.create () in
+        let rep_u = Gate.unitary Gate.H in
+        Cache.publish c "1;h@0" (entry 40.0);
+        Cache.publish_class c
+          { Db.class_key = "1q:1570796"; n_qubits = 1;
+            unitary = Canon.unitary_to_floats rep_u; rep_key = "1;h@0" };
+        let validate target ci =
+          match Canon.unitary_of_floats ~n_qubits:ci.Db.n_qubits
+                  ci.Db.unitary with
+          | Error _ -> None
+          | Ok rep -> Canon.relate ~rep ~target
+        in
+        (* exact tier *)
+        (match
+           Cache.find_canonical c ~key:"1;h@0"
+             ~class_key:(Some "1q:1570796")
+             ~validate:(validate (Gate.unitary Gate.SX))
+         with
+        | Cache.Hit_exact e -> check_float "exact entry" 40.0 e.Cache.latency
+        | _ -> Alcotest.fail "expected an exact hit");
+        (* class tier: SX is a class-mate of H *)
+        (match
+           Cache.find_canonical c ~key:"1;sx@0"
+             ~class_key:(Some "1q:1570796")
+             ~validate:(validate (Gate.unitary Gate.SX))
+         with
+        | Cache.Hit_class (e, ci, (l, r)) ->
+          check_float "replayed entry" 40.0 e.Cache.latency;
+          check_true "class record surfaced" (ci.Db.rep_key = "1;h@0");
+          check_mat_phase ~tol:1e-6 "correction verifies"
+            (Gate.unitary Gate.SX)
+            (Cmat.mul l (Cmat.mul rep_u r))
+        | _ -> Alcotest.fail "expected a class hit");
+        (* failed validation is an ordinary miss, not a hit *)
+        (match
+           Cache.find_canonical c ~key:"2;swap@0,1"
+             ~class_key:(Some "1q:1570796")
+             ~validate:(fun _ -> None)
+         with
+        | Cache.Tiered_miss -> ()
+        | _ -> Alcotest.fail "failed validation must miss");
+        (* unknown class key, and no class key at all *)
+        (match
+           Cache.find_canonical c ~key:"nope" ~class_key:(Some "1q:999")
+             ~validate:(fun _ -> None)
+         with
+        | Cache.Tiered_miss -> ()
+        | _ -> Alcotest.fail "unknown class must miss");
+        (match
+           Cache.find_canonical c ~key:"nope" ~class_key:None
+             ~validate:(fun _ -> None)
+         with
+        | Cache.Tiered_miss -> ()
+        | _ -> Alcotest.fail "no class key degrades to find");
+        let s = Cache.stats c in
+        check_int "hits: exact + class" 2 s.Cache.hits;
+        check_int "canonical subset" 1 s.Cache.canonical_hits;
+        check_int "misses: the three failures" 3 s.Cache.misses);
+    case "note_consult drives the same counters" (fun () ->
+        let c = Cache.create () in
+        Cache.note_consult c `Hit;
+        Cache.note_consult c `Canonical_hit;
+        Cache.note_consult c `Miss;
+        let s = Cache.stats c in
+        check_int "two hits" 2 s.Cache.hits;
+        check_int "one canonical" 1 s.Cache.canonical_hits;
+        check_int "one miss" 1 s.Cache.misses);
+    slow_case "canonical compile publishes classes; off mode stays v3"
+      (fun () ->
+        let physical =
+          (Suite.transpiled (Suite.find "bb84"))
+            .Paqoc_topology.Transpile.physical
+        in
+        with_tmp @@ fun off_path ->
+        Cache.with_file off_path (fun cache ->
+            let gen = Gen.model_default () in
+            ignore (Paqoc.compile ~cache gen physical);
+            check_int "off mode records no classes" 0 (Cache.n_classes cache);
+            check_int "off mode scores no canonical hits" 0
+              (Cache.stats cache).Cache.canonical_hits);
+        let off = read_file off_path in
+        check_true "off mode file stays v3"
+          (String.sub off 0 17 = "paqoc-pulse-db v3");
+        with_tmp @@ fun on_path ->
+        Cache.with_file on_path (fun cache ->
+            let gen = Gen.model_default () in
+            ignore (Paqoc.compile ~cache ~canonical:true gen physical);
+            check_true "classes published" (Cache.n_classes cache > 0);
+            check_true "in-batch class-mates replayed"
+              ((Cache.stats cache).Cache.canonical_hits > 0));
+        check_true "canonical file is v4"
+          (String.sub (read_file on_path) 0 17 = "paqoc-pulse-db v4"))
   ]

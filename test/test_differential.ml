@@ -8,6 +8,9 @@ module Gen = Paqoc_pulse.Generator
 module Pulse = Paqoc_pulse.Pulse
 module Sim = Paqoc_pulse.Simulator
 module Fidelity = Paqoc_linalg.Fidelity
+module Cache = Paqoc_pulse.Cache
+module Hamiltonian = Paqoc_pulse.Hamiltonian
+module Suite = Paqoc_benchmarks.Suite
 
 let group apps = fst (Gen.group_of_apps apps)
 
@@ -101,5 +104,146 @@ let suite =
           check_float "peek latency" o.Gen.latency p.Gen.latency;
           check_float "peek error" o.Gen.error p.Gen.error;
           check_true "peek provenance"
-            (p.Gen.provenance = o.Gen.provenance))
+            (p.Gen.provenance = o.Gen.provenance));
+    (* ---- canonicalization: replayed class-mate pulses ---- *)
+    slow_case "canonical replays re-simulate within 1e-6 (qoc)" (fun () ->
+        (* a class hit replays the representative's waveform under the
+           local-frame correction recorded alongside it; re-simulating
+           that corrected pulse against the CLASS-MATE's target must
+           reproduce the recorded fidelity (which is the representative's
+           — the trace fidelity is invariant under the correction) *)
+        let cache = Cache.create () in
+        let gen = Gen.qoc_default () in
+        Gen.set_shared_cache gen (Some cache);
+        Gen.set_canonical gen true;
+        let groups =
+          [ group [ Gate.app1 Gate.H 0 ];
+            group [ Gate.app1 Gate.SX 0 ];
+            group [ Gate.app2 Gate.CX 0 1 ];
+            group [ Gate.app2 Gate.CZ 0 1 ];
+            group
+              [ Gate.app1 Gate.T 0; Gate.app1 Gate.H 1;
+                Gate.app2 Gate.CX 0 1; Gate.app1 Gate.SX 1 ]
+          ]
+        in
+        ignore (Gen.generate_batch ~jobs:1 gen groups);
+        let replays = Gen.canonical_replays gen in
+        (* SX replays H; CZ and the dressed block replay CX *)
+        check_int "three class-mates replayed" 3 (List.length replays);
+        List.iter
+          (fun g ->
+            match List.assoc_opt (Gen.key g) replays with
+            | None -> () (* a representative, not a replay *)
+            | Some rp -> (
+              let o =
+                match Gen.peek gen g with
+                | Some o -> o
+                | None -> Alcotest.fail "replayed outcome not committed"
+              in
+              check_true "committed as a cache hit" o.Gen.cache_hit;
+              check_mat_phase ~tol:1e-9 "recorded target is the group's"
+                (Gate.unitary_of_apps ~n_qubits:g.Gen.n_qubits g.Gen.gates)
+                rp.Gen.target;
+              match rp.Gen.rep_pulse with
+              | None -> Alcotest.fail "replay carries no waveform"
+              | Some p ->
+                let u_p = Pulse.propagator (Gen.hamiltonian_of g) p in
+                let corrected =
+                  Cmat.mul rp.Gen.correction_l
+                    (Cmat.mul u_p rp.Gen.correction_r)
+                in
+                let f = Fidelity.gate_fidelity rp.Gen.target corrected in
+                let drift = abs_float (f -. o.Gen.fidelity) in
+                check_true
+                  (Printf.sprintf
+                     "%s: recorded %.8f vs replayed %.8f (drift %.2e)"
+                     (Gen.key g) o.Gen.fidelity f drift)
+                  (drift < 1e-6)))
+          groups);
+    slow_case "bb84 canonical compile: every replayed pulse re-simulates"
+      (fun () ->
+        (* end-to-end through Paqoc.compile with --canonical-cache
+           semantics: bb84's merged 1q groups collapse to a few classes,
+           so the batch replays class-mates of pulses synthesized moments
+           earlier. Each replay must survive re-simulation. *)
+        let physical =
+          (Suite.transpiled (Suite.find "bb84"))
+            .Paqoc_topology.Transpile.physical
+        in
+        let cache = Cache.create () in
+        let gen = Gen.qoc_default () in
+        ignore (Paqoc.compile ~cache ~canonical:true gen physical);
+        let replays = Gen.canonical_replays gen in
+        check_true "bb84 replayed at least one class-mate"
+          (List.length replays > 0);
+        List.iter
+          (fun (key, rp) ->
+            check_int "bb84 replays are 1-qubit" 2 (Cmat.rows rp.Gen.target);
+            let rep =
+              match Cache.probe cache rp.Gen.rep_key with
+              | Some e -> e
+              | None -> Alcotest.failf "%s: representative not published" key
+            in
+            match rp.Gen.rep_pulse with
+            | None -> Alcotest.failf "%s: replay carries no waveform" key
+            | Some p ->
+              let h =
+                Hamiltonian.make ~n_qubits:1 ~coupled_pairs:[] ()
+              in
+              let corrected =
+                Cmat.mul rp.Gen.correction_l
+                  (Cmat.mul (Pulse.propagator h p) rp.Gen.correction_r)
+              in
+              let f = Fidelity.gate_fidelity rp.Gen.target corrected in
+              let drift = abs_float (f -. rep.Cache.fidelity) in
+              check_true
+                (Printf.sprintf
+                   "%s: recorded %.8f vs replayed %.8f (drift %.2e)" key
+                   rep.Cache.fidelity f drift)
+                (drift < 1e-6))
+          replays);
+    slow_case "canonical publishes are jobs-invariant over the suite"
+      (fun () ->
+        (* the v4 class section must be byte-identical between --jobs 1
+           and --jobs 4, and so must every compile result row: the
+           first-publisher-wins representative choice may not depend on
+           worker scheduling *)
+        let with_tmp f =
+          let path = Filename.temp_file "paqoc_canon_suite" ".db" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () -> f path)
+        in
+        let read_file path =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let run jobs path =
+          let rows =
+            Cache.with_file path (fun cache ->
+                List.map
+                  (fun e ->
+                    let gen = Gen.model_default () in
+                    let r =
+                      Paqoc.compile ~cache ~canonical:true ~jobs gen
+                        (Suite.transpiled e).Paqoc_topology.Transpile
+                          .physical
+                    in
+                    (e.Suite.name, r.Paqoc.latency, r.Paqoc.esp,
+                     r.Paqoc.pulses_generated))
+                  Suite.all)
+          in
+          (rows, read_file path)
+        in
+        with_tmp @@ fun p1 ->
+        with_tmp @@ fun p4 ->
+        let rows1, bytes1 = run 1 p1 in
+        let rows4, bytes4 = run 4 p4 in
+        check_true "result rows identical across jobs" (rows1 = rows4);
+        check_true "cache bytes identical across jobs"
+          (String.equal bytes1 bytes4);
+        check_true "the suite cache is a v4 file"
+          (String.sub bytes1 0 17 = "paqoc-pulse-db v4"))
   ]

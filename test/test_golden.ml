@@ -25,6 +25,7 @@ let resolve name =
 
 let golden_path = resolve "latency_table.txt"
 let grape_golden_path = resolve "grape_amplitudes.txt"
+let canon_golden_path = resolve "canon_hit_rates.txt"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,6 +90,61 @@ let suite =
              if intentional):@.%s"
             (first_diff 1 (gl, cl))
         end);
+    slow_case "canonical hit-rate table matches the golden file" (fun () ->
+        let golden = read_file canon_golden_path in
+        let computed =
+          Paqoc_benchmarks.Canon_table.(render (compute ()))
+        in
+        if not (String.equal golden computed) then begin
+          let module CT = Paqoc_benchmarks.Canon_table in
+          let gr = CT.parse golden and cr = CT.parse computed in
+          let moved =
+            if List.length gr <> List.length cr then
+              [ Printf.sprintf "row count %d -> %d" (List.length gr)
+                  (List.length cr) ]
+            else
+              List.concat
+                (List.map2
+                   (fun (g : CT.row) (c : CT.row) ->
+                     if g = c then []
+                     else
+                       [ Printf.sprintf
+                           "%s: synthesized %d -> %d, hits %d -> %d, \
+                            canonical %d -> %d"
+                           g.CT.name g.CT.synthesized c.CT.synthesized
+                           g.CT.hits c.CT.hits g.CT.canonical_hits
+                           c.CT.canonical_hits ])
+                   gr cr)
+          in
+          Alcotest.failf
+            "canonical hit rates drifted (run `make update-golden` if \
+             intentional):@.%s"
+            (String.concat "\n" moved)
+        end);
+    case "canonical golden holds the paper's reuse targets" (fun () ->
+        (* the acceptance floor lives in the pinned file itself: the cold
+           cross-benchmark hit rate must stay >= 30%, qft > 20%, and the
+           once-0%% benchmarks (supre, bb84) must keep reusing pulses *)
+        let module CT = Paqoc_benchmarks.Canon_table in
+        let rows = CT.parse (read_file canon_golden_path) in
+        check_int "seventeen rows" 17 (List.length rows);
+        let synth = List.fold_left (fun a r -> a + r.CT.synthesized) 0 rows in
+        let hits = List.fold_left (fun a r -> a + r.CT.hits) 0 rows in
+        let overall = float_of_int hits /. float_of_int (hits + synth) in
+        check_true
+          (Printf.sprintf "overall cold hit rate %.3f >= 0.30" overall)
+          (overall >= 0.30);
+        let rate name =
+          CT.hit_rate (List.find (fun r -> r.CT.name = name) rows)
+        in
+        check_true "qft > 20%" (rate "qft" > 0.20);
+        check_true "supre > 0%" (rate "supre" > 0.0);
+        check_true "bb84 > 0%" (rate "bb84" > 0.0);
+        List.iter
+          (fun (r : CT.row) ->
+            check_true (r.CT.name ^ " canonical subset of hits")
+              (r.CT.canonical_hits <= r.CT.hits))
+          rows);
     case "golden file parses and covers all seventeen benchmarks" (fun () ->
         let rows = LT.parse (read_file golden_path) in
         check_int "seventeen rows" 17 (List.length rows);

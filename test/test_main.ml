@@ -23,5 +23,6 @@ let () =
       ("search", Test_search.suite);
       ("golden", Test_golden.suite);
       ("cache", Test_cache.suite);
+      ("canon", Test_canon.suite);
       ("server", Test_server.suite)
     ]

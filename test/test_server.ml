@@ -80,6 +80,7 @@ let sample_requests =
         max_n = 4;
         top_k = 2;
         jobs = 3;
+        canonical = true;
         deadline_s = Some 1.5
       } ]
 

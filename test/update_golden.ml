@@ -12,12 +12,15 @@ let write path contents =
   Sys.rename tmp path
 
 let () =
-  let latency_path, grape_path =
+  let latency_path, grape_path, canon_path =
     match Sys.argv with
-    | [| _; latency |] -> (Some latency, None)
-    | [| _; latency; grape |] -> (Some latency, Some grape)
+    | [| _; latency |] -> (Some latency, None, None)
+    | [| _; latency; grape |] -> (Some latency, Some grape, None)
+    | [| _; latency; grape; canon |] ->
+      (Some latency, Some grape, Some canon)
     | _ ->
-      prerr_endline "usage: update_golden LATENCY_FILE [GRAPE_FILE]";
+      prerr_endline
+        "usage: update_golden LATENCY_FILE [GRAPE_FILE] [CANON_FILE]";
       exit 2
   in
   Option.iter
@@ -35,4 +38,13 @@ let () =
       write path golden;
       Printf.printf "wrote %s (%d lines)\n" path
         (List.length (String.split_on_char '\n' golden) - 1))
-    grape_path
+    grape_path;
+  Option.iter
+    (fun path ->
+      let table =
+        Paqoc_benchmarks.Canon_table.(render (compute ()))
+      in
+      write path table;
+      Printf.printf "wrote %s (%d benchmarks)\n" path
+        (List.length (String.split_on_char '\n' table) - 5))
+    canon_path
