@@ -28,14 +28,26 @@ check:
 	  || (echo "check: canonical compile published no class records" \
 	      && exit 1)
 	@rm -f /tmp/paqoc_canon.db
+	@rm -f /tmp/paqoc_sweep.plan
+	dune exec bin/paqoc_cli.exe -- compile-sweep qaoa --sweep 2 \
+	  --plan /tmp/paqoc_sweep.plan > /dev/null
+	@head -1 /tmp/paqoc_sweep.plan | grep -q 'paqoc-plan v1' \
+	  || (echo "check: sweep left no plan sidecar" && exit 1)
+	@dune exec bin/paqoc_cli.exe -- compile-sweep qaoa --sweep 2 \
+	  --plan /tmp/paqoc_sweep.plan | grep -q 'interp hit rate 100.0%' \
+	  || (echo "check: warm sweep recompile not all interp hits" && exit 1)
+	@rm -f /tmp/paqoc_sweep.plan
 	$(MAKE) check-daemon
 
 # Daemon round trip: serve in the background, compile the suite through
-# it cold and warm, hold the client table byte-identical to the
-# in-process one, then SIGTERM and require a clean drain — exit 0 and a
-# compacted cache file (pure snapshot, no '+' journal tail) whose bytes
-# match the in-process run's. The banner lines are the one permitted
-# difference (they name the transport), so they are filtered first.
+# it cold and warm plus one sweep, hold the client tables byte-identical
+# to the in-process ones, then SIGTERM and require a clean drain — exit
+# 0 and a compacted cache file (pure snapshot, no '+' journal tail)
+# whose bytes match the in-process run's (the daemon's sweep freeze
+# publishes its anchor pulses, so the same sweep is mirrored into the
+# in-process cache before comparing). The banner lines are the one
+# permitted difference (they name the transport), so they are filtered
+# first.
 check-daemon:
 	dune build bin/paqoc_cli.exe
 	@rm -f /tmp/paqoc_dm.sock /tmp/paqoc_dm.db /tmp/paqoc_dm_inproc.db
@@ -68,6 +80,19 @@ check-daemon:
 	grep -q 'hit rate 100.0%' /tmp/paqoc_dm_warm.txt \
 	  || { echo "check-daemon: warm daemon suite not all cache hits"; \
 	       kill $$pid; exit 1; }; \
+	_build/default/bin/paqoc_cli.exe compile-sweep qaoa --sweep 2 \
+	  | grep -v '^sweeping' > /tmp/paqoc_dm_sweep_local.txt \
+	  || { kill $$pid; exit 1; }; \
+	_build/default/bin/paqoc_cli.exe compile-sweep qaoa --sweep 2 \
+	  --cache /tmp/paqoc_dm_inproc.db > /dev/null \
+	  || { kill $$pid; exit 1; }; \
+	_build/default/bin/paqoc_cli.exe compile-sweep qaoa --sweep 2 \
+	  --connect /tmp/paqoc_dm.sock \
+	  | grep -v '^sweeping' > /tmp/paqoc_dm_sweep.txt \
+	  || { kill $$pid; exit 1; }; \
+	diff /tmp/paqoc_dm_sweep_local.txt /tmp/paqoc_dm_sweep.txt \
+	  || { echo "check-daemon: daemon sweep table diverged from in-process"; \
+	       kill $$pid; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; rc=$$?; \
 	[ $$rc = 0 ] \
 	  || { echo "check-daemon: daemon exit $$rc after SIGTERM"; exit 1; }; \
@@ -78,7 +103,8 @@ check-daemon:
 	  || { echo "check-daemon: daemon cache bytes diverged"; exit 1; }
 	@rm -f /tmp/paqoc_dm.sock /tmp/paqoc_dm.db /tmp/paqoc_dm_inproc.db \
 	  /tmp/paqoc_dm_inproc.txt /tmp/paqoc_dm_cold.txt /tmp/paqoc_dm_warm.txt \
-	  /tmp/paqoc_dm_serve.txt
+	  /tmp/paqoc_dm_serve.txt /tmp/paqoc_dm_sweep.txt \
+	  /tmp/paqoc_dm_sweep_local.txt
 	@echo "check-daemon: daemon table and cache byte-identical; clean drain"
 
 # Render the API docs with odoc. Skipped with a notice when odoc is not
@@ -93,14 +119,15 @@ doc:
 	fi
 
 # Refresh the pinned goldens (test/golden/): the 17-benchmark latency
-# table, the GRAPE bit-determinism reference and the per-benchmark
-# canonical hit-rate table. Run after an intentional change to latencies,
-# episode counts, GRAPE arithmetic or the canonicalization invariants,
-# and commit the result; the golden tests render through the same code
-# paths.
+# table, the GRAPE bit-determinism reference, the per-benchmark canonical
+# hit-rate table and the 32-point variational sweep table. Run after an
+# intentional change to latencies, episode counts, GRAPE arithmetic, the
+# canonicalization invariants or the parametric fast path, and commit the
+# result; the golden tests render through the same code paths.
 update-golden:
 	dune exec test/update_golden.exe -- test/golden/latency_table.txt \
-	  test/golden/grape_amplitudes.txt test/golden/canon_hit_rates.txt
+	  test/golden/grape_amplitudes.txt test/golden/canon_hit_rates.txt \
+	  test/golden/sweep_table.txt
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:
@@ -123,7 +150,8 @@ bench-smoke:
 	@python3 scripts/check_bench_schema.py BENCH_cache.json
 	@rm -f /tmp/paqoc_bench_cache_smoke.json
 	@python3 scripts/check_bench_schema.py BENCH_serve.json
-	@echo "bench-smoke: BENCH_grape, BENCH_cache and BENCH_serve schemas OK"
+	@python3 scripts/check_bench_schema.py BENCH_sweep.json
+	@echo "bench-smoke: BENCH_grape, BENCH_cache, BENCH_serve and BENCH_sweep schemas OK"
 
 # Reference-vs-incremental search trajectory: compiles the 17-benchmark
 # suite cold and warm with both search implementations, refuses to emit
@@ -175,9 +203,19 @@ check-search-golden:
 	  /tmp/paqoc_sg_inc4.txt
 	@echo "check-search-golden: reference == incremental (jobs 1 and 4)"
 
+# Variational fast-path trajectory: a 32-point qaoa sweep through the
+# frozen-plan recompile (gated at 10x the full per-iteration recompile)
+# plus the QOC drift gates — strict 1e-6 (over-drift interpolations must
+# fall back) and loose 1e-2 (accepted interpolations re-simulate to
+# their recorded fidelities). Refuses to emit on a violated gate; run
+# after a fast-path change and commit the JSON.
+bench-sweep:
+	dune exec bench/micro_main.exe -- --bench-sweep
+	@python3 scripts/check_bench_schema.py BENCH_sweep.json
+
 # Full evaluation harness (tables, figures, bechamel kernels).
 bench:
 	dune exec bench/main.exe
 
 .PHONY: check check-daemon doc bench bench-scaling bench-smoke \
-  bench-search bench-serve check-search-golden update-golden
+  bench-search bench-serve bench-sweep check-search-golden update-golden

@@ -38,7 +38,16 @@
                                                      warm hit rate and the
                                                      lazy-pool jobs-4 gate
                                                      (default
-                                                     BENCH_serve.json) *)
+                                                     BENCH_serve.json)
+     dune exec bench/micro_main.exe -- --bench-sweep[=PATH]
+                                                  -- emit the variational
+                                                     fast-path entry:
+                                                     per-iteration speedup
+                                                     vs full recompile,
+                                                     interp hit rate and
+                                                     the QOC drift gate
+                                                     (default
+                                                     BENCH_sweep.json) *)
 
 let flag_value name args =
   let eq = "--" ^ name ^ "=" in
@@ -60,6 +69,7 @@ let () =
   let bench_cache = flag_value "bench-cache" args in
   let bench_search = flag_value "bench-search" args in
   let bench_serve = flag_value "bench-serve" args in
+  let bench_sweep = flag_value "bench-sweep" args in
   let phase = Option.join (flag_value "phase" args) in
   let iters = Option.bind (Option.join (flag_value "iters" args))
       int_of_string_opt in
@@ -70,12 +80,17 @@ let () =
     | [] -> [ 1; 2; 4 ]
     | ws -> ws
   in
-  (match (bench_serve, bench_search, bench_cache, bench_grape, bench_json) with
-  | Some path, _, _, _, _ -> Serve.run_bench_serve ?path ()
-  | None, Some path, _, _, _ -> Search.run_bench_search ?path ()
-  | None, None, Some path, _, _ -> Micro.run_bench_cache ?path ()
-  | None, None, None, Some path, _ ->
+  (match
+     (bench_sweep, bench_serve, bench_search, bench_cache, bench_grape,
+      bench_json)
+   with
+  | Some path, _, _, _, _, _ -> Sweep.run_bench_sweep ?path ()
+  | None, Some path, _, _, _, _ -> Serve.run_bench_serve ?path ()
+  | None, None, Some path, _, _, _ -> Search.run_bench_search ?path ()
+  | None, None, None, Some path, _, _ -> Micro.run_bench_cache ?path ()
+  | None, None, None, None, Some path, _ ->
     Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
-  | None, None, None, None, Some path -> Micro.run_bench_json ?path ~workers ()
-  | None, None, None, None, None -> Micro.run_scaling ~workers ());
+  | None, None, None, None, None, Some path ->
+    Micro.run_bench_json ?path ~workers ()
+  | None, None, None, None, None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

@@ -5,6 +5,8 @@
      compile       transpile + compile a benchmark or QASM file under a scheme
      compile-suite batch-compile every Table I benchmark against one shared
                    pulse cache
+     compile-sweep recompile a parameterised benchmark across a sweep of
+                   angles through the frozen-plan fast path
      mine          show the frequent subcircuits of a circuit
      benchmarks    list the built-in Table I benchmarks
      pulse         run GRAPE for a named gate and print the waveform summary *)
@@ -270,8 +272,20 @@ let rpc_compile fd req =
   | Protocol.Refused e ->
     Printf.eprintf "error: %s\n" (refusal_to_string e);
     exit (refusal_exit e)
-  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Shutdown_ack ->
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Shutdown_ack
+  | Protocol.Sweep _ ->
     Printf.eprintf "error: unexpected daemon response to a compile\n";
+    exit 1
+
+let rpc_sweep fd req =
+  match Server.rpc fd (Protocol.Recompile req) with
+  | Protocol.Sweep s -> s
+  | Protocol.Refused e ->
+    Printf.eprintf "error: %s\n" (refusal_to_string e);
+    exit (refusal_exit e)
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Shutdown_ack
+  | Protocol.Result _ ->
+    Printf.eprintf "error: unexpected daemon response to a sweep\n";
     exit 1
 
 let connect_arg =
@@ -650,6 +664,268 @@ let compile_suite_cmd =
       $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
+(* compile-sweep                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Variational sweep over a parameterised benchmark: freeze the compile
+   plan once, then serve every iteration through the parametric fast
+   path (anchor interpolation with drift-checked fallback). The angle
+   vectors are always generated client-side — seeded or from a file — so
+   the in-process and --connect paths answer the exact same request. *)
+let compile_sweep_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Parameterised sweep benchmark ($(b,qaoa), $(b,vqe), \
+             $(b,dnn)) or a QASM file (which, having no symbolic \
+             angles, degenerates to all-static slots).")
+  in
+  let sweep_n =
+    Arg.(
+      value & opt int 8
+      & info [ "sweep" ] ~docv:"N"
+          ~doc:
+            "Number of seeded sweep iterations (ignored when \
+             $(b,--angles-file) is given).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"S" ~doc:"Seed for the generated sweep angles.")
+  in
+  let angles_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "angles-file" ] ~docv:"FILE"
+          ~doc:
+            "Explicit sweep iterations, one per line: whitespace-separated \
+             $(i,param=value) bindings (blank lines and $(b,#) comments \
+             ignored). Overrides $(b,--sweep).")
+  in
+  let interp_tol =
+    Arg.(
+      value & opt float 1e-6
+      & info [ "interp-tol" ] ~docv:"T"
+          ~doc:
+            "Max |predicted - resimulated| trace-fidelity drift accepted \
+             from an interpolated pulse; beyond it the slot falls back to \
+             real synthesis (and adopts the result as a new anchor).")
+  in
+  let anchors =
+    Arg.(
+      value & opt int 5
+      & info [ "anchors" ] ~docv:"N"
+          ~doc:"Seeded anchor angles per parameter slot (>= 2).")
+  in
+  let device =
+    Arg.(
+      value & opt string "5x5"
+      & info [ "d"; "device" ] ~docv:"RxC"
+          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the freeze's anchor batch (deterministic: \
+             any N produces the same plan bytes as N=1).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("model", `Model); ("qoc", `Qoc) ]) `Model
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Pulse engine: $(b,model) (analytic latency model, instant) or \
+             $(b,qoc) (real GRAPE searches; slow, small circuits only).")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Plan-persistence sidecar (paqoc-plan v1): the frozen compile \
+             plan is loaded from $(docv) when it exists and saved back \
+             after the sweep, so fallback-adopted anchors survive across \
+             runs. In-process only.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-seconds" ] ~docv:"S"
+          ~doc:
+            "Whole-sweep wall-clock budget, checked before every \
+             iteration (exit 124). With $(b,--connect) the budget travels \
+             with the request and is enforced by the daemon (queue time \
+             counts).")
+  in
+  let parse_angles_file path =
+    let parse_binding lineno tok =
+      match String.index_opt tok '=' with
+      | Some i when i > 0 -> (
+        let name = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match float_of_string_opt v with
+        | Some v -> (name, v)
+        | None ->
+          Printf.eprintf "error: %s:%d: bad angle value in %s\n" path lineno
+            tok;
+          exit 1)
+      | _ ->
+        Printf.eprintf
+          "error: %s:%d: expected param=value bindings, got %s\n" path
+          lineno tok;
+        exit 1
+    in
+    let lines =
+      try In_channel.with_open_text path In_channel.input_lines
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let iterations =
+      List.concat
+        (List.mapi
+           (fun i line ->
+             let line = String.trim line in
+             if line = "" || line.[0] = '#' then []
+             else
+               [ List.map
+                   (parse_binding (i + 1))
+                   (List.filter
+                      (fun t -> t <> "")
+                      (String.split_on_char ' ' line)) ])
+           lines)
+    in
+    if iterations = [] then begin
+      Printf.eprintf "error: %s holds no sweep iterations\n" path;
+      exit 1
+    end;
+    iterations
+  in
+  let sweep_circuit input =
+    if Sys.file_exists input then Qasm.parse_file input
+    else
+      match Suite.sweep_find input with
+      | e -> e.Suite.sweep_build ()
+      | exception Not_found ->
+        Printf.eprintf
+          "error: %s is neither a QASM file nor a sweep benchmark \
+           (expected one of: %s)\n"
+          input
+          (String.concat ", "
+             (List.map (fun e -> e.Suite.sweep_name) Suite.sweeps));
+        exit 1
+  in
+  let print_sweep (s : Protocol.sweep_result) =
+    Printf.printf "sweep plan      : %d free parameters, %d anchors, %d \
+                   slots (%d static / %d param / %d multi)\n"
+      (List.length s.Protocol.sweep_params)
+      (List.length s.Protocol.anchor_values)
+      (s.Protocol.static_slots + s.Protocol.param_slots
+     + s.Protocol.multi_slots)
+      s.Protocol.static_slots s.Protocol.param_slots s.Protocol.multi_slots;
+    print_string Service.sweep_header;
+    List.iteri
+      (fun i it -> print_string (Service.sweep_row i it))
+      s.Protocol.iterations;
+    print_string (Service.sweep_totals s)
+  in
+  let run input sweep_n seed angles_file interp_tol anchors device jobs
+      backend cache_file plan connect deadline_s inject metrics trace =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    if anchors < 2 then begin
+      Printf.eprintf "error: --anchors must be >= 2 (got %d)\n" anchors;
+      exit 1
+    end;
+    if interp_tol <= 0.0 then begin
+      Printf.eprintf "error: --interp-tol must be > 0 (got %g)\n" interp_tol;
+      exit 1
+    end;
+    let rows, cols = grid_of_spec device in
+    (* angles are generated client-side in both transports: the circuit's
+       free parameters are a pure function of the benchmark, so the
+       daemon request carries exactly the bindings an in-process run
+       would use *)
+    let angles =
+      match angles_file with
+      | Some path -> parse_angles_file path
+      | None ->
+        let params = Circuit.free_params (sweep_circuit input) in
+        Paqoc.Variational.sweep_angles ~seed ~n:sweep_n params
+    in
+    let req =
+      { Protocol.rc_circuit = proto_circuit input;
+        rc_backend = proto_backend backend;
+        rc_rows = rows;
+        rc_cols = cols;
+        rc_jobs = jobs;
+        rc_anchors = anchors;
+        rc_interp_tol = interp_tol;
+        rc_angles = angles;
+        rc_deadline_s = deadline_s
+      }
+    in
+    match connect with
+    | Some sock ->
+      reject_with_connect
+        [ ("--cache", cache_file <> None); ("--plan", plan <> None);
+          ("--inject", inject <> None) ];
+      with_observability ~metrics ~trace @@ fun () ->
+      Printf.printf "sweeping %s via daemon %s (%d iterations)\n" input sock
+        (List.length angles);
+      (try
+         Server.with_connection sock (fun fd ->
+             print_sweep (rpc_sweep fd req))
+       with Failure msg ->
+         Printf.eprintf "error: %s\n" msg;
+         exit 1)
+    | None -> (
+      arm_injection inject;
+      with_observability ~metrics ~trace @@ fun () ->
+      with_cache cache_file @@ fun cache ->
+      Printf.printf "sweeping %s on %s (%d iterations, tol %g%s)\n" input
+        device (List.length angles) interp_tol
+        (match plan with
+        | Some p -> Printf.sprintf ", plan %s" p
+        | None -> "");
+      let deadline = Option.map (fun s -> Clock.now_s () +. s) deadline_s in
+      match Service.sweep_handle ?cache ?plan_path:plan ~deadline req with
+      | s -> print_sweep s
+      | exception Protocol.Deadline_exceeded ->
+        Printf.eprintf "error: deadline exceeded\n";
+        exit 124
+      | exception Paqoc.Variational.Unbound_parameters missing ->
+        Printf.eprintf "error: sweep bindings miss plan parameters: %s\n"
+          (String.concat ", " missing);
+        exit 1
+      | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "compile-sweep"
+       ~doc:
+         "Sweep a parameterised benchmark through the variational fast \
+          path: freeze the compile plan once, then recompile every \
+          iteration by anchor interpolation with drift-checked fallback \
+          to real synthesis.")
+    Term.(
+      const run $ input $ sweep_n $ seed $ angles_file $ interp_tol
+      $ anchors $ device $ jobs $ backend $ cache_arg $ plan_arg
+      $ connect_arg $ deadline_arg $ inject_arg $ metrics_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* mine                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -909,7 +1185,11 @@ let serve_cmd =
       }
     in
     let t =
-      try Server.create ?cache ~on_close config (Service.handler ?cache ())
+      try
+        Server.create ?cache ~on_close
+          ~sweep:(Service.sweep_handler ?cache ())
+          config
+          (Service.handler ?cache ())
       with Failure msg ->
         Printf.eprintf "error: %s\n" msg;
         (match cache with
@@ -967,5 +1247,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paqoc" ~doc)
-          [ compile_cmd; compile_suite_cmd; serve_cmd; stop_cmd; mine_cmd;
-            benchmarks_cmd; pulse_cmd ]))
+          [ compile_cmd; compile_suite_cmd; compile_sweep_cmd; serve_cmd;
+            stop_cmd; mine_cmd; benchmarks_cmd; pulse_cmd ]))

@@ -2,15 +2,19 @@ module Gate = Paqoc_circuit.Gate
 module Circuit = Paqoc_circuit.Circuit
 module Angle = Paqoc_circuit.Angle
 
-let circuit ?(seed = 3) ?(blocks = 24) ~n () =
+let circuit ?(symbolic = false) ?(seed = 3) ?(blocks = 24) ~n () =
   if n < 3 then invalid_arg "Dnn.circuit: need at least 3 qubits";
   let rng = Random.State.make [| seed; n; blocks |] in
+  let angle b q =
+    if symbolic then Angle.Sym (Printf.sprintf "w%d_%d" b q)
+    else Angle.const (Random.State.float rng 6.28)
+  in
   let gates = ref [] in
   let push g = gates := g :: !gates in
-  for _b = 0 to blocks - 1 do
+  for b = 0 to blocks - 1 do
     (* rotation layer *)
     for q = 0 to n - 1 do
-      push (Gate.app1 (Gate.RY (Angle.const (Random.State.float rng 6.28))) q)
+      push (Gate.app1 (Gate.RY (angle b q)) q)
     done;
     (* dense entangler: every ordered non-adjacent pair (8 qubits -> 42
        CXs per block, the all-to-all coupling a dense QNN layer needs) *)

@@ -1,6 +1,10 @@
 (** A dense quantum-neural-network ansatz: repeated blocks of per-qubit RY
     rotations followed by a dense CX entangling schedule, matching the
     gate-mix scale of the paper's [dnn] benchmark (8 qubits, ~1200 gates,
-    heavily two-qubit dominated). *)
+    heavily two-qubit dominated). With [symbolic = true] every rotation is
+    a named weight parameter [w<block>_<qubit>] — the training-loop shape
+    {!Paqoc.Variational}'s sweep fast path targets. *)
 
-val circuit : ?seed:int -> ?blocks:int -> n:int -> unit -> Paqoc_circuit.Circuit.t
+val circuit :
+  ?symbolic:bool -> ?seed:int -> ?blocks:int -> n:int -> unit ->
+  Paqoc_circuit.Circuit.t

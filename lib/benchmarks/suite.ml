@@ -92,6 +92,34 @@ let find name =
   | Some e -> e
   | None -> raise Not_found
 
+type sweep_entry = {
+  sweep_name : string;
+  sweep_description : string;
+  sweep_build : unit -> Circuit.t;
+}
+
+let sweeps =
+  [ { sweep_name = "qaoa";
+      sweep_description = "QAOA maxcut, symbolic gamma/beta angles";
+      sweep_build = (fun () -> Qaoa.circuit ~symbolic:true ~n:10 ~p:3 ())
+    };
+    { sweep_name = "vqe";
+      sweep_description = "hardware-efficient VQE ansatz, symbolic angles";
+      sweep_build = (fun () -> Vqe.circuit ~symbolic:true ~n:8 ~layers:3 ())
+    };
+    { sweep_name = "dnn";
+      sweep_description = "dense QNN ansatz, symbolic weights";
+      sweep_build = (fun () -> Dnn.circuit ~symbolic:true ~n:4 ~blocks:2 ())
+    }
+  ]
+
+let sweep_find name =
+  match
+    List.find_opt (fun e -> String.equal e.sweep_name name) sweeps
+  with
+  | Some e -> e
+  | None -> raise Not_found
+
 let table2_names =
   [ "4gt10-v1_81"; "decod24-v1_41"; "hwb4_49"; "rd32_270"; "bb84"; "simon" ]
 

@@ -22,6 +22,23 @@ val extras : entry list
 (** [find name] — @raise Not_found on unknown names. *)
 val find : string -> entry
 
+(** A parameterised (symbolic-angle) benchmark served by the variational
+    sweep fast path ([compile-sweep], [--bench-sweep], the sweep golden).
+    The build yields the {e logical} symbolic circuit; callers transpile
+    and {!Paqoc.Variational.freeze} it themselves. *)
+type sweep_entry = {
+  sweep_name : string;
+  sweep_description : string;
+  sweep_build : unit -> Paqoc_circuit.Circuit.t;
+}
+
+(** The three parameterised sweep benchmarks: [qaoa] (10 qubits, 6
+    angles), [vqe] (8 qubits, 64 angles), [dnn] (4 qubits, 8 weights). *)
+val sweeps : sweep_entry list
+
+(** [sweep_find name] — @raise Not_found on unknown names. *)
+val sweep_find : string -> sweep_entry
+
 (** The six benchmarks the paper pulse-simulates in Table II. *)
 val table2_names : string list
 

@@ -1,0 +1,36 @@
+(** The pinned 32-point variational sweep table.
+
+    Computes, renders and parses the golden regression table for the
+    parametric fast path: the qaoa sweep benchmark on the paper's 5x5
+    grid is frozen once (model backend, 5 anchors) and driven through
+    {!Paqoc.Variational.recompile} over the seeded 32-point angle sweep
+    every other consumer uses (seed 11, {!Paqoc.Variational.sweep_angles}).
+    Each row pins one iteration's latency, ESP and interp/fallback/resynth
+    accounting, so any change to the anchor grid, the interpolation rule,
+    the fallback policy or the slot pricing moves a byte here. The golden
+    test compares {!render}[ (compute ())] byte-for-byte against the
+    checked-in file; [make update-golden] refreshes it through the same
+    code path. *)
+
+type row = {
+  iter : int;
+  latency : float;
+  esp : float;
+  interp : int;
+  fallback : int;
+  resynth : int;
+}
+
+(** [compute ()] freezes a fresh plan and replays the seeded sweep,
+    returning one row per iteration in sweep order. Fully deterministic:
+    fresh generator and plan per call, analytic backend. *)
+val compute : unit -> row list
+
+(** [render rows] is the canonical text form: a fixed header plus one
+    [iter latency esp interp fallback resynth] line per row. Byte-stable
+    across runs. *)
+val render : row list -> string
+
+(** [parse s] reads {!render} output back.
+    @raise Failure on a malformed table. *)
+val parse : string -> row list

@@ -81,6 +81,10 @@ let bind_params bindings c =
 let is_symbolic c =
   List.exists (fun (g : Gate.app) -> Gate.is_symbolic g.kind) c.gates
 
+let free_params c =
+  List.sort_uniq String.compare
+    (List.concat_map (fun (g : Gate.app) -> Gate.free_params g.kind) c.gates)
+
 let flatten c =
   let rec expand (g : Gate.app) =
     match g.kind with

@@ -46,6 +46,11 @@ val bind_params : (string * float) list -> t -> t
 
 val is_symbolic : t -> bool
 
+(** [free_params c] is the sorted set of parameter names the circuit's
+    symbolic angles reference — the bindings a full {!bind_params} must
+    supply. *)
+val free_params : t -> string list
+
 (** [flatten c] inlines every [Custom] gate body (recursively), yielding a
     circuit of primitive gates only. *)
 val flatten : t -> t

@@ -103,6 +103,19 @@ let rec is_symbolic = function
     ->
     false
 
+let angle_free_param = function
+  | Angle.Const _ -> []
+  | Angle.Sym s | Angle.Scaled (s, _) -> [ s ]
+
+let rec free_params = function
+  | RX a | RY a | RZ a | CPhase a -> angle_free_param a
+  | U3 (a, b, c) ->
+    angle_free_param a @ angle_free_param b @ angle_free_param c
+  | Custom c -> List.concat_map (fun g -> free_params g.kind) c.body
+  | I | X | Y | Z | H | S | Sdg | T | Tdg | SX | SXdg | CX | CZ | SWAP | CCX
+    ->
+    []
+
 let rec bind_params bindings = function
   | RX a -> RX (Angle.bind bindings a)
   | RY a -> RY (Angle.bind bindings a)

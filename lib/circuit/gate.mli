@@ -69,6 +69,12 @@ val mining_label : kind -> string
 val params : kind -> Angle.t list
 val is_symbolic : kind -> bool
 
+(** [free_params k] lists the free parameter names [k]'s angles reference
+    (recursively through custom bodies), in angle order, with repeats —
+    a gate whose angles all derive from one symbol lists it once per
+    occurrence. Empty iff [not (is_symbolic k)]. *)
+val free_params : kind -> string list
+
 (** [bind_params bindings k] substitutes parameter symbols (recursively
     into custom bodies). *)
 val bind_params : (string * float) list -> kind -> kind

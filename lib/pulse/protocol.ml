@@ -382,7 +382,41 @@ let default_compile =
     deadline_s = None
   }
 
-type request = Ping | Stats | Shutdown | Compile of compile_request
+(* A variational sweep served by the daemon's parametric fast path: the
+   client ships every iteration's bindings up front; the daemon freezes
+   (or reuses) the plan and answers with one row per iteration. Fields
+   are [rc_]-prefixed the way [server_stats] disambiguates its
+   cache-counter names. *)
+type recompile_request = {
+  rc_circuit : circuit;
+  rc_backend : backend;
+  rc_rows : int;
+  rc_cols : int;
+  rc_jobs : int;
+  rc_anchors : int;
+  rc_interp_tol : float;
+  rc_angles : (string * float) list list;
+  rc_deadline_s : float option;
+}
+
+let default_recompile =
+  { rc_circuit = Benchmark "qaoa";
+    rc_backend = Model;
+    rc_rows = 5;
+    rc_cols = 5;
+    rc_jobs = 1;
+    rc_anchors = 5;
+    rc_interp_tol = 1e-6;
+    rc_angles = [];
+    rc_deadline_s = None
+  }
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of compile_request
+  | Recompile of recompile_request
 
 type compile_result = {
   latency : float;
@@ -411,6 +445,23 @@ type server_stats = {
   uptime_s : float;
 }
 
+type sweep_iteration = {
+  it_latency : float;
+  it_esp : float;
+  it_interp : int;
+  it_fallback : int;
+  it_resynth : int;
+}
+
+type sweep_result = {
+  sweep_params : string list;
+  static_slots : int;
+  param_slots : int;
+  multi_slots : int;
+  anchor_values : float list;
+  iterations : sweep_iteration list;
+}
+
 type error_kind =
   | Overloaded
   | Deadline_exceeded
@@ -423,6 +474,7 @@ type response =
   | Stats_reply of server_stats
   | Shutdown_ack
   | Result of compile_result
+  | Sweep of sweep_result
   | Refused of error_kind
 
 let error_name = function
@@ -464,6 +516,32 @@ let request_to_json = function
       @ (if c.canonical then [ ("canonical", Bool true) ] else [])
       @
       match c.deadline_s with
+      | None -> []
+      | Some d -> [ ("deadline_s", num d) ])
+  | Recompile r ->
+    let circuit =
+      match r.rc_circuit with
+      | Benchmark name -> Obj [ ("benchmark", Str name) ]
+      | Qasm src -> Obj [ ("qasm", Str src) ]
+    in
+    Obj
+      ([ ("op", Str "recompile");
+         ("circuit", circuit);
+         ("backend", Str (backend_name r.rc_backend));
+         ("rows", int_ r.rc_rows);
+         ("cols", int_ r.rc_cols);
+         ("jobs", int_ r.rc_jobs);
+         ("anchors", int_ r.rc_anchors);
+         ("interp_tol", num r.rc_interp_tol);
+         ( "angles",
+           Arr
+             (List.map
+                (fun iter ->
+                  Obj (List.map (fun (p, v) -> (p, num v)) iter))
+                r.rc_angles) )
+       ]
+      @
+      match r.rc_deadline_s with
       | None -> []
       | Some d -> [ ("deadline_s", num d) ])
 
@@ -542,12 +620,86 @@ let compile_request_of_json j =
          canonical; deadline_s
        })
 
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+let recompile_request_of_json j =
+  let* rc_circuit =
+    match field "circuit" j with
+    | Some c -> (
+      match (str_field "benchmark" c, str_field "qasm" c) with
+      | Some name, None -> Ok (Benchmark name)
+      | None, Some src -> Ok (Qasm src)
+      | _ -> Error "circuit must carry exactly one of benchmark / qasm")
+    | None -> Error "missing field \"circuit\""
+  in
+  let* rc_backend =
+    match str_field "backend" j with
+    | None -> Ok default_recompile.rc_backend
+    | Some s -> (
+      match backend_of_name s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "bad backend %S" s))
+  in
+  let int_or name default ~min =
+    match field name j with
+    | None -> Ok default
+    | Some _ -> (
+      match int_field name j with
+      | Some v when v >= min -> Ok v
+      | _ ->
+        Error (Printf.sprintf "field %S must be an integer >= %d" name min))
+  in
+  let* rc_rows = int_or "rows" default_recompile.rc_rows ~min:1 in
+  let* rc_cols = int_or "cols" default_recompile.rc_cols ~min:1 in
+  let* rc_jobs = int_or "jobs" default_recompile.rc_jobs ~min:1 in
+  let* rc_anchors = int_or "anchors" default_recompile.rc_anchors ~min:2 in
+  let* rc_interp_tol =
+    match field "interp_tol" j with
+    | None -> Ok default_recompile.rc_interp_tol
+    | Some (Num v) when v > 0.0 -> Ok v
+    | Some _ -> Error "field \"interp_tol\" must be a positive number"
+  in
+  let* rc_angles =
+    match field "angles" j with
+    | Some (Arr iters) ->
+      map_result
+        (function
+          | Obj fields ->
+            map_result
+              (function
+                | p, Num v -> Ok (p, v)
+                | p, _ ->
+                  Error (Printf.sprintf "angle %S must be a number" p))
+              fields
+          | _ -> Error "each sweep iteration must be an object of angles")
+        iters
+    | Some _ -> Error "field \"angles\" must be an array of iterations"
+    | None -> Error "missing field \"angles\""
+  in
+  let* rc_deadline_s =
+    match field "deadline_s" j with
+    | None -> Ok None
+    | Some (Num v) when v >= 0.0 -> Ok (Some v)
+    | Some _ -> Error "field \"deadline_s\" must be a non-negative number"
+  in
+  Ok
+    (Recompile
+       { rc_circuit; rc_backend; rc_rows; rc_cols; rc_jobs; rc_anchors;
+         rc_interp_tol; rc_angles; rc_deadline_s
+       })
+
 let request_of_json j =
   match str_field "op" j with
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
   | Some "shutdown" -> Ok Shutdown
   | Some "compile" -> compile_request_of_json j
+  | Some "recompile" -> recompile_request_of_json j
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
   | None -> Error "missing field \"op\""
 
@@ -617,6 +769,69 @@ let stats_of_json j =
       cache_entries; srv_cache_hits; srv_cache_misses; uptime_s
     }
 
+let sweep_to_json (s : sweep_result) =
+  Obj
+    [ ("params", Arr (List.map (fun p -> Str p) s.sweep_params));
+      ("static_slots", int_ s.static_slots);
+      ("param_slots", int_ s.param_slots);
+      ("multi_slots", int_ s.multi_slots);
+      ("anchor_values", Arr (List.map num s.anchor_values));
+      ( "iterations",
+        Arr
+          (List.map
+             (fun it ->
+               Obj
+                 [ ("latency", num it.it_latency);
+                   ("esp", num it.it_esp);
+                   ("interp", int_ it.it_interp);
+                   ("fallback", int_ it.it_fallback);
+                   ("resynth", int_ it.it_resynth)
+                 ])
+             s.iterations) )
+    ]
+
+let sweep_of_json j =
+  let* sweep_params =
+    match field "params" j with
+    | Some (Arr ps) ->
+      map_result
+        (function Str p -> Ok p | _ -> Error "params must be strings")
+        ps
+    | _ -> Error "missing or ill-typed field \"params\""
+  in
+  let i name = require name (int_field name j) in
+  let* static_slots = i "static_slots" in
+  let* param_slots = i "param_slots" in
+  let* multi_slots = i "multi_slots" in
+  let* anchor_values =
+    match field "anchor_values" j with
+    | Some (Arr vs) ->
+      map_result
+        (function Num v -> Ok v | _ -> Error "anchor values must be numbers")
+        vs
+    | _ -> Error "missing or ill-typed field \"anchor_values\""
+  in
+  let* iterations =
+    match field "iterations" j with
+    | Some (Arr its) ->
+      map_result
+        (fun it ->
+          let f name = require name (num_field name it) in
+          let i name = require name (int_field name it) in
+          let* it_latency = f "latency" in
+          let* it_esp = f "esp" in
+          let* it_interp = i "interp" in
+          let* it_fallback = i "fallback" in
+          let* it_resynth = i "resynth" in
+          Ok { it_latency; it_esp; it_interp; it_fallback; it_resynth })
+        its
+    | _ -> Error "missing or ill-typed field \"iterations\""
+  in
+  Ok
+    { sweep_params; static_slots; param_slots; multi_slots; anchor_values;
+      iterations
+    }
+
 let response_to_json = function
   | Pong -> Obj [ ("ok", Bool true); ("op", Str "pong") ]
   | Shutdown_ack -> Obj [ ("ok", Bool true); ("op", Str "shutdown") ]
@@ -625,6 +840,8 @@ let response_to_json = function
   | Result r ->
     Obj
       [ ("ok", Bool true); ("op", Str "result"); ("result", result_to_json r) ]
+  | Sweep s ->
+    Obj [ ("ok", Bool true); ("op", Str "sweep"); ("sweep", sweep_to_json s) ]
   | Refused e ->
     let message =
       match e with
@@ -647,6 +864,10 @@ let response_of_json j =
       let* r = require "result" (field "result" j) in
       let* r = result_of_json r in
       Ok (Result r)
+    | Some "sweep" ->
+      let* s = require "sweep" (field "sweep" j) in
+      let* s = sweep_of_json s in
+      Ok (Sweep s)
     | Some op -> Error (Printf.sprintf "unknown response op %S" op)
     | None -> Error "missing field \"op\"")
   | Some (Bool false) -> (

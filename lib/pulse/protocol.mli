@@ -104,11 +104,39 @@ type compile_request = {
     needed. *)
 val default_compile : compile_request
 
+(** A variational sweep request for the daemon's parametric fast path:
+    the client ships {e every} iteration's parameter bindings up front
+    (one object per iteration), the daemon freezes — or reuses, keyed on
+    circuit/grid/backend/anchors — a {!Paqoc.Variational} compile plan
+    and answers with one {!sweep_iteration} row per binding vector.
+    Fields are [rc_]-prefixed to keep them distinct from
+    {!compile_request}'s. *)
+type recompile_request = {
+  rc_circuit : circuit;
+      (** a sweep benchmark name ([qaoa] / [vqe] / [dnn]) or inline QASM
+          (which, having no symbolic angles, degenerates to all-static
+          slots) *)
+  rc_backend : backend;
+  rc_rows : int;
+  rc_cols : int;
+  rc_jobs : int;  (** worker domains for the freeze's anchor batch *)
+  rc_anchors : int;  (** seeded anchor grid size (>= 2) *)
+  rc_interp_tol : float;  (** max |predicted - resimulated| drift *)
+  rc_angles : (string * float) list list;  (** one binding list per iteration *)
+  rc_deadline_s : float option;
+}
+
+(** A recompile request with the CLI's defaults ([qaoa] on the paper's
+    5x5 grid, model backend, 5 anchors, 1e-6 drift tolerance, no
+    iterations, no deadline) — override fields as needed. *)
+val default_recompile : recompile_request
+
 type request =
   | Ping
   | Stats
   | Shutdown
   | Compile of compile_request
+  | Recompile of recompile_request
 
 (** Everything the CLI prints about one compile, so the client-side
     output can be byte-identical to the in-process path. *)
@@ -139,6 +167,29 @@ type server_stats = {
   uptime_s : float;
 }
 
+(** One sweep iteration's price and fast-path accounting, mirroring
+    [Paqoc.Variational.iteration] minus the waveform-level detail (the
+    wire carries prices, not pulses). *)
+type sweep_iteration = {
+  it_latency : float;
+  it_esp : float;
+  it_interp : int;  (** slots served by the anchor table / interpolation *)
+  it_fallback : int;  (** slots that fell back to real synthesis *)
+  it_resynth : int;  (** multi-parameter slots, resynthesised by design *)
+}
+
+(** Everything the CLI prints about one sweep: the frozen plan's shape
+    plus one row per iteration, so the [--connect] table can be
+    byte-identical to the in-process one. *)
+type sweep_result = {
+  sweep_params : string list;  (** the plan's free parameters, sorted *)
+  static_slots : int;
+  param_slots : int;
+  multi_slots : int;
+  anchor_values : float list;  (** the seeded anchor grid *)
+  iterations : sweep_iteration list;  (** in request order *)
+}
+
 (** Typed refusals. [Overloaded] and [Deadline_exceeded] are the
     admission-control outcomes a well-behaved client retries or sheds;
     [Bad_request] and [Internal] carry a diagnostic message;
@@ -158,6 +209,7 @@ type response =
   | Stats_reply of server_stats
   | Shutdown_ack
   | Result of compile_result
+  | Sweep of sweep_result
   | Refused of error_kind
 
 (** The typed per-request deadline signal: raised by deadline-aware

@@ -22,6 +22,11 @@ type handler =
   Protocol.compile_request ->
   Protocol.compile_result
 
+type sweep_handler =
+  deadline:float option ->
+  Protocol.recompile_request ->
+  Protocol.sweep_result
+
 (* All mutable server state sits behind [slock]. Connection systhreads
    share the main domain's Obs buffers, so every Obs emission from a
    connection thread also happens under [slock] — two systhreads can
@@ -31,6 +36,7 @@ type handler =
 type t = {
   config : config;
   handler : handler;
+  sweep : sweep_handler option;
   cache : Cache.t option;
   on_close : unit -> unit;
   pool : Pool.t;
@@ -53,7 +59,7 @@ let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let create ?cache ?(on_close = fun () -> ()) config handler =
+let create ?cache ?(on_close = fun () -> ()) ?sweep config handler =
   if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
   if config.queue_cap < 1 then
     invalid_arg "Server.create: queue_cap must be >= 1";
@@ -78,6 +84,7 @@ let create ?cache ?(on_close = fun () -> ()) config handler =
     failwith (Printf.sprintf "Server.create: %s" msg));
   { config;
     handler;
+    sweep;
     cache;
     on_close;
     pool = Pool.create ~jobs:config.jobs ();
@@ -129,9 +136,11 @@ let stats t =
 (* ------------------------------------------------------------------ *)
 
 (* Runs on a connection systhread. Counts and Obs emission go through
-   [slock]; the compile itself runs on the pool (worker domain, or
-   inline right here at jobs <= 1). *)
-let dispatch_compile t (req : Protocol.compile_request) =
+   [slock]; the work itself runs on the pool (worker domain, or inline
+   right here at jobs <= 1). Generic over the request kind: compiles and
+   sweeps share admission, deadline arming and accounting, and differ
+   only in the work closure and the success wrapper. *)
+let dispatch t ~deadline_s ~wrap run =
   let admitted =
     locked t.slock (fun () ->
         if t.inflight >= t.config.queue_cap then begin
@@ -148,7 +157,7 @@ let dispatch_compile t (req : Protocol.compile_request) =
   if not admitted then Protocol.Refused Protocol.Overloaded
   else begin
     let deadline =
-      match req.Protocol.deadline_s with
+      match deadline_s with
       | Some d -> Some (Clock.now_s () +. d)
       | None ->
         Option.map
@@ -163,7 +172,7 @@ let dispatch_compile t (req : Protocol.compile_request) =
       (match deadline with
       | Some d when Clock.now_s () >= d -> raise Protocol.Deadline_exceeded
       | _ -> ());
-      t.handler ~deadline req
+      run ~deadline
     in
     let response =
       match Pool.await (Pool.submit t.pool task) with
@@ -172,7 +181,7 @@ let dispatch_compile t (req : Protocol.compile_request) =
             t.served <- t.served + 1;
             Obs.count "server.request";
             Obs.observe "server.request_s" (Clock.now_s () -. t0));
-        Protocol.Result result
+        wrap result
       | exception Protocol.Deadline_exceeded ->
         locked t.slock (fun () ->
             t.rejected_deadline <- t.rejected_deadline + 1;
@@ -190,6 +199,16 @@ let dispatch_compile t (req : Protocol.compile_request) =
         t.last_activity <- Clock.now_s ());
     response
   end
+
+let dispatch_compile t (req : Protocol.compile_request) =
+  dispatch t ~deadline_s:req.Protocol.deadline_s
+    ~wrap:(fun r -> Protocol.Result r)
+    (fun ~deadline -> t.handler ~deadline req)
+
+let dispatch_recompile t sweep (req : Protocol.recompile_request) =
+  dispatch t ~deadline_s:req.Protocol.rc_deadline_s
+    ~wrap:(fun r -> Protocol.Sweep r)
+    (fun ~deadline -> sweep ~deadline req)
 
 let handle_payload t payload =
   match Protocol.json_of_string payload with
@@ -212,7 +231,18 @@ let handle_payload t payload =
       Protocol.Shutdown_ack
     | Ok (Protocol.Compile req) ->
       if stopping t then Protocol.Refused Protocol.Shutting_down
-      else dispatch_compile t req)
+      else dispatch_compile t req
+    | Ok (Protocol.Recompile req) ->
+      if stopping t then Protocol.Refused Protocol.Shutting_down
+      else (
+        match t.sweep with
+        | Some sweep -> dispatch_recompile t sweep req
+        | None ->
+          locked t.slock (fun () ->
+              t.errors <- t.errors + 1;
+              Obs.count "server.error");
+          Protocol.Refused
+            (Protocol.Bad_request "this daemon serves no recompile endpoint")))
 
 (* One systhread per accepted connection: frames are answered in order;
    a malformed frame gets a typed refusal, a torn frame closes only this

@@ -59,16 +59,34 @@ type handler =
   Protocol.compile_request ->
   Protocol.compile_result
 
+(** One variational sweep ({!Protocol.recompile_request}): same
+    execution contract as {!handler} — runs on the pool, may raise
+    {!Protocol.Deadline_exceeded} or any other exception for the typed
+    wire mapping. The real one ([Paqoc_service.sweep_handler]) keeps
+    frozen compile plans hot across requests, which is the daemon's
+    whole advantage for sweeps. *)
+type sweep_handler =
+  deadline:float option ->
+  Protocol.recompile_request ->
+  Protocol.sweep_result
+
 type t
 
 (** [create config handler] binds the socket and prepares the daemon
     (nothing is accepted until {!run}). [cache] is reported in [stats]
     replies; [on_close] runs exactly once, after the drain — close the
-    cache there.
+    cache there. [sweep] serves [recompile] requests; without it they
+    are refused with a typed [bad_request], so transport-only daemons
+    (tests, benches) need not care.
     @raise Invalid_argument when [jobs < 1] or [queue_cap < 1].
     @raise Failure when the socket cannot be bound. *)
 val create :
-  ?cache:Cache.t -> ?on_close:(unit -> unit) -> config -> handler -> t
+  ?cache:Cache.t ->
+  ?on_close:(unit -> unit) ->
+  ?sweep:sweep_handler ->
+  config ->
+  handler ->
+  t
 
 (** [run t] serves until shutdown is requested, then drains and cleans
     up (socket file removed, pool joined, [on_close] called). Returns

@@ -114,6 +114,162 @@ let handle ?cache ~deadline (req : Protocol.compile_request) =
 let handler ?cache () ~deadline req = handle ?cache ~deadline req
 
 (* ------------------------------------------------------------------ *)
+(* Variational sweeps (the parametric fast path)                       *)
+(* ------------------------------------------------------------------ *)
+
+module V = Paqoc.Variational
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let resolve_sweep_circuit = function
+  | Protocol.Benchmark name -> (
+    match Suite.sweep_find name with
+    | e -> e.Suite.sweep_build ()
+    | exception Not_found ->
+      failwith
+        (Printf.sprintf "unknown sweep benchmark %s (expected one of: %s)"
+           name
+           (String.concat ", "
+              (List.map (fun e -> e.Suite.sweep_name) Suite.sweeps))))
+  | Protocol.Qasm src -> (
+    try Qasm.parse src
+    with Qasm.Parse_error msg -> failwith ("QASM parse error: " ^ msg))
+
+(* Frozen compile plans are what makes the daemon worth connecting to
+   for sweeps: the expensive freeze (grouping search + anchor synthesis)
+   happens once per (circuit, grid, backend, anchors) and every later
+   request reuses it. Plans are mutable — fallbacks adopt new anchors —
+   so requests sharing a plan serialise on its entry lock; sweeps over
+   different plans run concurrently. *)
+type plan_entry = { plan_lock : Mutex.t; mutable frozen : V.plan option }
+
+let registry_lock = Mutex.create ()
+let plan_registry : (string, plan_entry) Hashtbl.t = Hashtbl.create 8
+
+let plan_key (req : Protocol.recompile_request) =
+  let circ =
+    match req.Protocol.rc_circuit with
+    | Protocol.Benchmark name -> "bench:" ^ name
+    | Protocol.Qasm src -> "qasm:" ^ Digest.to_hex (Digest.string src)
+  in
+  Printf.sprintf "%s|%dx%d|%s|%d" circ req.Protocol.rc_rows
+    req.Protocol.rc_cols
+    (Protocol.backend_name req.Protocol.rc_backend)
+    req.Protocol.rc_anchors
+
+let plan_entry key =
+  locked registry_lock (fun () ->
+      match Hashtbl.find_opt plan_registry key with
+      | Some e -> e
+      | None ->
+        let e = { plan_lock = Mutex.create (); frozen = None } in
+        Hashtbl.replace plan_registry key e;
+        e)
+
+let sweep_handle ?cache ?plan_path ~deadline (req : Protocol.recompile_request) =
+  if req.Protocol.rc_rows < 1 || req.Protocol.rc_cols < 1 then
+    failwith
+      (Printf.sprintf "bad device grid %dx%d" req.Protocol.rc_rows
+         req.Protocol.rc_cols);
+  if req.Protocol.rc_jobs < 1 then
+    failwith
+      (Printf.sprintf "jobs must be >= 1 (got %d)" req.Protocol.rc_jobs);
+  if req.Protocol.rc_anchors < 2 then
+    failwith
+      (Printf.sprintf "anchors must be >= 2 (got %d)" req.Protocol.rc_anchors);
+  if not (req.Protocol.rc_interp_tol > 0.0) then
+    failwith "interp_tol must be positive";
+  check_deadline deadline;
+  (* fresh generator per request, exactly like [handle]; all
+     cross-request reuse flows through the shared cache and the frozen
+     plan *)
+  let fresh_gen () =
+    let gen =
+      match req.Protocol.rc_backend with
+      | Protocol.Model -> Gen.model_default ()
+      | Protocol.Qoc -> Gen.qoc_default ()
+    in
+    Gen.set_shared_cache gen cache;
+    gen
+  in
+  let freeze_plan () =
+    let logical = resolve_sweep_circuit req.Protocol.rc_circuit in
+    let coupling =
+      Coupling.grid ~rows:req.Protocol.rc_rows ~cols:req.Protocol.rc_cols
+    in
+    let t = Transpile.run ~coupling logical in
+    V.freeze ~anchors:req.Protocol.rc_anchors ~jobs:req.Protocol.rc_jobs
+      (V.prepare t.Transpile.physical)
+      (fresh_gen ())
+  in
+  let run_sweep plan =
+    let gen = fresh_gen () in
+    let static_slots, param_slots, multi_slots = V.plan_slot_kinds plan in
+    (* explicit fold: iterations must run in request order (anchor
+       adoption and cache publication are stateful) *)
+    let iterations =
+      List.rev
+        (List.fold_left
+           (fun acc angles ->
+             check_deadline deadline;
+             let it =
+               V.recompile ~interp_tol:req.Protocol.rc_interp_tol plan gen
+                 ~angles
+             in
+             { Protocol.it_latency = it.V.latency;
+               it_esp = it.V.esp;
+               it_interp = it.V.interp;
+               it_fallback = it.V.fallback;
+               it_resynth = it.V.resynth
+             }
+             :: acc)
+           [] req.Protocol.rc_angles)
+    in
+    { Protocol.sweep_params = V.plan_params plan;
+      static_slots;
+      param_slots;
+      multi_slots;
+      anchor_values = V.plan_anchor_values plan;
+      iterations
+    }
+  in
+  match plan_path with
+  | Some path ->
+    (* the persistence sidecar replaces the in-memory registry: load the
+       plan if the file exists (a typed parse error is a request
+       failure), freeze otherwise, and re-save after the sweep so
+       fallback-adopted anchors persist across runs *)
+    let plan =
+      if Sys.file_exists path then
+        match V.load_plan path with
+        | Ok p -> p
+        | Error e ->
+          failwith
+            (Printf.sprintf "%s: bad plan sidecar (line %d: %s)" path
+               e.V.line e.V.reason)
+      else freeze_plan ()
+    in
+    let result = run_sweep plan in
+    V.save_plan plan path;
+    result
+  | None ->
+    let entry = plan_entry (plan_key req) in
+    locked entry.plan_lock (fun () ->
+        let plan =
+          match entry.frozen with
+          | Some p -> p
+          | None ->
+            let p = freeze_plan () in
+            entry.frozen <- Some p;
+            p
+        in
+        run_sweep plan)
+
+let sweep_handler ?cache () ~deadline req = sweep_handle ?cache ~deadline req
+
+(* ------------------------------------------------------------------ *)
 (* Suite-table formatting                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -132,6 +288,42 @@ let suite_row name (r : Protocol.compile_result) =
   Printf.sprintf "  %-14s %9.0f %7.4f %9d %6d %5d %9s\n" name
     r.Protocol.latency r.Protocol.esp r.Protocol.episodes
     r.Protocol.synthesized r.Protocol.cache_hits rate
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-table formatting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_header =
+  Printf.sprintf "  %4s %11s %7s %7s %9s %8s\n" "iter" "latency" "esp"
+    "interp" "fallback" "resynth"
+
+let sweep_row i (it : Protocol.sweep_iteration) =
+  Printf.sprintf "  %4d %11.0f %7.4f %7d %9d %8d\n" i it.Protocol.it_latency
+    it.Protocol.it_esp it.Protocol.it_interp it.Protocol.it_fallback
+    it.Protocol.it_resynth
+
+let sweep_totals (s : Protocol.sweep_result) =
+  let add f =
+    List.fold_left (fun acc it -> acc + f it) 0 s.Protocol.iterations
+  in
+  let interp = add (fun it -> it.Protocol.it_interp) in
+  let fallback = add (fun it -> it.Protocol.it_fallback) in
+  let resynth = add (fun it -> it.Protocol.it_resynth) in
+  let served = interp + fallback in
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "sweep totals    : %d iterations over %d slots (%d static / %d param / \
+     %d multi), %d interp, %d fallback, %d resynth"
+    (List.length s.Protocol.iterations)
+    (s.Protocol.static_slots + s.Protocol.param_slots
+   + s.Protocol.multi_slots)
+    s.Protocol.static_slots s.Protocol.param_slots s.Protocol.multi_slots
+    interp fallback resynth;
+  if served > 0 then
+    Printf.bprintf b " (interp hit rate %.1f%%)"
+      (100.0 *. float_of_int interp /. float_of_int served);
+  Buffer.add_char b '\n';
+  Buffer.contents b
 
 let suite_totals ~synthesized ~hits ~misses =
   let lookups = hits + misses in

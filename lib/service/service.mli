@@ -39,6 +39,43 @@ val handle :
 val handler :
   ?cache:Paqoc_pulse.Cache.t -> unit -> Paqoc_pulse.Server.handler
 
+(** {1 Variational sweeps}
+
+    The daemon side of [compile-sweep]: resolve the symbolic benchmark,
+    transpile it onto the requested grid, freeze a
+    {!Paqoc.Variational} compile plan — memoised across requests, keyed
+    on circuit/grid/backend/anchors, which is what makes a resident
+    daemon worth connecting to for sweeps — and serve every iteration
+    through {!Paqoc.Variational.recompile} with a fresh per-request
+    generator against the shared cache. Requests sharing a plan
+    serialise on it (plans are mutable: fallbacks adopt anchors);
+    distinct plans run concurrently. *)
+
+(** [sweep_handle ?cache ?plan_path ~deadline req] serves one sweep
+    request. When [plan_path] is given it replaces the in-memory
+    registry with the CLI's journaled plan-persistence sidecar: the plan
+    is loaded from that file when it exists (a typed parse error fails
+    the request with the offending line and reason), frozen otherwise,
+    and re-saved after the sweep so fallback-adopted anchors persist
+    across runs.
+    @raise Paqoc_pulse.Protocol.Deadline_exceeded when the budget
+    expires (checked at entry and before every iteration).
+    @raise Failure on an unresolvable request (unknown sweep benchmark,
+    bad grid/anchors/tolerance, corrupt plan sidecar).
+    @raise Paqoc.Variational.Unbound_parameters when an iteration's
+    bindings miss a plan parameter. *)
+val sweep_handle :
+  ?cache:Paqoc_pulse.Cache.t ->
+  ?plan_path:string ->
+  deadline:float option ->
+  Paqoc_pulse.Protocol.recompile_request ->
+  Paqoc_pulse.Protocol.sweep_result
+
+(** [sweep_handler ?cache ()] is {!sweep_handle} packaged as the
+    server's [?sweep] callback ({!Paqoc_pulse.Server.sweep_handler}). *)
+val sweep_handler :
+  ?cache:Paqoc_pulse.Cache.t -> unit -> Paqoc_pulse.Server.sweep_handler
+
 (** {1 Suite-table formatting}
 
     The exact bytes [compile-suite] prints, shared by the in-process and
@@ -54,3 +91,21 @@ val suite_row : string -> Paqoc_pulse.Protocol.compile_result -> string
 (** [suite_totals ~synthesized ~hits ~misses] — the final totals line
     (trailing newline included). *)
 val suite_totals : synthesized:int -> hits:int -> misses:int -> string
+
+(** {1 Sweep-table formatting}
+
+    The exact bytes [compile-sweep] prints, shared by the in-process and
+    [--connect] paths so the two tables cannot drift. Rows carry no wall
+    times — wall clock is the one thing the two paths legitimately
+    disagree on. *)
+
+(** The column-header line (includes the trailing newline). *)
+val sweep_header : string
+
+(** [sweep_row i it] — iteration [i]'s row (trailing newline included). *)
+val sweep_row :
+  int -> Paqoc_pulse.Protocol.sweep_iteration -> string
+
+(** [sweep_totals s] — the final totals line (trailing newline
+    included), summing the fast-path accounting over all iterations. *)
+val sweep_totals : Paqoc_pulse.Protocol.sweep_result -> string

@@ -6,8 +6,10 @@ emission paths: a field rename, a type change or an empty run list fails
 here before anyone tries to plot a perf trajectory from broken entries.
 Dispatches on the document's "bench" tag: "grape" (per-iteration GRAPE
 cost), "cache" (cold-vs-warm shared-cache suite compile), "search"
-(reference-vs-incremental criticality-search trajectory) or "serve"
-(resident-daemon throughput/latency plus the lazy-pool jobs gate).
+(reference-vs-incremental criticality-search trajectory), "serve"
+(resident-daemon throughput/latency plus the lazy-pool jobs gate) or
+"sweep" (variational fast-path speedup plus the interpolation-drift and
+replay gates).
 """
 import json
 import sys
@@ -203,8 +205,62 @@ def check_serve(path, doc, runs):
              f"from the in-process path")
 
 
+SWEEP_RUN_FIELDS = {
+    "phase": str,
+    "tol": (int, float),
+    "iterations": int,
+    "interp": int,
+    "fallback": int,
+    "resynth": int,
+    "checks": int,
+    "max_drift": (int, float),
+}
+
+
+def check_sweep(path, doc, runs):
+    phases = []
+    for i, run in enumerate(runs):
+        check_fields(path, f"runs[{i}]", run, SWEEP_RUN_FIELDS)
+        phases.append(run["phase"])
+        if run["iterations"] < 1:
+            fail(f"{path}: runs[{i}].iterations must be positive")
+        if run["max_drift"] > run["tol"]:
+            fail(f"{path}: runs[{i}].max_drift {run['max_drift']} exceeds "
+                 f"its tolerance {run['tol']} — an over-drift interpolation "
+                 f"was accepted instead of falling back")
+    want = ["model", "qoc-strict", "qoc-loose"]
+    if phases != want:
+        fail(f"{path}: run phases are {phases}, want {want}")
+    for field in ("freeze_s", "full_iter_s", "fast_iter_s", "speedup"):
+        v = doc.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+            fail(f"{path}: {field} must be a positive number")
+    rate = doc.get("interp_hit_rate")
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+        fail(f"{path}: interp_hit_rate must be a number")
+    if not 0.0 <= rate <= 1.0:
+        fail(f"{path}: interp_hit_rate must be in [0,1]")
+    # the headline claim: the frozen-plan fast path is >= 10x a full
+    # per-iteration recompile
+    if doc["speedup"] < 10.0:
+        fail(f"{path}: speedup {doc['speedup']} < 10 — the parametric "
+             f"fast path lost its advantage")
+    # the differential claim: the loose pass accepted interpolations and
+    # replaying their stored pulses reproduced the recorded fidelities
+    if runs[2]["checks"] < 1:
+        fail(f"{path}: qoc-loose accepted no interpolations — the "
+             f"differential gate is vacuous")
+    err = doc.get("qoc_replay_err")
+    if not isinstance(err, (int, float)) or isinstance(err, bool):
+        fail(f"{path}: qoc_replay_err must be a number")
+    if err > 1e-12:
+        fail(f"{path}: qoc_replay_err {err} > 1e-12 — re-simulating stored "
+             f"check pulses no longer reproduces their fidelities")
+
+
 CHECKERS = {"grape": check_grape, "cache": check_cache,
-            "search": check_search, "serve": check_serve}
+            "search": check_search, "serve": check_serve,
+            "sweep": check_sweep}
 
 
 def check(path):

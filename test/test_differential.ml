@@ -2,7 +2,14 @@
    pulse database must be reproducible from the committed waveform alone.
    Every check re-simulates a pulse under the exact Hamiltonian it was
    optimised against and compares with the recorded number at 1e-6 — a
-   drift here means the database is lying about its own pulses. *)
+   drift here means the database is lying about its own pulses.
+
+   The interpolation-fidelity battery extends the same discipline to the
+   variational fast path: every interpolated pulse an accepted sweep
+   iteration ships is replayed under its group's Hamiltonian, and the
+   result must reproduce the [measured] fidelity recompile recorded at
+   acceptance time — while |predicted - measured| stays within the
+   tolerance the acceptance claimed. *)
 open Test_util
 module Gen = Paqoc_pulse.Generator
 module Pulse = Paqoc_pulse.Pulse
@@ -11,6 +18,9 @@ module Fidelity = Paqoc_linalg.Fidelity
 module Cache = Paqoc_pulse.Cache
 module Hamiltonian = Paqoc_pulse.Hamiltonian
 module Suite = Paqoc_benchmarks.Suite
+module V = Paqoc.Variational
+module Qaoa = Paqoc_benchmarks.Qaoa
+module Dnn = Paqoc_benchmarks.Dnn
 
 let group apps = fst (Gen.group_of_apps apps)
 
@@ -246,4 +256,88 @@ let suite =
           (String.equal bytes1 bytes4);
         check_true "the suite cache is a v4 file"
           (String.sub bytes1 0 17 = "paqoc-pulse-db v4"))
+    (* ---- the interpolation-fidelity battery (parametric fast path) ---- *);
+    slow_case "interpolation battery: three ansatz sweeps replay exactly"
+      (fun () ->
+        (* freeze each parameterised ansatz with a sparse anchor grid and
+           sweep it at a tolerance loose enough that interpolations are
+           actually accepted; then hold every shipped check pulse to the
+           database's own standard — re-simulating it must reproduce the
+           recorded measured fidelity, and the recorded predicted-vs-
+           measured drift must stay within the accepted tolerance *)
+        let interp_tol = 0.1 in
+        List.iter
+          (fun (name, circ) ->
+            let gen = Gen.qoc_default () in
+            let plan = V.freeze ~anchors:3 (V.prepare circ) gen in
+            let sweep = V.sweep_angles ~seed:7 ~n:2 (V.plan_params plan) in
+            let checks =
+              List.concat_map
+                (fun angles ->
+                  (V.recompile ~interp_tol plan gen ~angles).V.checks)
+                sweep
+            in
+            check_true (name ^ ": battery is not vacuous") (checks <> []);
+            List.iter
+              (fun (c : V.check) ->
+                let drift = abs_float (c.V.predicted -. c.V.measured) in
+                check_true
+                  (Printf.sprintf
+                     "%s %s: accepted drift %.2e within tol %.0e" name
+                     c.V.check_key drift interp_tol)
+                  (drift <= interp_tol);
+                let grp = c.V.check_group in
+                let target =
+                  Gate.unitary_of_apps ~n_qubits:grp.Gen.n_qubits
+                    grp.Gen.gates
+                in
+                let resim =
+                  Fidelity.gate_fidelity target
+                    (Pulse.propagator (Gen.hamiltonian_of grp)
+                       c.V.check_pulse)
+                in
+                let replay = abs_float (resim -. c.V.measured) in
+                check_true
+                  (Printf.sprintf
+                     "%s %s: recorded %.8f vs replayed %.8f (drift %.2e)"
+                     name c.V.check_key c.V.measured resim replay)
+                  (replay < 1e-9))
+              checks)
+          (* three shapes with genuinely interpolatable (single-parameter)
+             slots: logical qaoa, the same ansatz re-shaped by grid
+             transpilation, and the dense QNN. VQE is absent by necessity:
+             its Rx·Rz-per-qubit layers always merge into multi-parameter
+             groups, which resynthesise instead of interpolating. *)
+          [ ("qaoa", Qaoa.circuit ~symbolic:true ~n:6 ~p:1 ());
+            ( "qaoa-grid",
+              (Paqoc_topology.Transpile.run
+                 ~coupling:(Paqoc_topology.Coupling.grid ~rows:5 ~cols:5)
+                 (Qaoa.circuit ~symbolic:true ~n:4 ~p:1 ()))
+                .Paqoc_topology.Transpile.physical );
+            ("dnn", Dnn.circuit ~symbolic:true ~n:3 ~blocks:1 ())
+          ]);
+    slow_case "a hostile angle falls back, publishes and adopts" (fun () ->
+        (* 7.0 lies above the [0, 2pi] anchor hull, so every single-
+           parameter slot must refuse to extrapolate: real synthesis,
+           published to the generator's shared cache, adopted as a new
+           anchor — so the repeat iteration is served from the table *)
+        let cache = Cache.create () in
+        let gen = Gen.qoc_default () in
+        Gen.set_shared_cache gen (Some cache);
+        let plan =
+          V.freeze ~anchors:3
+            (V.prepare (Dnn.circuit ~symbolic:true ~n:3 ~blocks:1 ()))
+            gen
+        in
+        let before = (Cache.stats cache).Cache.publishes in
+        let angles = List.map (fun p -> (p, 7.0)) (V.plan_params plan) in
+        let it = V.recompile plan gen ~angles in
+        check_true "hull violation forces fallbacks" (it.V.fallback > 0);
+        check_int "nothing interpolates outside the hull" 0 it.V.interp;
+        check_true "fallback syntheses publish to the shared cache"
+          ((Cache.stats cache).Cache.publishes > before);
+        let it2 = V.recompile plan gen ~angles in
+        check_int "adopted anchors serve the repeat" 0 it2.V.fallback;
+        check_true "the repeat comes from the anchor table"
+          (it2.V.interp > 0))
   ]

@@ -7,6 +7,20 @@ module Gen = Paqoc_pulse.Generator
 module Coupling = Paqoc_topology.Coupling
 module Sabre = Paqoc_topology.Sabre
 module Miner = Paqoc_mining.Miner
+module V = Paqoc.Variational
+
+(* shared by the unbound-parameter cases and the qcheck property: a
+   4-parameter plan is enough for every subset shape, and the model
+   backend freezes it in milliseconds. Lazy so the binary's load time
+   stays free of compile work. *)
+let unbound_fixture =
+  lazy
+    (let prepared =
+       V.prepare (Paqoc_benchmarks.Dnn.circuit ~symbolic:true ~n:4 ~blocks:1 ())
+     in
+     let gen = Gen.model_default () in
+     let plan = V.freeze ~anchors:2 prepared gen in
+     (prepared, plan, gen, List.sort compare (V.plan_params plan)))
 
 let suite =
   [ case "duration search reports unreachable targets" (fun () ->
@@ -215,5 +229,55 @@ let suite =
             ~config:{ Paqoc.Merger.default_config with max_iterations = 1 }
             gen c
         in
-        check_true "stopped at the bound" (stats.Paqoc.Merger.iterations <= 1))
+        check_true "stopped at the bound" (stats.Paqoc.Merger.iterations <= 1));
+    (* ---- the variational fast path's typed binding errors ---- *)
+    case "unbound parameters raise the sorted typed error" (fun () ->
+        let prepared, plan, gen, sorted = Lazy.force unbound_fixture in
+        check_true "the fixture has several parameters"
+          (List.length sorted >= 3);
+        let expect_missing missing f =
+          try
+            ignore (f ());
+            check_true "raised Unbound_parameters" false
+          with V.Unbound_parameters m ->
+            check_true
+              (Printf.sprintf "missing = [%s]" (String.concat "; " m))
+              (m = missing)
+        in
+        (* empty bindings: every entry point reports everything, sorted *)
+        expect_missing sorted (fun () -> V.compile prepared gen []);
+        expect_missing sorted (fun () -> V.recompile plan gen ~angles:[]);
+        expect_missing sorted (fun () ->
+            V.recompile_full plan gen ~angles:[]);
+        (* a partial binding names exactly what was dropped *)
+        (match sorted with
+        | keep :: rest ->
+          expect_missing rest (fun () ->
+              V.recompile plan gen ~angles:[ (keep, 1.0) ])
+        | [] -> ());
+        (* unknown names are not bindings; they never mask a missing one *)
+        expect_missing sorted (fun () ->
+            V.recompile plan gen ~angles:[ ("nonexistent", 0.5) ]));
+    qcheck
+      (QCheck.Test.make ~count:40
+         ~name:"any partial binding reports exactly the sorted unbound subset"
+         (QCheck.int_bound 15)
+         (fun mask ->
+           let _, plan, gen, sorted = Lazy.force unbound_fixture in
+           let keep =
+             List.filteri (fun i _ -> mask land (1 lsl i) <> 0) sorted
+           in
+           let omitted =
+             List.filter (fun p -> not (List.mem p keep)) sorted
+           in
+           let angles = List.map (fun p -> (p, 1.0)) keep in
+           if omitted = [] then (
+             (* the complete binding must not raise at all *)
+             ignore (V.recompile plan gen ~angles);
+             true)
+           else
+             try
+               ignore (V.recompile plan gen ~angles);
+               false
+             with V.Unbound_parameters m -> m = omitted))
   ]

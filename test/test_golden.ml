@@ -9,8 +9,12 @@
      allocation-free kernel rewrite: any reordering of a single
      floating-point operation in the hot path flips a bit here. It is also
      the anchor of the pulse database's byte determinism.
+   - The 32-point variational sweep table: per-iteration latency, ESP and
+     interp/fallback/resynth accounting of the frozen-plan fast path over
+     the seeded qaoa sweep. Any change to the anchor grid, interpolation
+     rule, fallback policy or slot pricing moves a byte here.
 
-   Intentional changes refresh both files with [make update-golden], which
+   Intentional changes refresh the files with [make update-golden], which
    renders through the exact same code paths. *)
 open Test_util
 module LT = Paqoc_benchmarks.Latency_table
@@ -26,6 +30,7 @@ let resolve name =
 let golden_path = resolve "latency_table.txt"
 let grape_golden_path = resolve "grape_amplitudes.txt"
 let canon_golden_path = resolve "canon_hit_rates.txt"
+let sweep_golden_path = resolve "sweep_table.txt"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -144,6 +149,63 @@ let suite =
           (fun (r : CT.row) ->
             check_true (r.CT.name ^ " canonical subset of hits")
               (r.CT.canonical_hits <= r.CT.hits))
+          rows);
+    slow_case "32-point sweep table matches the golden file" (fun () ->
+        let golden = read_file sweep_golden_path in
+        let computed =
+          Paqoc_benchmarks.Sweep_table.(render (compute ()))
+        in
+        if not (String.equal golden computed) then begin
+          let module ST = Paqoc_benchmarks.Sweep_table in
+          let gr = ST.parse golden and cr = ST.parse computed in
+          let moved =
+            if List.length gr <> List.length cr then
+              [ Printf.sprintf "row count %d -> %d" (List.length gr)
+                  (List.length cr) ]
+            else
+              List.concat
+                (List.map2
+                   (fun (g : ST.row) (c : ST.row) ->
+                     if g = c then []
+                     else
+                       [ Printf.sprintf
+                           "iter %d: latency %.17g -> %.17g, esp %.17g -> \
+                            %.17g, interp/fallback/resynth %d/%d/%d -> \
+                            %d/%d/%d"
+                           g.ST.iter g.ST.latency c.ST.latency g.ST.esp
+                           c.ST.esp g.ST.interp g.ST.fallback g.ST.resynth
+                           c.ST.interp c.ST.fallback c.ST.resynth ])
+                   gr cr)
+          in
+          Alcotest.failf
+            "sweep table drifted (run `make update-golden` if \
+             intentional):@.%s"
+            (String.concat "\n" moved)
+        end);
+    case "sweep golden parses, covers the sweep and stays on the fast path"
+      (fun () ->
+        (* the acceptance floor lives in the pinned file: every iteration
+           present and in order, every parameter slot served from the
+           anchor table (model anchors price any angle in closed form, so
+           a fallback here means the hull or the plan shape regressed) *)
+        let module ST = Paqoc_benchmarks.Sweep_table in
+        let rows = ST.parse (read_file sweep_golden_path) in
+        check_int "thirty-two rows" 32 (List.length rows);
+        List.iteri
+          (fun i (r : ST.row) ->
+            check_int (Printf.sprintf "row %d in sweep order" i) i r.ST.iter;
+            check_true
+              (Printf.sprintf "iter %d latency positive" i)
+              (r.ST.latency > 0.0);
+            check_true
+              (Printf.sprintf "iter %d esp in (0,1]" i)
+              (r.ST.esp > 0.0 && r.ST.esp <= 1.0);
+            check_int
+              (Printf.sprintf "iter %d no fallbacks" i)
+              0 r.ST.fallback;
+            check_true
+              (Printf.sprintf "iter %d serves parameter slots" i)
+              (r.ST.interp > 0))
           rows);
     case "golden file parses and covers all seventeen benchmarks" (fun () ->
         let rows = LT.parse (read_file golden_path) in

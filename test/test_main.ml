@@ -24,5 +24,6 @@ let () =
       ("golden", Test_golden.suite);
       ("cache", Test_cache.suite);
       ("canon", Test_canon.suite);
-      ("server", Test_server.suite)
+      ("server", Test_server.suite);
+      ("sweep", Test_sweep.suite)
     ]

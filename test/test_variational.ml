@@ -31,12 +31,12 @@ let suite =
         let r3 = V.compile p gen (bindings 2) in
         check_true "new params still cheaper than cold"
           (r3.Paqoc.compile_seconds < r1.Paqoc.compile_seconds +. 1e-9));
-    case "unbound parameters are rejected" (fun () ->
+    case "unbound parameters are rejected with their names" (fun () ->
         let p = V.prepare ansatz in
         let gen = Gen.model_default () in
-        check_true "raises"
+        check_true "raises with the missing name"
           (try ignore (V.compile p gen [ ("gamma_0", 0.1) ]); false
-           with Failure _ -> true));
+           with V.Unbound_parameters missing -> missing = [ "beta_0" ]));
     case "latency does not depend on the iteration" (fun () ->
         let p = V.prepare ansatz in
         let gen = Gen.model_default () in

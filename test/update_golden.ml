@@ -2,7 +2,9 @@
    through the same code path its regression test compares with, so the
    files cannot diverge from what the tests compute:
      - the 17-benchmark latency table (Latency_table.render/compute)
-     - the GRAPE bit-determinism reference (Grape.reference_golden) *)
+     - the GRAPE bit-determinism reference (Grape.reference_golden)
+     - the canonical hit-rate table (Canon_table.render/compute)
+     - the 32-point variational sweep table (Sweep_table.render/compute) *)
 
 let write path contents =
   let tmp = path ^ ".tmp" in
@@ -12,15 +14,18 @@ let write path contents =
   Sys.rename tmp path
 
 let () =
-  let latency_path, grape_path, canon_path =
+  let latency_path, grape_path, canon_path, sweep_path =
     match Sys.argv with
-    | [| _; latency |] -> (Some latency, None, None)
-    | [| _; latency; grape |] -> (Some latency, Some grape, None)
+    | [| _; latency |] -> (Some latency, None, None, None)
+    | [| _; latency; grape |] -> (Some latency, Some grape, None, None)
     | [| _; latency; grape; canon |] ->
-      (Some latency, Some grape, Some canon)
+      (Some latency, Some grape, Some canon, None)
+    | [| _; latency; grape; canon; sweep |] ->
+      (Some latency, Some grape, Some canon, Some sweep)
     | _ ->
       prerr_endline
-        "usage: update_golden LATENCY_FILE [GRAPE_FILE] [CANON_FILE]";
+        "usage: update_golden LATENCY_FILE [GRAPE_FILE] [CANON_FILE] \
+         [SWEEP_FILE]";
       exit 2
   in
   Option.iter
@@ -47,4 +52,13 @@ let () =
       write path table;
       Printf.printf "wrote %s (%d benchmarks)\n" path
         (List.length (String.split_on_char '\n' table) - 5))
-    canon_path
+    canon_path;
+  Option.iter
+    (fun path ->
+      let table =
+        Paqoc_benchmarks.Sweep_table.(render (compute ()))
+      in
+      write path table;
+      Printf.printf "wrote %s (%d iterations)\n" path
+        (List.length (String.split_on_char '\n' table) - 4))
+    sweep_path
