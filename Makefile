@@ -37,6 +37,7 @@ check:
 	  --plan /tmp/paqoc_sweep.plan | grep -q 'interp hit rate 100.0%' \
 	  || (echo "check: warm sweep recompile not all interp hits" && exit 1)
 	@rm -f /tmp/paqoc_sweep.plan
+	$(MAKE) check-ir
 	$(MAKE) check-daemon
 
 # Daemon round trip: serve in the background, compile the suite through
@@ -107,6 +108,36 @@ check-daemon:
 	  /tmp/paqoc_dm_sweep_local.txt
 	@echo "check-daemon: daemon table and cache byte-identical; clean drain"
 
+# Pulse-IR export gate: a two-qubit QASM circuit exported on the QOC
+# backend must self-verify (every waveform re-simulates to its recorded
+# fidelity), the export must be byte-identical at --jobs 1 and --jobs 4,
+# and the model-backend qaoa export must match the pinned golden
+# byte-for-byte (the same bytes test/test_device.ml compares via
+# Pulse_ir.reference_golden).
+check-ir:
+	dune build bin/paqoc_cli.exe
+	@rm -f /tmp/paqoc_ir.qasm /tmp/paqoc_ir1.json /tmp/paqoc_ir4.json \
+	  /tmp/paqoc_ir_qaoa.json
+	@printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n' \
+	  > /tmp/paqoc_ir.qasm
+	@_build/default/bin/paqoc_cli.exe export-ir /tmp/paqoc_ir.qasm \
+	  /tmp/paqoc_ir1.json --device 1x2 --backend qoc --check \
+	  | grep -q 'IR verified' \
+	  || (echo "check-ir: QOC export failed to self-verify" && exit 1)
+	@_build/default/bin/paqoc_cli.exe export-ir /tmp/paqoc_ir.qasm \
+	  /tmp/paqoc_ir4.json --device 1x2 --backend qoc --jobs 4 > /dev/null
+	@cmp /tmp/paqoc_ir1.json /tmp/paqoc_ir4.json \
+	  || (echo "check-ir: IR bytes differ between --jobs 1 and --jobs 4" \
+	      && exit 1)
+	@_build/default/bin/paqoc_cli.exe compile qaoa \
+	  --emit-ir /tmp/paqoc_ir_qaoa.json > /dev/null
+	@cmp /tmp/paqoc_ir_qaoa.json test/golden/ir_qaoa.json \
+	  || (echo "check-ir: qaoa IR diverged from test/golden/ir_qaoa.json" \
+	      && exit 1)
+	@rm -f /tmp/paqoc_ir.qasm /tmp/paqoc_ir1.json /tmp/paqoc_ir4.json \
+	  /tmp/paqoc_ir_qaoa.json
+	@echo "check-ir: QOC export verified; jobs-invariant; qaoa golden matched"
+
 # Render the API docs with odoc. Skipped with a notice when odoc is not
 # installed locally; the CI job installs odoc and runs this on every
 # push, so broken doc comments fail there.
@@ -120,14 +151,15 @@ doc:
 
 # Refresh the pinned goldens (test/golden/): the 17-benchmark latency
 # table, the GRAPE bit-determinism reference, the per-benchmark canonical
-# hit-rate table and the 32-point variational sweep table. Run after an
-# intentional change to latencies, episode counts, GRAPE arithmetic, the
-# canonicalization invariants or the parametric fast path, and commit the
-# result; the golden tests render through the same code paths.
+# hit-rate table, the 32-point variational sweep table and the qaoa
+# pulse-IR export. Run after an intentional change to latencies, episode
+# counts, GRAPE arithmetic, the canonicalization invariants, the
+# parametric fast path or the IR writer, and commit the result; the
+# golden tests render through the same code paths.
 update-golden:
 	dune exec test/update_golden.exe -- test/golden/latency_table.txt \
 	  test/golden/grape_amplitudes.txt test/golden/canon_hit_rates.txt \
-	  test/golden/sweep_table.txt
+	  test/golden/sweep_table.txt test/golden/ir_qaoa.json
 
 # Worker-scaling benchmark (real GRAPE at 1/2/4 domains).
 bench-scaling:
@@ -151,7 +183,8 @@ bench-smoke:
 	@rm -f /tmp/paqoc_bench_cache_smoke.json
 	@python3 scripts/check_bench_schema.py BENCH_serve.json
 	@python3 scripts/check_bench_schema.py BENCH_sweep.json
-	@echo "bench-smoke: BENCH_grape, BENCH_cache, BENCH_serve and BENCH_sweep schemas OK"
+	@python3 scripts/check_bench_schema.py BENCH_devices.json
+	@echo "bench-smoke: BENCH_grape, BENCH_cache, BENCH_serve, BENCH_sweep and BENCH_devices schemas OK"
 
 # Reference-vs-incremental search trajectory: compiles the 17-benchmark
 # suite cold and warm with both search implementations, refuses to emit
@@ -213,9 +246,20 @@ bench-sweep:
 	dune exec bench/micro_main.exe -- --bench-sweep
 	@python3 scripts/check_bench_schema.py BENCH_sweep.json
 
+# Per-device suite trajectory: all 17 benchmarks compiled cold and warm
+# on each of the four registry devices against one shared cache, plus
+# the drift pass (a seed-1/epoch-1 lattice must resynthesize everything
+# despite the warm cache). Refuses to emit when a warm miss loses a
+# pulse or a stale pulse answers a drifted lookup; run after a device,
+# drift or cache-namespacing change and commit the JSON.
+bench-devices:
+	dune exec bench/micro_main.exe -- --bench-devices
+	@python3 scripts/check_bench_schema.py BENCH_devices.json
+
 # Full evaluation harness (tables, figures, bechamel kernels).
 bench:
 	dune exec bench/main.exe
 
-.PHONY: check check-daemon doc bench bench-scaling bench-smoke \
-  bench-search bench-serve bench-sweep check-search-golden update-golden
+.PHONY: check check-ir check-daemon doc bench bench-scaling bench-smoke \
+  bench-search bench-serve bench-sweep bench-devices check-search-golden \
+  update-golden

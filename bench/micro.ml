@@ -391,6 +391,140 @@ let run_bench_cache ?(path = "BENCH_cache.json") () =
   Sys.rename tmp path;
   Printf.printf "  bench entry written to %s\n%!" path
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_devices.json: per-device suite compile + cache isolation      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiles all 17 Table I benchmarks on each registry device against
+   ONE shared cache (model backend): a cold pass publishes every priced
+   group under the device's namespace, a warm pass with fresh generators
+   must then be answered entirely by the cache. Because the four devices
+   share the cache file, the per-device cold passes double as the
+   isolation measurement — a namespacing bug would let a later device
+   replay an earlier device's pulses and show up as a depressed cold
+   synthesis count. Two gates must hold or the entry is refused: every
+   warm-pass miss must be a regenerated pulse (fallbacks are never
+   published, so [misses = pulses_generated] — a surplus miss means a
+   synthesized pulse was lost), and a final drift-perturbed lattice pass
+   (seed 1, epoch 1) against the fully warmed cache must miss exactly as
+   often as the pristine lattice's cold pass did — a drifted device may
+   never have a lookup answered by its own stale pulses (intra-pass hits
+   under the drifted namespace are fine and expected). *)
+let run_bench_devices ?(path = "BENCH_devices.json") () =
+  Printf.printf "\n%s\nDEVICES  per-device suite compile (17 benchmarks)\n%s\n"
+    (String.make 78 '=') (String.make 78 '=');
+  let module Cache = Paqoc_pulse.Cache in
+  let module Device = Paqoc_topology.Device in
+  let module Drift = Paqoc_topology.Drift in
+  let pass ~label ~dev cache =
+    let t0 = Clock.now_s () in
+    let totals =
+      List.fold_left
+        (fun (synth, hits, misses) (e : Suite.entry) ->
+          let physical =
+            (Paqoc_topology.Transpile.run ~coupling:(Device.coupling dev)
+               (e.Suite.build ()))
+              .Paqoc_topology.Transpile.physical
+          in
+          let gen = Gen.model_default () in
+          Gen.set_device gen dev;
+          let s0 = Cache.stats cache in
+          let r = Paqoc.compile ~cache ~canonical:true gen physical in
+          let s1 = Cache.stats cache in
+          ( synth + r.Paqoc.pulses_generated,
+            hits + (s1.Cache.hits - s0.Cache.hits),
+            misses + (s1.Cache.misses - s0.Cache.misses) ))
+        (0, 0, 0) Suite.all
+    in
+    let wall = Clock.now_s () -. t0 in
+    let synth, hits, misses = totals in
+    Printf.printf
+      "  %-18s wall %6.2f s  %4d synthesized  %4d hits / %4d misses\n%!"
+      label wall synth hits misses;
+    (wall, synth, hits, misses)
+  in
+  let rate h m =
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  let cache_path = Filename.temp_file "paqoc_bench" ".cache" in
+  let per_device, drift =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove cache_path with Sys_error _ -> ())
+      (fun () ->
+        Cache.with_file cache_path (fun cache ->
+            let per_device =
+              List.map
+                (fun dev ->
+                  let name = Device.name dev in
+                  let cold = pass ~label:(name ^ " cold") ~dev cache in
+                  let warm = pass ~label:(name ^ " warm") ~dev cache in
+                  (dev, cold, warm))
+                Device.all
+            in
+            let drifted = Drift.apply ~seed:1 ~epoch:1 Device.lattice in
+            let drift = pass ~label:"lattice@drift cold" ~dev:drifted cache in
+            (per_device, drift)))
+  in
+  (* Gates: refuse to emit an entry that would record broken isolation. *)
+  List.iter
+    (fun (dev, _, (_, warm_synth, _, warm_misses)) ->
+      if warm_misses <> warm_synth then (
+        Printf.eprintf
+          "bench-devices: %s warm pass recorded %d cache misses but \
+           regenerated %d pulses (a synthesized pulse was lost)\n"
+          (Device.name dev) warm_misses warm_synth;
+        exit 1))
+    per_device;
+  let lattice_cold_misses =
+    match per_device with
+    | (_, (_, _, _, m), _) :: _ -> m
+    | [] -> 0
+  in
+  let _, _, _, drift_misses = drift in
+  if drift_misses <> lattice_cold_misses then (
+    Printf.eprintf
+      "bench-devices: drifted lattice recorded %d cache misses vs %d for the \
+       pristine cold pass (stale pulses answered %d lookups)\n"
+      drift_misses lattice_cold_misses
+      (lattice_cold_misses - drift_misses);
+    exit 1);
+  Printf.printf
+    "  gates: every warm miss regenerated (no lost pulses); drift forced a \
+     full cold resynthesis\n%!";
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\"schema\":\"paqoc-bench v1\",\"bench\":\"devices\",\"benchmarks\":%d,\
+     \"devices\":["
+    (List.length Suite.all);
+  List.iteri
+    (fun i (dev, cold, warm) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "{\"name\":%S,\"hash\":%S,\"qubits\":%d,\"runs\":[" (Device.name dev)
+        (Device.hash dev) (Device.n_qubits dev);
+      List.iteri
+        (fun j (phase, (wall, synth, hits, misses)) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf
+            "{\"phase\":%S,\"wall_s\":%.6f,\"synthesized\":%d,\
+             \"cache_hits\":%d,\"cache_misses\":%d,\"hit_rate\":%.4f}"
+            phase wall synth hits misses (rate hits misses))
+        [ ("cold", cold); ("warm", warm) ];
+      Buffer.add_string buf "]}")
+    per_device;
+  let drift_wall, drift_synth, drift_hits, drift_misses = drift in
+  Printf.bprintf buf
+    "],\"drift\":{\"seed\":1,\"epoch\":1,\"wall_s\":%.6f,\"synthesized\":%d,\
+     \"cache_hits\":%d,\"cache_misses\":%d},\"isolated\":true}\n"
+    drift_wall drift_synth drift_hits drift_misses;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Sys.rename tmp path;
+  Printf.printf "  bench entry written to %s\n%!" path
+
 let run () =
   Printf.printf "\n%s\nMICRO  bechamel kernels (one per table/figure)\n%s\n"
     (String.make 78 '=') (String.make 78 '=');

@@ -39,6 +39,15 @@
                                                      lazy-pool jobs-4 gate
                                                      (default
                                                      BENCH_serve.json)
+     dune exec bench/micro_main.exe -- --bench-devices[=PATH]
+                                                  -- emit the per-device
+                                                     suite entry: cold/warm
+                                                     compile of all four
+                                                     registry devices on one
+                                                     shared cache, plus the
+                                                     drift-isolation gate
+                                                     (default
+                                                     BENCH_devices.json)
      dune exec bench/micro_main.exe -- --bench-sweep[=PATH]
                                                   -- emit the variational
                                                      fast-path entry:
@@ -70,6 +79,7 @@ let () =
   let bench_search = flag_value "bench-search" args in
   let bench_serve = flag_value "bench-serve" args in
   let bench_sweep = flag_value "bench-sweep" args in
+  let bench_devices = flag_value "bench-devices" args in
   let phase = Option.join (flag_value "phase" args) in
   let iters = Option.bind (Option.join (flag_value "iters" args))
       int_of_string_opt in
@@ -81,16 +91,17 @@ let () =
     | ws -> ws
   in
   (match
-     (bench_sweep, bench_serve, bench_search, bench_cache, bench_grape,
-      bench_json)
+     (bench_devices, bench_sweep, bench_serve, bench_search, bench_cache,
+      bench_grape, bench_json)
    with
-  | Some path, _, _, _, _, _ -> Sweep.run_bench_sweep ?path ()
-  | None, Some path, _, _, _, _ -> Serve.run_bench_serve ?path ()
-  | None, None, Some path, _, _, _ -> Search.run_bench_search ?path ()
-  | None, None, None, Some path, _, _ -> Micro.run_bench_cache ?path ()
-  | None, None, None, None, Some path, _ ->
+  | Some path, _, _, _, _, _, _ -> Micro.run_bench_devices ?path ()
+  | None, Some path, _, _, _, _, _ -> Sweep.run_bench_sweep ?path ()
+  | None, None, Some path, _, _, _, _ -> Serve.run_bench_serve ?path ()
+  | None, None, None, Some path, _, _, _ -> Search.run_bench_search ?path ()
+  | None, None, None, None, Some path, _, _ -> Micro.run_bench_cache ?path ()
+  | None, None, None, None, None, Some path, _ ->
     Micro.run_bench_grape ?path ?phase ?iters ?repeats ()
-  | None, None, None, None, None, Some path ->
+  | None, None, None, None, None, None, Some path ->
     Micro.run_bench_json ?path ~workers ()
-  | None, None, None, None, None, None -> Micro.run_scaling ~workers ());
+  | None, None, None, None, None, None, None -> Micro.run_scaling ~workers ());
   if kernels then Micro.run ()

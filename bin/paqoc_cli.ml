@@ -7,6 +7,7 @@
                    pulse cache
      compile-sweep recompile a parameterised benchmark across a sweep of
                    angles through the frozen-plan fast path
+     export-ir     compile and export the pulse program as paqoc-ir v1 JSON
      mine          show the frequent subcircuits of a circuit
      benchmarks    list the built-in Table I benchmarks
      pulse         run GRAPE for a named gate and print the waveform summary *)
@@ -16,8 +17,10 @@ module Circuit = Paqoc_circuit.Circuit
 module Gate = Paqoc_circuit.Gate
 module Qasm = Paqoc_circuit.Qasm
 module Coupling = Paqoc_topology.Coupling
+module Device = Paqoc_topology.Device
 module Transpile = Paqoc_topology.Transpile
 module Gen = Paqoc_pulse.Generator
+module Pulse_ir = Paqoc_service.Pulse_ir
 module Protocol = Paqoc_pulse.Protocol
 module Server = Paqoc_pulse.Server
 module Service = Paqoc_service.Service
@@ -64,9 +67,10 @@ let inject_arg =
            point[:first=N|:every=N|:prob=P:seed=S] clauses, e.g. \
            $(b,grape-diverge) or $(b,timeout:first=2). Points: \
            grape-diverge, db-save-error, journal-append-error, \
-           pool-task-crash, timeout. Injected QOC failures are retried \
-           and then degrade to decomposed default-basis pulses, so \
-           compilation still succeeds.")
+           pool-task-crash, timeout, drift-shock. Injected QOC failures \
+           are retried and then degrade to decomposed default-basis \
+           pulses, so compilation still succeeds; drift-shock resolves \
+           the device one calibration epoch later than requested.")
 
 let arm_injection = function
   | None -> ()
@@ -127,9 +131,56 @@ let grid_of_spec = function
       Printf.eprintf "error: bad device spec %s (want RxC)\n" spec;
       exit 1)
 
-let device_of spec =
-  let rows, cols = grid_of_spec spec in
-  Coupling.grid ~rows ~cols
+(* --device accepts a registry device name first (lattice, heavy-hex,
+   square, ring), then a bare RxC grid spec. The wire carries the name
+   (or the grid dimensions); the in-process paths resolve through
+   Service.resolve_device so the CLI and the daemon cannot disagree. *)
+let device_spec_parts spec =
+  match Device.find spec with
+  | Some _ -> (Some spec, 5, 5)
+  | None ->
+    let rows, cols = grid_of_spec spec in
+    (None, rows, cols)
+
+let resolve_device spec ~drift_seed ~drift_epoch =
+  if drift_seed < 0 || drift_epoch < 0 then begin
+    Printf.eprintf "error: --drift-seed/--drift-epoch must be >= 0 (got %d/%d)\n"
+      drift_seed drift_epoch;
+    exit 1
+  end;
+  let name, rows, cols = device_spec_parts spec in
+  try Service.resolve_device ~device:name ~rows ~cols ~drift_seed ~drift_epoch
+  with Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* Printed only when the resolved device differs physically from the
+   paper's lattice, so default-device output stays byte-identical. *)
+let print_device dev =
+  if Device.cache_namespace dev <> "" then
+    Printf.printf "device          : %s (hash %s)\n" (Device.name dev)
+      (Device.hash dev)
+
+let drift_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "drift-seed" ] ~docv:"S"
+        ~doc:
+          "Calibration-drift seed: with $(b,--drift-epoch) E > 0 the \
+           device's couplings and bounds are perturbed by the seeded, \
+           deterministic drift model before compiling. The drifted \
+           device hashes differently, so cached pulses from other \
+           epochs never replay. With $(b,--connect) the seed travels \
+           with the request.")
+
+let drift_epoch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "drift-epoch" ] ~docv:"E"
+        ~doc:
+          "Calibration-drift epoch (0 = pristine calibration). Epochs \
+           are independent draws, not cumulative: epoch E is the same \
+           device for any job count and any earlier history.")
 
 (* Shared --cache plumbing: open (or create) the journaled shared pulse
    cache around the work, always closing it — close compacts any pending
@@ -349,8 +400,13 @@ let compile_cmd =
   let device =
     Arg.(
       value & opt string "5x5"
-      & info [ "d"; "device" ] ~docv:"RxC"
-          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+      & info [ "d"; "device" ] ~docv:"DEV"
+          ~doc:
+            "Target device: a registry name ($(b,lattice), \
+             $(b,heavy-hex), $(b,square), $(b,ring)) or a bare RxC grid \
+             spec, e.g. 5x5 (the paper's platform) or 2x4. Non-default \
+             devices namespace every shared-cache key with their content \
+             hash, so pulses never leak across devices.")
   in
   let max_n =
     Arg.(
@@ -420,6 +476,18 @@ let compile_cmd =
              $(b,--connect) the budget travels with the request and is \
              enforced by the daemon (queue time counts).")
   in
+  let emit_ir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-ir" ] ~docv:"FILE"
+          ~doc:
+            "Export the compiled pulse program as a paqoc-ir v1 JSON \
+             document to $(docv) (byte-deterministic at any \
+             $(b,--jobs); on the qoc backend it carries the sampled \
+             waveforms and is self-verifying — see $(b,paqoc \
+             export-ir) and docs/pulse-ir.md). In-process only.")
+  in
   let print_result (r : Protocol.compile_result) input =
     Printf.printf
       "transpiled %s: %d logical qubits -> %d-qubit device, %d physical \
@@ -437,9 +505,9 @@ let compile_cmd =
          latency penalty included above)\n"
         r.Protocol.fallbacks
   in
-  let run input scheme search device max_n top_k show_groups jobs db
-      cache_file canonical backend retries task_seconds connect deadline_s
-      inject metrics trace =
+  let run input scheme search device drift_seed drift_epoch max_n top_k
+      show_groups jobs db cache_file canonical backend retries task_seconds
+      connect deadline_s emit_ir inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
@@ -453,10 +521,11 @@ let compile_cmd =
       reject_with_connect
         [ ("--db", db <> None); ("--cache", cache_file <> None);
           ("--show-groups", show_groups); ("--inject", inject <> None);
+          ("--emit-ir", emit_ir <> None);
           ("--retries", retries <> Gen.default_retry.Gen.max_attempts);
           ("--task-seconds", task_seconds <> None) ];
       with_observability ~metrics ~trace @@ fun () ->
-      let rows, cols = grid_of_spec device in
+      let dev_name, rows, cols = device_spec_parts device in
       let req =
         { Protocol.circuit = proto_circuit input;
           scheme = proto_scheme scheme;
@@ -468,6 +537,9 @@ let compile_cmd =
           top_k;
           jobs;
           canonical;
+          device = dev_name;
+          drift_seed;
+          drift_epoch;
           deadline_s
         }
       in
@@ -481,7 +553,8 @@ let compile_cmd =
       arm_injection inject;
       with_observability ~metrics ~trace @@ fun () ->
       let logical = load_circuit input in
-      let coupling = device_of device in
+      let dev = resolve_device device ~drift_seed ~drift_epoch in
+      let coupling = Device.coupling dev in
       let t = Transpile.run ~coupling logical in
       let physical = t.Transpile.physical in
       Printf.printf
@@ -490,6 +563,7 @@ let compile_cmd =
         input logical.Circuit.n_qubits
         (Coupling.n_qubits coupling)
         (Circuit.n_gates physical) t.Transpile.swaps_added;
+      print_device dev;
       let retry =
         { Gen.default_retry with
           Gen.max_attempts = retries;
@@ -502,6 +576,7 @@ let compile_cmd =
         | `Qoc -> Gen.qoc_default ~retry ()
       in
       Gen.set_canonical gen canonical;
+      Gen.set_device gen dev;
       (match db with
       | Some file when Sys.file_exists file -> (
         try
@@ -538,6 +613,19 @@ let compile_cmd =
           (fun i (g : Gate.app) ->
             Printf.printf "  group %3d: %s\n" i (Gate.app_to_string g))
           grouped.Circuit.gates;
+      (match emit_ir with
+      | None -> ()
+      | Some file -> (
+        try
+          let ir =
+            Pulse_ir.of_report ~device:dev ~gen ~grouped ~latency ~esp
+          in
+          Pulse_ir.save ir file;
+          Printf.printf "pulse IR        : %s (%d instructions)\n" file
+            (List.length ir.Pulse_ir.schedule)
+        with Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1));
       match db with
       | Some file -> (
         try
@@ -554,10 +642,11 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Transpile and compile a circuit to a pulse schedule.")
     Term.(
-      const run $ input $ scheme_arg $ search_arg $ device $ max_n $ top_k
-      $ show_groups $ jobs $ db $ cache_arg $ canonical_arg $ backend
-      $ retries $ task_seconds $ connect_arg $ deadline_arg $ inject_arg
-      $ metrics_arg $ trace_arg)
+      const run $ input $ scheme_arg $ search_arg $ device $ drift_seed_arg
+      $ drift_epoch_arg $ max_n $ top_k $ show_groups $ jobs $ db
+      $ cache_arg $ canonical_arg $ backend $ retries $ task_seconds
+      $ connect_arg $ deadline_arg $ emit_ir_arg $ inject_arg $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile-suite                                                       *)
@@ -572,8 +661,11 @@ let compile_suite_cmd =
   let device =
     Arg.(
       value & opt string "5x5"
-      & info [ "d"; "device" ] ~docv:"RxC"
-          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+      & info [ "d"; "device" ] ~docv:"DEV"
+          ~doc:
+            "Target device: a registry name ($(b,lattice), \
+             $(b,heavy-hex), $(b,square), $(b,ring)) or a bare RxC grid \
+             spec, e.g. 5x5 (the paper's platform) or 2x4.")
   in
   let jobs =
     Arg.(
@@ -593,13 +685,19 @@ let compile_suite_cmd =
             "Pulse engine: $(b,model) (analytic latency model, instant) or \
              $(b,qoc) (real GRAPE searches; slow, small circuits only).")
   in
-  let run scheme search device jobs cache_file canonical backend connect
-      inject metrics trace =
+  let run scheme search device drift_seed drift_epoch jobs cache_file
+      canonical backend connect inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
       exit 1
     end;
-    let rows, cols = grid_of_spec device in
+    if drift_seed < 0 || drift_epoch < 0 then begin
+      Printf.eprintf
+        "error: --drift-seed/--drift-epoch must be >= 0 (got %d/%d)\n"
+        drift_seed drift_epoch;
+      exit 1
+    end;
+    let dev_name, rows, cols = device_spec_parts device in
     let mk_req (e : Suite.entry) =
       { Protocol.default_compile with
         Protocol.circuit = Protocol.Benchmark e.Suite.name;
@@ -609,7 +707,10 @@ let compile_suite_cmd =
         rows;
         cols;
         jobs;
-        canonical
+        canonical;
+        device = dev_name;
+        drift_seed;
+        drift_epoch
       }
     in
     (* both paths print through Service's formatters from the same
@@ -659,9 +760,9 @@ let compile_suite_cmd =
          "Compile every Table I benchmark against one shared pulse cache \
           and report per-benchmark cache hit rates.")
     Term.(
-      const run $ scheme_arg $ search_arg $ device $ jobs $ cache_arg
-      $ canonical_arg $ backend $ connect_arg $ inject_arg $ metrics_arg
-      $ trace_arg)
+      const run $ scheme_arg $ search_arg $ device $ drift_seed_arg
+      $ drift_epoch_arg $ jobs $ cache_arg $ canonical_arg $ backend
+      $ connect_arg $ inject_arg $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compile-sweep                                                       *)
@@ -724,8 +825,11 @@ let compile_sweep_cmd =
   let device =
     Arg.(
       value & opt string "5x5"
-      & info [ "d"; "device" ] ~docv:"RxC"
-          ~doc:"Grid device, e.g. 5x5 (the paper's platform) or 2x4.")
+      & info [ "d"; "device" ] ~docv:"DEV"
+          ~doc:
+            "Target device: a registry name ($(b,lattice), \
+             $(b,heavy-hex), $(b,square), $(b,ring)) or a bare RxC grid \
+             spec, e.g. 5x5 (the paper's platform) or 2x4.")
   in
   let jobs =
     Arg.(
@@ -838,10 +942,17 @@ let compile_sweep_cmd =
       s.Protocol.iterations;
     print_string (Service.sweep_totals s)
   in
-  let run input sweep_n seed angles_file interp_tol anchors device jobs
-      backend cache_file plan connect deadline_s inject metrics trace =
+  let run input sweep_n seed angles_file interp_tol anchors device
+      drift_seed drift_epoch jobs backend cache_file plan connect deadline_s
+      inject metrics trace =
     if jobs < 1 then begin
       Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    if drift_seed < 0 || drift_epoch < 0 then begin
+      Printf.eprintf
+        "error: --drift-seed/--drift-epoch must be >= 0 (got %d/%d)\n"
+        drift_seed drift_epoch;
       exit 1
     end;
     if anchors < 2 then begin
@@ -852,7 +963,7 @@ let compile_sweep_cmd =
       Printf.eprintf "error: --interp-tol must be > 0 (got %g)\n" interp_tol;
       exit 1
     end;
-    let rows, cols = grid_of_spec device in
+    let dev_name, rows, cols = device_spec_parts device in
     (* angles are generated client-side in both transports: the circuit's
        free parameters are a pure function of the benchmark, so the
        daemon request carries exactly the bindings an in-process run
@@ -873,6 +984,9 @@ let compile_sweep_cmd =
         rc_anchors = anchors;
         rc_interp_tol = interp_tol;
         rc_angles = angles;
+        rc_device = dev_name;
+        rc_drift_seed = drift_seed;
+        rc_drift_epoch = drift_epoch;
         rc_deadline_s = deadline_s
       }
     in
@@ -922,8 +1036,132 @@ let compile_sweep_cmd =
           to real synthesis.")
     Term.(
       const run $ input $ sweep_n $ seed $ angles_file $ interp_tol
-      $ anchors $ device $ jobs $ backend $ cache_arg $ plan_arg
-      $ connect_arg $ deadline_arg $ inject_arg $ metrics_arg $ trace_arg)
+      $ anchors $ device $ drift_seed_arg $ drift_epoch_arg $ jobs
+      $ backend $ cache_arg $ plan_arg $ connect_arg $ deadline_arg
+      $ inject_arg $ metrics_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export-ir                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile in-process and export the pulse program as paqoc-ir v1. The
+   subcommand form of compile's --emit-ir, with a --check pass that
+   re-reads the written file and re-simulates every waveform. *)
+let export_ir_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CIRCUIT" ~doc:"QASM file or built-in benchmark name.")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output paqoc-ir v1 JSON file.")
+  in
+  let device =
+    Arg.(
+      value & opt string "5x5"
+      & info [ "d"; "device" ] ~docv:"DEV"
+          ~doc:
+            "Target device: a registry name ($(b,lattice), \
+             $(b,heavy-hex), $(b,square), $(b,ring)) or a bare RxC grid \
+             spec.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for pulse generation (deterministic: any N \
+             exports byte-identical IR).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("model", `Model); ("qoc", `Qoc) ]) `Model
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Pulse engine: $(b,model) (prices only, no waveforms in the \
+             IR) or $(b,qoc) (real GRAPE; the IR carries sampled \
+             waveforms and is self-verifying).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After writing, re-read the file, parse it back and \
+             re-simulate every waveform: the achieved fidelity must \
+             agree with the recorded one to within $(b,--tol).")
+  in
+  let tol =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "tol" ] ~docv:"T"
+          ~doc:"Max |recorded - re-simulated| fidelity drift $(b,--check) \
+                accepts.")
+  in
+  let run input output scheme search device drift_seed drift_epoch jobs
+      backend cache_file canonical check tol =
+    if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" jobs;
+      exit 1
+    end;
+    let logical = load_circuit input in
+    let dev = resolve_device device ~drift_seed ~drift_epoch in
+    let t = Transpile.run ~coupling:(Device.coupling dev) logical in
+    let gen =
+      match backend with
+      | `Model -> Gen.model_default ()
+      | `Qoc -> Gen.qoc_default ()
+    in
+    Gen.set_canonical gen canonical;
+    Gen.set_device gen dev;
+    let latency, esp, _seconds, groups, fallbacks, grouped =
+      with_cache cache_file (fun cache ->
+          run_scheme scheme ~max_n:3 ~top_k:1 ~jobs ~search ?cache gen
+            t.Transpile.physical)
+    in
+    (try
+       Pulse_ir.save
+         (Pulse_ir.of_report ~device:dev ~gen ~grouped ~latency ~esp)
+         output
+     with Failure msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1);
+    Printf.printf
+      "pulse IR        : %s (%d instructions, %d fallbacks, device %s)\n"
+      output groups fallbacks (Device.name dev);
+    if check then begin
+      match Pulse_ir.load output with
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" output (Pulse_ir.error_to_string e);
+        exit 1
+      | Ok ir -> (
+        match Pulse_ir.verify ~tol ir with
+        | Error msg ->
+          Printf.eprintf "error: %s: %s\n" output msg;
+          exit 1
+        | Ok r ->
+          Printf.printf
+            "IR verified     : %d waveforms re-simulated, %d skipped \
+             (model-priced), max fidelity drift %.3g\n"
+            r.Pulse_ir.checked r.Pulse_ir.skipped r.Pulse_ir.max_drift)
+    end
+  in
+  Cmd.v
+    (Cmd.info "export-ir"
+       ~doc:
+         "Compile a circuit and export its pulse program as a \
+          byte-deterministic paqoc-ir v1 JSON document; with \
+          $(b,--check), parse the file back and re-simulate every \
+          waveform against its recorded fidelity.")
+    Term.(
+      const run $ input $ output $ scheme_arg $ search_arg $ device
+      $ drift_seed_arg $ drift_epoch_arg $ jobs $ backend $ cache_arg
+      $ canonical_arg $ check $ tol)
 
 (* ------------------------------------------------------------------ *)
 (* mine                                                                *)
@@ -1247,5 +1485,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "paqoc" ~doc)
-          [ compile_cmd; compile_suite_cmd; compile_sweep_cmd; serve_cmd;
-            stop_cmd; mine_cmd; benchmarks_cmd; pulse_cmd ]))
+          [ compile_cmd; compile_suite_cmd; compile_sweep_cmd; export_ir_cmd;
+            serve_cmd; stop_cmd; mine_cmd; benchmarks_cmd; pulse_cmd ]))

@@ -384,6 +384,54 @@ let publish_class t (ci : Db_format.class_info) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Device eviction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The device hash of a fully-qualified key, when it carries the
+   "dev:<hash>|" namespace ({!Paqoc_topology.Device.cache_namespace});
+   [None] for default-lattice keys, which are never namespace-evicted. *)
+let device_of_key k =
+  if String.length k > 4 && String.equal (String.sub k 0 4) "dev:" then
+    match String.index_opt k '|' with
+    | Some i when i > 4 -> Some (String.sub k 4 (i - 4))
+    | _ -> None
+  else None
+
+let evict_devices ?(keep = []) t =
+  let stale h = not (List.exists (String.equal h) keep) in
+  let drop_stale tbl =
+    let victims =
+      Hashtbl.fold
+        (fun k _ acc ->
+          match device_of_key k with
+          | Some h when stale h -> k :: acc
+          | _ -> acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) victims;
+    List.length victims
+  in
+  let dropped = ref 0 in
+  Array.iter
+    (fun s ->
+      locked s.slock (fun () ->
+          dropped :=
+            !dropped + drop_stale s.entries + drop_stale s.shapes
+            + drop_stale s.classes))
+    t.stripes;
+  if !dropped > 0 then begin
+    Obs.count ~n:!dropped "cache.device_evicted";
+    (* fold the eviction into the backing file: the next snapshot is a
+       pure function of the in-memory tables, so compacting now drops
+       the stale records from disk as well *)
+    match t.journal with
+    | None -> ()
+    | Some j ->
+      locked j.jlock (fun () -> if j.open_ then compact_locked t j)
+  end;
+  !dropped
+
+(* ------------------------------------------------------------------ *)
 (* Open / close                                                        *)
 (* ------------------------------------------------------------------ *)
 

@@ -193,6 +193,19 @@ val stats : t -> stats
     {!Faultin.Db_save_error}); the existing file is left intact. *)
 val compact : t -> unit
 
+(** [evict_devices ?keep t] implements the device recalibration policy:
+    entries, shape signatures and class records published under a
+    ["dev:<hash>|"] namespace ({!Paqoc_topology.Device.cache_namespace})
+    whose hash is {e not} in [keep] are dropped; default-lattice records
+    (no namespace) are never touched. Stale records are otherwise kept
+    indefinitely — a drift epoch may roll back — so eviction is always
+    an explicit call, not a side effect of drifting. Returns the number
+    of records dropped, counts each as [cache.device_evicted], and (on a
+    journaled cache) compacts so the backing file drops them too.
+    @raise Failure when the post-eviction compaction fails (the
+    in-memory eviction has already happened; the file is left intact). *)
+val evict_devices : ?keep:string list -> t -> int
+
 (** [save t path] writes a sorted snapshot (v3, or v4 when class records
     exist) of the current contents to an arbitrary [path] (atomic),
     leaving the backing journal (if any) untouched.

@@ -6,6 +6,7 @@ type point =
   | Journal_append_error
   | Pool_task_crash
   | Timeout
+  | Drift_shock
 
 type trigger =
   | Always
@@ -21,10 +22,11 @@ let point_name = function
   | Journal_append_error -> "journal-append-error"
   | Pool_task_crash -> "pool-task-crash"
   | Timeout -> "timeout"
+  | Drift_shock -> "drift-shock"
 
 let all_points =
   [ Grape_diverge; Db_save_error; Journal_append_error; Pool_task_crash;
-    Timeout ]
+    Timeout; Drift_shock ]
 
 (* One cell per point; [armed] is the single load every disarmed [fire]
    pays. Counts survive individual firings but reset on [configure] so a

@@ -28,6 +28,12 @@ type point =
           append layer rolls the file back so it is never left torn *)
   | Pool_task_crash  (** a pool task raises before running *)
   | Timeout  (** a QOC task's deadline fires immediately *)
+  | Drift_shock
+      (** the service resolves a compile's device one calibration epoch
+          later than requested ({!Paqoc_topology.Drift}), modelling an
+          unannounced recalibration landing mid-traffic: the device hash
+          changes, every shared-cache key misses, and the request pays
+          full resynthesis under the new namespace *)
 
 (** When an armed point actually fires, as a function of the point's
     1-based call count. *)
@@ -68,8 +74,8 @@ val call_count : point -> int
     ["timeout:first=2"], ["db-save-error:every=3"],
     ["grape-diverge:prob=0.25:seed=42,timeout"]. Points:
     [grape-diverge], [db-save-error], [journal-append-error],
-    [pool-task-crash], [timeout]. Returns [Error msg] on malformed
-    input. *)
+    [pool-task-crash], [timeout], [drift-shock]. Returns [Error msg] on
+    malformed input. *)
 val parse_spec : string -> ((point * trigger) list, string) result
 
 (** [spec_to_string pts] prints a spec {!parse_spec} accepts (diagnostic

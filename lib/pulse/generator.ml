@@ -2,6 +2,7 @@ module Gate = Paqoc_circuit.Gate
 module Cmat = Paqoc_linalg.Cmat
 module Canon = Paqoc_canon.Canon
 module Fidelity = Paqoc_linalg.Fidelity
+module Device = Paqoc_topology.Device
 module Obs = Paqoc_obs.Obs
 module Clock = Paqoc_obs.Clock
 
@@ -135,6 +136,12 @@ type t = {
       (** when set (and a shared cache is attached), the shared consult
           adds the equivalence-class tier and synthesised pulses publish
           their class record *)
+  mutable device : Device.t;
+      (** the calibrated device this generator synthesises for: its
+          [synthesis_mu]/[drive_bound] parameterise every QOC
+          Hamiltonian and its [cache_namespace] prefixes every shared-
+          cache key, so pulses never leak across devices. Defaults to
+          {!Device.lattice} (empty namespace — the historical bytes) *)
   replays : (string, replay) Hashtbl.t;
       (** class-tier hits taken this run, by the requesting group's key *)
   priced : (string, float) Hashtbl.t;
@@ -186,6 +193,7 @@ let create ?(retry = default_retry) ?shared backend =
     n_fallback = 0;
     shared;
     canonical = false;
+    device = Device.lattice;
     replays = Hashtbl.create 16;
     priced = Hashtbl.create 256;
     price_epoch = 0;
@@ -204,6 +212,8 @@ let set_shared_cache t c = locked t (fun () -> t.shared <- c)
 let shared_cache t = locked t (fun () -> t.shared)
 let set_canonical t b = locked t (fun () -> t.canonical <- b)
 let canonical_enabled t = locked t (fun () -> t.canonical)
+let set_device t d = locked t (fun () -> t.device <- d)
+let device t = locked t (fun () -> t.device)
 
 let canonical_replays t =
   locked t (fun () ->
@@ -267,8 +277,12 @@ let coupled_pairs_of g =
   in
   List.rev (collect [] g.gates)
 
-let hamiltonian_of g =
-  Hamiltonian.make ~n_qubits:g.n_qubits ~coupled_pairs:(coupled_pairs_of g) ()
+let hamiltonian_for ~device g =
+  Hamiltonian.make ~mu:(Device.synthesis_mu device)
+    ~drive_bound:(Device.drive_bound device) ~n_qubits:g.n_qubits
+    ~coupled_pairs:(coupled_pairs_of g) ()
+
+let hamiltonian_of g = hamiltonian_for ~device:Device.lattice g
 
 (* Human-readable label for a group, used by typed search errors. *)
 let group_label g =
@@ -292,8 +306,9 @@ let perturb_pulse ~seed ~attempt (p : Pulse.t) =
   in
   { p with Pulse.amplitudes }
 
-let run_qoc search_cfg model_cfg g ~seed_pulse ~retry ~attempt ~deadline =
-  let h = hamiltonian_of g in
+let run_qoc search_cfg model_cfg g ~device ~seed_pulse ~retry ~attempt
+    ~deadline =
+  let h = hamiltonian_for ~device g in
   let target = Gate.unitary_of_apps ~n_qubits:g.n_qubits g.gates in
   let lower_bound =
     Float.max search_cfg.Duration_search.dt
@@ -463,9 +478,28 @@ type plan =
           group's consult, so the batch planner replays it the same way
           a shared-cache class hit would *)
 
+(* Every shared-cache consult and publish goes through the generator's
+   device namespace ({!Device.cache_namespace}): keys, shape signatures
+   and class keys are prefixed with ["dev:<hash>|"] for any device whose
+   calibration differs from the default lattice, so one shared cache can
+   serve every device without a pulse ever crossing between two of them.
+   The default device's namespace is the empty string — its cache bytes
+   are the historical, pre-registry ones. Local tables always hold bare
+   keys; [strip_namespace] recovers the local key from a fully-qualified
+   shared one (class records store qualified [rep_key]s). *)
+let namespace t = Device.cache_namespace t.device
+
+let strip_namespace ns k =
+  let p = String.length ns in
+  if p = 0 then k
+  else if String.length k >= p && String.equal (String.sub k 0 p) ns then
+    String.sub k p (String.length k - p)
+  else k
+
 (* Serial-order seed planning; call with [t.lock] held. *)
 let plan_batch t groups =
   let n = Array.length groups in
+  let ns = namespace t in
   (* in-batch providers, replace semantics like the real tables *)
   let batch_cache = Hashtbl.create (2 * n) in
   let batch_shape = Hashtbl.create (2 * n) in
@@ -500,7 +534,7 @@ let plan_batch t groups =
     match canon with
     | None -> None
     | Some (ck, target) -> (
-      match Cache.probe_class c ck with
+      match Cache.probe_class c (ns ^ ck) with
       | None -> None
       | Some (ci : Db_format.class_info) -> (
         match Cache.probe c ci.rep_key with
@@ -527,10 +561,10 @@ let plan_batch t groups =
         | Some (l, r) -> Some (j, rep_key, l, r, target)))
   in
   let shared_probe k =
-    match t.shared with None -> None | Some c -> Cache.probe c k
+    match t.shared with None -> None | Some c -> Cache.probe c (ns ^ k)
   in
   let shared_mem_shape s =
-    match t.shared with None -> false | Some c -> Cache.mem_shape c s
+    match t.shared with None -> false | Some c -> Cache.mem_shape c (ns ^ s)
   in
   let shape_src sign = function
     | Batch j -> Src_batch j
@@ -637,7 +671,7 @@ let plan_batch t groups =
         match t.shared with
         | None -> plan_synth ()
         | Some c -> (
-          match Cache.probe c k with
+          match Cache.probe c (ns ^ k) with
           | Some e ->
             Cache.note_consult c `Hit;
             P_hit_db (import_entry e)
@@ -652,14 +686,13 @@ let plan_batch t groups =
                  callers can audit it *)
               Cache.note_consult c `Canonical_hit;
               let o = import_entry e in
+              let local_rep = strip_namespace ns ci.Db_format.rep_key in
               Hashtbl.replace t.replays k
-                { rep_key = ci.Db_format.rep_key;
+                { rep_key = local_rep;
                   correction_l = l;
                   correction_r = r;
                   rep_pulse =
-                    (match
-                       Hashtbl.find_opt t.cache ci.Db_format.rep_key
-                     with
+                    (match Hashtbl.find_opt t.cache local_rep with
                     | Some (ro : outcome) -> ro.pulse
                     | None -> None);
                   target
@@ -771,8 +804,8 @@ let synthesize t ~g ~k ~cls ~seed_pulse ~prefix_latency =
           }
     | Qoc (search_cfg, model_cfg) -> (
       let r, elapsed =
-        run_qoc search_cfg model_cfg g ~seed_pulse ~retry:policy ~attempt
-          ~deadline
+        run_qoc search_cfg model_cfg g ~device:t.device ~seed_pulse
+          ~retry:policy ~attempt ~deadline
       in
       match r with
       | Ok r ->
@@ -878,6 +911,7 @@ let execute pool t plans =
    serial loop's side effects exactly, so accounting and tables end up
    independent of how the execution interleaved. *)
 let commit_batch t plans results =
+  let ns = namespace t in
   let outcome_of j =
     match results.(j) with Some o -> o | None -> assert false
   in
@@ -952,23 +986,25 @@ let commit_batch t plans results =
         (match (t.shared, o.provenance) with
         | Some c, Synthesized -> (
           try
-            Cache.publish c k
+            Cache.publish c (ns ^ k)
               { Db_format.latency = o.latency;
                 error = o.error;
                 fidelity = o.fidelity;
                 provenance = o.provenance
               };
-            Cache.publish_shape c sign;
+            Cache.publish_shape c (ns ^ sign);
             (match canon with
             | Some (ck, u) ->
               (* first-publisher-wins inside [publish_class], and the
                  commit phase is serial, so the class representative is
-                 independent of the worker count *)
+                 independent of the worker count. Both the class key and
+                 the representative key are published fully-qualified,
+                 so the class tier is device-scoped end to end *)
               Cache.publish_class c
-                { Db_format.class_key = ck;
+                { Db_format.class_key = ns ^ ck;
                   n_qubits = g.n_qubits;
                   unitary = Canon.unitary_to_floats u;
-                  rep_key = k
+                  rep_key = ns ^ k
                 }
             | None -> ())
           with Failure _ ->

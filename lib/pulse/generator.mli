@@ -65,8 +65,16 @@ type backend =
     group [g]: X/Y drives on every wire plus one exchange control per pair
     of wires that some (flattened) two-or-more-qubit gate of [g] couples.
     Exposed so the simulator propagates pulses under the exact Hamiltonian
-    they were optimised against. *)
+    they were optimised against. Equivalent to
+    [hamiltonian_for ~device:Paqoc_topology.Device.lattice]. *)
 val hamiltonian_of : group -> Hamiltonian.t
+
+(** [hamiltonian_for ~device g] is {!hamiltonian_of} calibrated to a
+    registry device: the exchange controls are bounded by the device's
+    {!Paqoc_topology.Device.synthesis_mu} and the X/Y drives by its
+    {!Paqoc_topology.Device.drive_bound}. This is the Hamiltonian a
+    generator with [set_device] applied synthesises against. *)
+val hamiltonian_for : device:Paqoc_topology.Device.t -> group -> Hamiltonian.t
 
 (** Per-task resilience policy. A failing synthesis is retried up to
     [max_attempts - 1] more times with deterministically perturbed restarts
@@ -131,6 +139,26 @@ val pricing_is_analytic : t -> bool
 val set_shared_cache : t -> Cache.t option -> unit
 
 val shared_cache : t -> Cache.t option
+
+(** {1 Devices}
+
+    A generator synthesises for exactly one calibrated device
+    ({!Paqoc_topology.Device}), default {!Paqoc_topology.Device.lattice}
+    — the paper's 5x5 uniform lattice, whose behaviour (Hamiltonian
+    bounds, cache keys and bytes) is identical to the pre-registry code.
+    For any other device, every QOC Hamiltonian is built from the
+    device's calibrated [synthesis_mu]/[drive_bound], and every shared-
+    cache key (entries, shapes, class records) is prefixed with the
+    device's ["dev:<hash>|"] namespace
+    ({!Paqoc_topology.Device.cache_namespace}) so pulses never leak
+    across devices — including across {!Paqoc_topology.Drift} epochs of
+    the same device, whose hashes differ. *)
+
+(** [set_device t d] selects the device subsequent generations
+    synthesise for. Must not race an in-flight {!generate_batch}. *)
+val set_device : t -> Paqoc_topology.Device.t -> unit
+
+val device : t -> Paqoc_topology.Device.t
 
 (** {1 Canonicalization (equivalence-class replay)}
 

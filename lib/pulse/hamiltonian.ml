@@ -1,5 +1,6 @@
 module Cx = Paqoc_linalg.Cx
 module Cmat = Paqoc_linalg.Cmat
+module Device = Paqoc_topology.Device
 
 type control = { label : string; op : Cmat.t; bound : float }
 
@@ -10,8 +11,11 @@ type t = {
   controls : control array;
 }
 
-let mu_max = 0.02
-let drive_max = 5.0 *. mu_max
+(* Single-sourced through the device registry: the same two constants
+   feed the registry devices' calibration records, so a device can never
+   disagree with the optimizer bounds derived here. *)
+let mu_max = Device.default_mu
+let drive_max = Device.drive_ratio *. mu_max
 
 let sigma_x = Cmat.of_real_lists [ [ 0.; 1. ]; [ 1.; 0. ] ]
 
@@ -20,14 +24,19 @@ let sigma_y =
 
 let sigma_z = Cmat.of_real_lists [ [ 1.; 0. ]; [ 0.; -1. ] ]
 
-let make ?(mu = mu_max) ~n_qubits ~coupled_pairs () =
+let make ?(mu = mu_max) ?drive_bound ~n_qubits ~coupled_pairs () =
   if n_qubits <= 0 then invalid_arg "Hamiltonian.make: need qubits";
   let dim = 1 lsl n_qubits in
+  let drive_bound =
+    match drive_bound with
+    | Some b -> b
+    | None -> Device.drive_ratio *. mu
+  in
   let half m = Cmat.scale_re 0.5 m in
   let drive q (pauli, tag) =
     { label = Printf.sprintf "%s%d" tag q;
       op = Cmat.embed ~n_qubits (half pauli) ~on:[ q ];
-      bound = 5.0 *. mu
+      bound = drive_bound
     }
   in
   let drives =

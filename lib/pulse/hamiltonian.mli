@@ -27,17 +27,30 @@ type t = {
   controls : control array;
 }
 
-(** Default two-qubit control bound, rad/dt. *)
+(** Default two-qubit control bound, rad/dt — single-sourced from
+    {!Paqoc_topology.Device.default_mu} so registry devices and the
+    optimizer bounds cannot disagree. *)
 val mu_max : float
 
-(** Single-qubit drive bound: [5 * mu_max], per the paper's setup. *)
+(** Single-qubit drive bound:
+    [Paqoc_topology.Device.drive_ratio *. mu_max], per the paper's
+    setup. *)
 val drive_max : float
 
 (** [make ~n_qubits ~coupled_pairs] builds the control problem for a gate
     group: X and Y drives on every qubit, an XY exchange control on each
-    listed pair (local indices).
+    listed pair (local indices). [mu] bounds the exchange controls;
+    [drive_bound] bounds the X/Y drives (default
+    [Paqoc_topology.Device.drive_ratio *. mu] — override it with a
+    registry device's calibrated {!Paqoc_topology.Device.drive_bound}).
     @raise Invalid_argument on out-of-range pairs. *)
-val make : ?mu:float -> n_qubits:int -> coupled_pairs:(int * int) list -> unit -> t
+val make :
+  ?mu:float ->
+  ?drive_bound:float ->
+  n_qubits:int ->
+  coupled_pairs:(int * int) list ->
+  unit ->
+  t
 
 val n_controls : t -> int
 

@@ -365,6 +365,14 @@ type compile_request = {
       (** enable the equivalence-class cache tier for this request; only
           serialised when [true], so frames to pre-canonicalization
           daemons are byte-identical to before *)
+  device : string option;
+      (** registry device name; [None] means the rows x cols grid. Only
+          serialised when present, so frames to pre-registry daemons are
+          byte-identical to before *)
+  drift_seed : int;
+  drift_epoch : int;
+      (** calibration-drift epoch (0 = pristine calibration); seed and
+          epoch are only serialised when non-zero *)
   deadline_s : float option;
 }
 
@@ -379,6 +387,9 @@ let default_compile =
     top_k = 1;
     jobs = 1;
     canonical = false;
+    device = None;
+    drift_seed = 0;
+    drift_epoch = 0;
     deadline_s = None
   }
 
@@ -396,6 +407,9 @@ type recompile_request = {
   rc_anchors : int;
   rc_interp_tol : float;
   rc_angles : (string * float) list list;
+  rc_device : string option;
+  rc_drift_seed : int;
+  rc_drift_epoch : int;
   rc_deadline_s : float option;
 }
 
@@ -408,6 +422,9 @@ let default_recompile =
     rc_anchors = 5;
     rc_interp_tol = 1e-6;
     rc_angles = [];
+    rc_device = None;
+    rc_drift_seed = 0;
+    rc_drift_epoch = 0;
     rc_deadline_s = None
   }
 
@@ -514,6 +531,13 @@ let request_to_json = function
          ("jobs", int_ c.jobs)
        ]
       @ (if c.canonical then [ ("canonical", Bool true) ] else [])
+      @ (match c.device with
+        | None -> []
+        | Some d -> [ ("device", Str d) ])
+      @ (if c.drift_seed <> 0 then [ ("drift_seed", int_ c.drift_seed) ]
+         else [])
+      @ (if c.drift_epoch <> 0 then [ ("drift_epoch", int_ c.drift_epoch) ]
+         else [])
       @
       match c.deadline_s with
       | None -> []
@@ -540,6 +564,14 @@ let request_to_json = function
                   Obj (List.map (fun (p, v) -> (p, num v)) iter))
                 r.rc_angles) )
        ]
+      @ (match r.rc_device with
+        | None -> []
+        | Some d -> [ ("device", Str d) ])
+      @ (if r.rc_drift_seed <> 0 then [ ("drift_seed", int_ r.rc_drift_seed) ]
+         else [])
+      @ (if r.rc_drift_epoch <> 0 then
+           [ ("drift_epoch", int_ r.rc_drift_epoch) ]
+         else [])
       @
       match r.rc_deadline_s with
       | None -> []
@@ -608,6 +640,22 @@ let compile_request_of_json j =
     | Some (Bool b) -> Ok b
     | Some _ -> Error "field \"canonical\" must be a boolean"
   in
+  let* device =
+    match field "device" j with
+    | None -> Ok default_compile.device
+    | Some (Str d) -> Ok (Some d)
+    | Some _ -> Error "field \"device\" must be a string"
+  in
+  let nonneg_or name default =
+    match field name j with
+    | None -> Ok default
+    | Some _ -> (
+      match int_field name j with
+      | Some v when v >= 0 -> Ok v
+      | _ -> Error (Printf.sprintf "field %S must be an integer >= 0" name))
+  in
+  let* drift_seed = nonneg_or "drift_seed" default_compile.drift_seed in
+  let* drift_epoch = nonneg_or "drift_epoch" default_compile.drift_epoch in
   let* deadline_s =
     match field "deadline_s" j with
     | None -> Ok None
@@ -617,7 +665,7 @@ let compile_request_of_json j =
   Ok
     (Compile
        { circuit; scheme; search; backend; rows; cols; max_n; top_k; jobs;
-         canonical; deadline_s
+         canonical; device; drift_seed; drift_epoch; deadline_s
        })
 
 let rec map_result f = function
@@ -681,6 +729,16 @@ let recompile_request_of_json j =
     | Some _ -> Error "field \"angles\" must be an array of iterations"
     | None -> Error "missing field \"angles\""
   in
+  let* rc_device =
+    match field "device" j with
+    | None -> Ok default_recompile.rc_device
+    | Some (Str d) -> Ok (Some d)
+    | Some _ -> Error "field \"device\" must be a string"
+  in
+  let* rc_drift_seed = int_or "drift_seed" default_recompile.rc_drift_seed ~min:0 in
+  let* rc_drift_epoch =
+    int_or "drift_epoch" default_recompile.rc_drift_epoch ~min:0
+  in
   let* rc_deadline_s =
     match field "deadline_s" j with
     | None -> Ok None
@@ -690,7 +748,8 @@ let recompile_request_of_json j =
   Ok
     (Recompile
        { rc_circuit; rc_backend; rc_rows; rc_cols; rc_jobs; rc_anchors;
-         rc_interp_tol; rc_angles; rc_deadline_s
+         rc_interp_tol; rc_angles; rc_device; rc_drift_seed; rc_drift_epoch;
+         rc_deadline_s
        })
 
 let request_of_json j =

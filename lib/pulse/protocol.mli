@@ -93,6 +93,15 @@ type compile_request = {
       (** enable the shared cache's equivalence-class tier
           ([--canonical-cache]); serialised only when [true], so frames
           to daemons predating the field are unchanged *)
+  device : string option;
+      (** registry device name ([--device lattice] etc.,
+          {!Paqoc_topology.Device.find}); [None] compiles on the plain
+          rows x cols grid. Serialised only when present, so frames to
+          daemons predating the registry are unchanged. *)
+  drift_seed : int;  (** calibration-drift seed ([--drift-seed]) *)
+  drift_epoch : int;
+      (** calibration-drift epoch ([--drift-epoch], 0 = pristine);
+          seed and epoch are serialised only when non-zero *)
   deadline_s : float option;
       (** per-request budget in seconds, measured from admission; spent
           queueing counts. [None] uses the server's default. *)
@@ -123,6 +132,9 @@ type recompile_request = {
   rc_anchors : int;  (** seeded anchor grid size (>= 2) *)
   rc_interp_tol : float;  (** max |predicted - resimulated| drift *)
   rc_angles : (string * float) list list;  (** one binding list per iteration *)
+  rc_device : string option;  (** registry device name; [None] = grid *)
+  rc_drift_seed : int;
+  rc_drift_epoch : int;
   rc_deadline_s : float option;
 }
 

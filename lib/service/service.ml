@@ -4,6 +4,9 @@ module Gen = Paqoc_pulse.Generator
 module Circuit = Paqoc_circuit.Circuit
 module Qasm = Paqoc_circuit.Qasm
 module Coupling = Paqoc_topology.Coupling
+module Device = Paqoc_topology.Device
+module Drift = Paqoc_topology.Drift
+module Faultin = Paqoc_pulse.Faultin
 module Transpile = Paqoc_topology.Transpile
 module Suite = Paqoc_benchmarks.Suite
 module Accqoc = Paqoc_accqoc.Accqoc
@@ -25,6 +28,34 @@ let check_deadline = function
   | Some d when Clock.now_s () > d -> raise Protocol.Deadline_exceeded
   | _ -> ()
 
+(* Device resolution, shared by both request kinds (and the CLI's
+   in-process paths): a registry name wins, a bare grid is the uniform
+   ad-hoc lattice, and the calibration-drift epoch is applied last — so
+   the resolved device's hash (and therefore its cache namespace)
+   already reflects the drift. The drift-shock fault models an
+   unannounced recalibration landing mid-traffic: the request is served
+   one epoch later than it asked for. *)
+let resolve_device ~device ~rows ~cols ~drift_seed ~drift_epoch =
+  if drift_seed < 0 || drift_epoch < 0 then
+    failwith
+      (Printf.sprintf "drift seed/epoch must be >= 0 (got %d/%d)" drift_seed
+         drift_epoch);
+  let base =
+    match device with
+    | Some name -> (
+      match Device.find name with
+      | Some d -> d
+      | None ->
+        failwith
+          (Printf.sprintf "unknown device %s (expected one of: %s)" name
+             (String.concat ", " (List.map Device.name Device.all))))
+    | None -> Device.grid ~rows ~cols
+  in
+  let drift_epoch =
+    if Faultin.fire Faultin.Drift_shock then drift_epoch + 1 else drift_epoch
+  in
+  Drift.apply ~seed:drift_seed ~epoch:drift_epoch base
+
 let handle ?cache ~deadline (req : Protocol.compile_request) =
   if req.Protocol.rows < 1 || req.Protocol.cols < 1 then
     failwith
@@ -35,7 +66,12 @@ let handle ?cache ~deadline (req : Protocol.compile_request) =
   if req.Protocol.max_n < 1 || req.Protocol.top_k < 1 then
     failwith "max_qubits and top_k must be >= 1";
   let logical = resolve_circuit req.Protocol.circuit in
-  let coupling = Coupling.grid ~rows:req.Protocol.rows ~cols:req.Protocol.cols in
+  let dev =
+    resolve_device ~device:req.Protocol.device ~rows:req.Protocol.rows
+      ~cols:req.Protocol.cols ~drift_seed:req.Protocol.drift_seed
+      ~drift_epoch:req.Protocol.drift_epoch
+  in
+  let coupling = Device.coupling dev in
   let t = Transpile.run ~coupling logical in
   let physical = t.Transpile.physical in
   (* fresh generator per request: no cross-request database aliasing, and
@@ -49,6 +85,7 @@ let handle ?cache ~deadline (req : Protocol.compile_request) =
   (* the generator is fresh, so this scopes the equivalence-class tier
      to exactly this request — both the PAQOC and AccQOC paths *)
   Gen.set_canonical gen req.Protocol.canonical;
+  Gen.set_device gen dev;
   let stats0 = Option.map Cache.stats cache in
   let jobs = req.Protocol.jobs in
   let latency, esp, compile_seconds, episodes, fallbacks =
@@ -148,16 +185,18 @@ type plan_entry = { plan_lock : Mutex.t; mutable frozen : V.plan option }
 let registry_lock = Mutex.create ()
 let plan_registry : (string, plan_entry) Hashtbl.t = Hashtbl.create 8
 
-let plan_key (req : Protocol.recompile_request) =
+let plan_key ~dev (req : Protocol.recompile_request) =
   let circ =
     match req.Protocol.rc_circuit with
     | Protocol.Benchmark name -> "bench:" ^ name
     | Protocol.Qasm src -> "qasm:" ^ Digest.to_hex (Digest.string src)
   in
-  Printf.sprintf "%s|%dx%d|%s|%d" circ req.Protocol.rc_rows
+  (* keyed on the device's content hash, not its name: two names with
+     the same physics share a plan; a drift epoch never does *)
+  Printf.sprintf "%s|%dx%d|%s|%d|%s" circ req.Protocol.rc_rows
     req.Protocol.rc_cols
     (Protocol.backend_name req.Protocol.rc_backend)
-    req.Protocol.rc_anchors
+    req.Protocol.rc_anchors (Device.hash dev)
 
 let plan_entry key =
   locked registry_lock (fun () ->
@@ -182,6 +221,11 @@ let sweep_handle ?cache ?plan_path ~deadline (req : Protocol.recompile_request) 
   if not (req.Protocol.rc_interp_tol > 0.0) then
     failwith "interp_tol must be positive";
   check_deadline deadline;
+  let dev =
+    resolve_device ~device:req.Protocol.rc_device ~rows:req.Protocol.rc_rows
+      ~cols:req.Protocol.rc_cols ~drift_seed:req.Protocol.rc_drift_seed
+      ~drift_epoch:req.Protocol.rc_drift_epoch
+  in
   (* fresh generator per request, exactly like [handle]; all
      cross-request reuse flows through the shared cache and the frozen
      plan *)
@@ -192,13 +236,12 @@ let sweep_handle ?cache ?plan_path ~deadline (req : Protocol.recompile_request) 
       | Protocol.Qoc -> Gen.qoc_default ()
     in
     Gen.set_shared_cache gen cache;
+    Gen.set_device gen dev;
     gen
   in
   let freeze_plan () =
     let logical = resolve_sweep_circuit req.Protocol.rc_circuit in
-    let coupling =
-      Coupling.grid ~rows:req.Protocol.rc_rows ~cols:req.Protocol.rc_cols
-    in
+    let coupling = Device.coupling dev in
     let t = Transpile.run ~coupling logical in
     V.freeze ~anchors:req.Protocol.rc_anchors ~jobs:req.Protocol.rc_jobs
       (V.prepare t.Transpile.physical)
@@ -255,7 +298,7 @@ let sweep_handle ?cache ?plan_path ~deadline (req : Protocol.recompile_request) 
     V.save_plan plan path;
     result
   | None ->
-    let entry = plan_entry (plan_key req) in
+    let entry = plan_entry (plan_key ~dev req) in
     locked entry.plan_lock (fun () ->
         let plan =
           match entry.frozen with

@@ -19,14 +19,35 @@
     shared {!Paqoc_pulse.Cache}, exactly like the suite driver's
     cross-benchmark dedup. *)
 
+(** [resolve_device ~device ~rows ~cols ~drift_seed ~drift_epoch] is the
+    one device-resolution path for every request kind (and the CLI's
+    in-process commands): a registry name ([device = Some _],
+    {!Paqoc_topology.Device.find}) wins; [None] is the uniform ad-hoc
+    [rows x cols] grid. Calibration drift
+    ({!Paqoc_topology.Drift.apply}) is applied last, so the returned
+    device's hash — and therefore its shared-cache namespace — already
+    reflects the epoch. An armed
+    {!Paqoc_pulse.Faultin.Drift_shock} fault resolves one epoch later
+    than requested (the unannounced-recalibration scenario).
+    @raise Failure on an unknown device name or negative seed/epoch. *)
+val resolve_device :
+  device:string option ->
+  rows:int ->
+  cols:int ->
+  drift_seed:int ->
+  drift_epoch:int ->
+  Paqoc_topology.Device.t
+
 (** [handle ?cache ~deadline req] compiles one request. [deadline] is an
     absolute {!Paqoc_obs.Clock} time forwarded to the pipeline's
-    stage-boundary checks.
+    stage-boundary checks. The request's device is resolved with
+    {!resolve_device} and pinned on the fresh generator, so its pulses
+    live under the device's cache namespace.
     @raise Paqoc_pulse.Protocol.Deadline_exceeded when the budget
     expires at a stage boundary.
-    @raise Failure on an unresolvable request (unknown benchmark, QASM
-    parse error, bad grid/knobs) — the server maps it to a typed wire
-    error. *)
+    @raise Failure on an unresolvable request (unknown benchmark or
+    device, QASM parse error, bad grid/knobs) — the server maps it to a
+    typed wire error. *)
 val handle :
   ?cache:Paqoc_pulse.Cache.t ->
   deadline:float option ->
@@ -42,9 +63,9 @@ val handler :
 (** {1 Variational sweeps}
 
     The daemon side of [compile-sweep]: resolve the symbolic benchmark,
-    transpile it onto the requested grid, freeze a
+    transpile it onto the resolved device ({!resolve_device}), freeze a
     {!Paqoc.Variational} compile plan — memoised across requests, keyed
-    on circuit/grid/backend/anchors, which is what makes a resident
+    on circuit/grid/backend/anchors/device-hash, which is what makes a resident
     daemon worth connecting to for sweeps — and serve every iteration
     through {!Paqoc.Variational.recompile} with a fresh per-request
     generator against the shared cache. Requests sharing a plan

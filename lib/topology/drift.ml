@@ -1,0 +1,34 @@
+let amplitude = 0.01
+
+(* One PRNG stream per (seed, epoch, site): drawing a site's scale
+   factor never depends on how many draws other sites made, so the
+   perturbed device is a pure function of the triple. *)
+let scale ~seed ~epoch ~site =
+  let st = Random.State.make [| 0x5d1f7; seed; epoch; site |] in
+  1.0 +. (amplitude *. ((2.0 *. Random.State.float st 1.0) -. 1.0))
+
+let apply ~seed ~epoch (d : Device.t) =
+  if epoch < 0 then invalid_arg "Drift.apply: negative epoch";
+  if epoch = 0 then d
+  else
+    let n_edges = List.length d.Device.edge_mu in
+    { d with
+      Device.description =
+        Printf.sprintf "%s [drift seed %d epoch %d]" d.Device.description
+          seed epoch;
+      edge_mu =
+        List.mapi
+          (fun i (e, mu) -> (e, mu *. scale ~seed ~epoch ~site:i))
+          d.Device.edge_mu;
+      qubits =
+        Array.mapi
+          (fun q (c : Device.qubit_cal) ->
+            { Device.anharmonicity =
+                c.Device.anharmonicity
+                *. scale ~seed ~epoch ~site:(n_edges + (2 * q));
+              drive_bound =
+                c.Device.drive_bound
+                *. scale ~seed ~epoch ~site:(n_edges + (2 * q) + 1)
+            })
+          d.Device.qubits
+    }

@@ -1,0 +1,35 @@
+(** Deterministic calibration drift.
+
+    Real devices are recalibrated on a cadence; every recalibration
+    epoch shifts coupling strengths and qubit parameters by fractions of
+    a percent, and every cached pulse optimised against the old
+    calibration is stale. [Drift] simulates that production failure
+    mode deterministically: {!apply} perturbs a {!Device.t}'s
+    calibration as a pure function of [(seed, epoch, site)], so the same
+    seed and epoch always yield the same perturbed device — and hence
+    the same {!Device.hash}, which is what lets tests pin the
+    cache-invalidation behaviour byte-for-byte.
+
+    Because the hash changes, every shared-cache key the drifted device
+    reads or writes carries a fresh ["dev:<hash>|"] namespace
+    ({!Device.cache_namespace}): stale pulses remain in the cache under
+    the old hash (the recalibration policy keeps them — an epoch may
+    roll back) until an explicit {!Paqoc_pulse.Cache.evict_devices}
+    drops them. See [docs/devices.md] for the drift semantics. *)
+
+(** Fractional half-width of one epoch's perturbation (0.01: each
+    coupling strength and calibration value moves by at most +-1% per
+    epoch, uniformly). *)
+val amplitude : float
+
+(** [apply ~seed ~epoch d] is [d] recalibrated to [epoch]. Epoch 0 is
+    the identity (the device is returned unchanged, hash included).
+    For [epoch > 0] every coupling strength, anharmonicity and drive
+    bound is scaled by [1 + amplitude * u] with [u] drawn uniformly
+    from [[-1, 1)] by a PRNG seeded with [(seed, epoch, site index)] —
+    per-site streams, so perturbations are independent across sites and
+    reproducible regardless of evaluation order. Epochs are not
+    cumulative: [apply ~epoch:2] perturbs the base calibration, not the
+    epoch-1 one.
+    @raise Invalid_argument when [epoch < 0]. *)
+val apply : seed:int -> epoch:int -> Device.t -> Device.t

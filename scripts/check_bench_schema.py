@@ -7,9 +7,10 @@ here before anyone tries to plot a perf trajectory from broken entries.
 Dispatches on the document's "bench" tag: "grape" (per-iteration GRAPE
 cost), "cache" (cold-vs-warm shared-cache suite compile), "search"
 (reference-vs-incremental criticality-search trajectory), "serve"
-(resident-daemon throughput/latency plus the lazy-pool jobs gate) or
+(resident-daemon throughput/latency plus the lazy-pool jobs gate),
 "sweep" (variational fast-path speedup plus the interpolation-drift and
-replay gates).
+replay gates) or "devices" (per-device suite compile on one shared cache
+plus the cross-device/drift isolation gates).
 """
 import json
 import sys
@@ -258,9 +259,87 @@ def check_sweep(path, doc, runs):
              f"check pulses no longer reproduces their fidelities")
 
 
+DEVICES_RUN_FIELDS = {
+    "phase": str,
+    "wall_s": (int, float),
+    "synthesized": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "hit_rate": (int, float),
+}
+
+DEVICES_DEVICE_FIELDS = {
+    "name": str,
+    "hash": str,
+    "qubits": int,
+    "runs": list,
+}
+
+DEVICES_DRIFT_FIELDS = {
+    "seed": int,
+    "epoch": int,
+    "wall_s": (int, float),
+    "synthesized": int,
+    "cache_hits": int,
+    "cache_misses": int,
+}
+
+
+def check_devices(path, doc, devices):
+    n = doc.get("benchmarks")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+        fail(f"{path}: benchmarks must be a positive int")
+    names = []
+    hashes = []
+    for i, dev in enumerate(devices):
+        check_fields(path, f"devices[{i}]", dev, DEVICES_DEVICE_FIELDS)
+        names.append(dev["name"])
+        hashes.append(dev["hash"])
+        if len(dev["hash"]) != 32:
+            fail(f"{path}: devices[{i}].hash is not 32 hex chars")
+        if dev["qubits"] < 1:
+            fail(f"{path}: devices[{i}].qubits must be positive")
+        phases = []
+        for j, run in enumerate(dev["runs"]):
+            check_fields(path, f"devices[{i}].runs[{j}]", run,
+                         DEVICES_RUN_FIELDS)
+            phases.append(run["phase"])
+            if not 0.0 <= run["hit_rate"] <= 1.0:
+                fail(f"{path}: devices[{i}].runs[{j}].hit_rate must be "
+                     f"in [0,1]")
+        if phases != ["cold", "warm"]:
+            fail(f"{path}: devices[{i}] run phases are {phases}, "
+                 f"want ['cold', 'warm']")
+        warm = dev["runs"][1]
+        # fallbacks are never published, so every warm miss must be a
+        # regenerated pulse — a surplus miss means a pulse was lost
+        if warm["cache_misses"] != warm["synthesized"]:
+            fail(f"{path}: devices[{i}] warm pass lost "
+                 f"{warm['cache_misses'] - warm['synthesized']} pulses")
+    if names != ["lattice", "heavy-hex", "square", "ring"]:
+        fail(f"{path}: device names are {names}, want the registry order")
+    if len(set(hashes)) != len(hashes):
+        fail(f"{path}: device hashes are not distinct")
+    drift = doc.get("drift")
+    check_fields(path, "drift", drift, DEVICES_DRIFT_FIELDS)
+    # the recalibration guarantee: a drifted lattice against the fully
+    # warmed cache misses exactly as often as the pristine cold pass did
+    cold_misses = devices[0]["runs"][0]["cache_misses"]
+    if drift["cache_misses"] != cold_misses:
+        fail(f"{path}: drifted lattice missed {drift['cache_misses']} "
+             f"lookups vs {cold_misses} cold — stale pulses were replayed")
+    if doc.get("isolated") is not True:
+        fail(f"{path}: isolated must be true — cross-device isolation "
+             f"was not upheld")
+
+
 CHECKERS = {"grape": check_grape, "cache": check_cache,
             "search": check_search, "serve": check_serve,
-            "sweep": check_sweep}
+            "sweep": check_sweep, "devices": check_devices}
+
+# most benches list their runs under "runs"; the devices bench groups
+# runs per device under "devices"
+RUN_LIST_KEY = {"devices": "devices"}
 
 
 def check(path):
@@ -277,11 +356,12 @@ def check(path):
     if bench not in CHECKERS:
         fail(f"{path}: bench is {bench!r}, want one of "
              f"{sorted(CHECKERS)}")
-    runs = doc.get("runs")
+    key = RUN_LIST_KEY.get(bench, "runs")
+    runs = doc.get(key)
     if not isinstance(runs, list) or not runs:
-        fail(f"{path}: runs must be a non-empty list")
+        fail(f"{path}: {key} must be a non-empty list")
     CHECKERS[bench](path, doc, runs)
-    print(f"{path}: bench {bench!r}, {len(runs)} runs, schema OK")
+    print(f"{path}: bench {bench!r}, {len(runs)} {key}, schema OK")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,240 @@
+(* The device registry, calibration drift and the pulse-IR exporter:
+   hash stability, cross-device cache isolation, drift-forced
+   recalibration, the explicit eviction policy, per-device compile
+   determinism across --jobs, the pinned IR golden, and the reader's
+   typed rejection of malformed documents. *)
+open Test_util
+module Device = Paqoc_topology.Device
+module Drift = Paqoc_topology.Drift
+module Cache = Paqoc_pulse.Cache
+module Db = Paqoc_pulse.Db_format
+module Protocol = Paqoc_pulse.Protocol
+module Service = Paqoc_service.Service
+module Pulse_ir = Paqoc_service.Pulse_ir
+module Obs = Paqoc_obs.Obs
+
+(* under `dune runtest` the cwd is the test directory (the dep glob puts
+   the file at golden/...); when the binary is run by hand from the repo
+   root the file lives under test/ *)
+let ir_golden_path =
+  if Sys.file_exists "golden/ir_qaoa.json" then "golden/ir_qaoa.json"
+  else "test/golden/ir_qaoa.json"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* replace the first occurrence of [needle] in [hay] — for minting
+   malformed IR documents out of the well-formed golden *)
+let replace_first ~needle ~by hay =
+  let nh = String.length needle and lh = String.length hay in
+  let rec find i =
+    if i + nh > lh then None
+    else if String.sub hay i nh = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "mutation needle %S not found" needle
+  | Some i ->
+    String.sub hay 0 i ^ by
+    ^ String.sub hay (i + nh) (lh - i - nh)
+
+let entry lat =
+  { Cache.latency = lat;
+    error = 0.001;
+    fidelity = 0.999;
+    provenance = Db.Synthesized
+  }
+
+let compile_req ?(jobs = 1) ?device ?(drift_seed = 0) ?(drift_epoch = 0) name
+    =
+  { Protocol.default_compile with
+    Protocol.circuit = Protocol.Benchmark name;
+    jobs;
+    device;
+    drift_seed;
+    drift_epoch
+  }
+
+let suite =
+  [ case "registry: names resolve, order is pinned, hashes are distinct"
+      (fun () ->
+        let names = List.map Device.name Device.all in
+        check_true "registry order"
+          (names = [ "lattice"; "heavy-hex"; "square"; "ring" ]);
+        List.iter
+          (fun d ->
+            match Device.find (Device.name d) with
+            | Some d' ->
+              check_true
+                ("find returns the registered " ^ Device.name d)
+                (Device.hash d = Device.hash d')
+            | None -> Alcotest.failf "find %s failed" (Device.name d))
+          Device.all;
+        check_true "unknown name misses" (Device.find "bogus" = None);
+        let hashes = List.map Device.hash Device.all in
+        check_int "hashes distinct"
+          (List.length hashes)
+          (List.length (List.sort_uniq compare hashes));
+        List.iter
+          (fun h -> check_int "32 hex chars" 32 (String.length h))
+          hashes);
+    case "lattice is grid 5x5: same hash, empty cache namespace" (fun () ->
+        check_true "grid 5x5 hashes like lattice"
+          (Device.hash (Device.grid ~rows:5 ~cols:5)
+          = Device.hash Device.lattice);
+        check_true "lattice namespace is empty (pre-registry byte compat)"
+          (Device.cache_namespace Device.lattice = "");
+        let g34 = Device.grid ~rows:3 ~cols:4 in
+        check_true "non-5x5 grids hash differently and are namespaced"
+          (Device.cache_namespace g34 = "dev:" ^ Device.hash g34 ^ "|");
+        check_true "other devices are namespaced"
+          (Device.cache_namespace Device.ring
+          = "dev:" ^ Device.hash Device.ring ^ "|"));
+    case "drift: epoch 0 is the identity, epochs are seeded and distinct"
+      (fun () ->
+        let base = Device.ring in
+        check_true "epoch 0 leaves the hash alone"
+          (Device.hash (Drift.apply ~seed:7 ~epoch:0 base)
+          = Device.hash base);
+        let a = Drift.apply ~seed:7 ~epoch:3 base in
+        let b = Drift.apply ~seed:7 ~epoch:3 base in
+        check_true "same seed+epoch reproduces the hash"
+          (Device.hash a = Device.hash b);
+        check_true "different epoch drifts differently"
+          (Device.hash a
+          <> Device.hash (Drift.apply ~seed:7 ~epoch:4 base));
+        check_true "different seed drifts differently"
+          (Device.hash a
+          <> Device.hash (Drift.apply ~seed:8 ~epoch:3 base));
+        check_true "drift changes the hash at all"
+          (Device.hash a <> Device.hash base);
+        check_true "negative epoch is rejected"
+          (try
+             ignore (Drift.apply ~seed:1 ~epoch:(-1) base);
+             false
+           with Invalid_argument _ -> true));
+    case "cache: device namespaces isolate identical keys" (fun () ->
+        let c = Cache.create () in
+        let ns_ring = Device.cache_namespace Device.ring in
+        let ns_hex = Device.cache_namespace Device.heavy_hex in
+        Cache.publish c "k" (entry 10.0);
+        Cache.publish c (ns_ring ^ "k") (entry 20.0);
+        (match Cache.find c (ns_hex ^ "k") with
+        | None -> ()
+        | Some _ ->
+          Alcotest.fail "heavy-hex lookup answered by another device");
+        (match Cache.find c (ns_ring ^ "k") with
+        | Some e -> check_float "ring sees its own entry" 20.0 e.Cache.latency
+        | None -> Alcotest.fail "ring entry lost");
+        match Cache.find c "k" with
+        | Some e -> check_float "default entry intact" 10.0 e.Cache.latency
+        | None -> Alcotest.fail "default entry lost");
+    case "cache: evict_devices drops stale namespaces, counts, keeps default"
+      (fun () ->
+        Fun.protect ~finally:Obs.reset @@ fun () ->
+        Obs.enable ();
+        let c = Cache.create () in
+        let ns_ring = Device.cache_namespace Device.ring in
+        let drifted = Drift.apply ~seed:1 ~epoch:1 Device.ring in
+        let ns_stale = Device.cache_namespace drifted in
+        Cache.publish c "k" (entry 1.0);
+        Cache.publish c (ns_ring ^ "k") (entry 2.0);
+        Cache.publish c (ns_stale ^ "k") (entry 3.0);
+        Cache.publish c (ns_stale ^ "k2") (entry 4.0);
+        let dropped = Cache.evict_devices ~keep:[ Device.hash Device.ring ] c in
+        check_int "stale records dropped" 2 dropped;
+        check_int "counter agrees" 2 (Obs.counter_value "cache.device_evicted");
+        check_true "kept device survives"
+          (Cache.probe c (ns_ring ^ "k") <> None);
+        check_true "default-lattice records are never evicted"
+          (Cache.probe c "k" <> None);
+        check_true "stale records gone" (Cache.probe c (ns_stale ^ "k") = None));
+    slow_case "compile: every registry device, rows identical at jobs 1 and 4"
+      (fun () ->
+        List.iter
+          (fun d ->
+            let name = Device.name d in
+            let row jobs =
+              Service.suite_row "bv"
+                (Service.handle ~cache:(Cache.create ()) ~deadline:None
+                   (compile_req ~jobs ~device:name "bv"))
+            in
+            Alcotest.(check string)
+              (name ^ ": suite row byte-identical across jobs")
+              (row 1) (row 4))
+          Device.all);
+    slow_case "compile: drift invalidates a warm cache, pristine epoch rehits"
+      (fun () ->
+        let cache = Cache.create () in
+        let go ?drift_seed ?drift_epoch () =
+          Service.handle ~cache ~deadline:None
+            (compile_req ~device:"ring" ?drift_seed ?drift_epoch "bv")
+        in
+        let cold = go () in
+        check_true "cold run synthesized" (cold.Protocol.synthesized > 0);
+        let warm = go () in
+        check_int "warm run misses nothing" 0 warm.Protocol.cache_misses;
+        check_int "warm run synthesizes nothing" 0 warm.Protocol.synthesized;
+        let drifted = go ~drift_seed:1 ~drift_epoch:1 () in
+        check_int "drifted run replays no stale pulses"
+          cold.Protocol.cache_misses drifted.Protocol.cache_misses;
+        check_int "drifted run resynthesizes everything"
+          cold.Protocol.synthesized drifted.Protocol.synthesized;
+        let back = go () in
+        check_int "rolling back to epoch 0 rehits" 0
+          back.Protocol.cache_misses);
+    slow_case "pulse IR: qaoa export matches the pinned golden byte-for-byte"
+      (fun () ->
+        let golden = read_file ir_golden_path in
+        let computed = Pulse_ir.to_string (Pulse_ir.reference_golden ()) in
+        check_true "bytes identical (make update-golden after an intentional \
+                    IR change)"
+          (String.equal golden computed));
+    slow_case "pulse IR: of_string >> to_string is the identity; verify runs"
+      (fun () ->
+        let golden = read_file ir_golden_path in
+        match Pulse_ir.of_string golden with
+        | Error e ->
+          Alcotest.failf "golden does not parse: %s"
+            (Pulse_ir.error_to_string e)
+        | Ok ir ->
+          check_true "round trip is the identity"
+            (String.equal golden (Pulse_ir.to_string ir));
+          check_true "device hash matches the registry"
+            (ir.Pulse_ir.device_hash = Device.hash Device.lattice);
+          (match Pulse_ir.verify ir with
+          | Error msg -> Alcotest.failf "verify failed: %s" msg
+          | Ok r ->
+            check_int "model-backend IR has nothing to re-simulate" 0
+              r.Pulse_ir.checked;
+            check_int "every instruction skipped"
+              (List.length ir.Pulse_ir.schedule)
+              r.Pulse_ir.skipped));
+    case "pulse IR: malformed documents fail with typed errors" (fun () ->
+        let golden = lazy (read_file ir_golden_path) in
+        let expect label doc pred =
+          match Pulse_ir.of_string doc with
+          | Ok _ -> Alcotest.failf "%s: parsed a malformed document" label
+          | Error e ->
+            check_true
+              (label ^ " (got " ^ Pulse_ir.error_to_string e ^ ")")
+              (pred e)
+        in
+        expect "truncated JSON" "{\"format\": \"paqoc-ir v1\""
+          (function Pulse_ir.Bad_json _ -> true | _ -> false);
+        expect "wrong format token" "{\"format\": \"paqoc-ir v0\"}"
+          (function Pulse_ir.Bad_format _ -> true | _ -> false);
+        expect "missing required field" "{\"format\": \"paqoc-ir v1\"}"
+          (function Pulse_ir.Missing_field _ -> true | _ -> false);
+        expect "mistyped backend"
+          (replace_first ~needle:"\"backend\": \"model\""
+             ~by:"\"backend\": \"abacus\"" (Lazy.force golden))
+          (function Pulse_ir.Bad_field ("backend", _) -> true | _ -> false);
+        expect "unknown provenance token"
+          (replace_first ~needle:"\"provenance\": \"synthesized\""
+             ~by:"\"provenance\": \"alchemy\"" (Lazy.force golden))
+          (function Pulse_ir.Bad_instruction _ -> true | _ -> false))
+  ]

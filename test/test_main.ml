@@ -25,5 +25,6 @@ let () =
       ("cache", Test_cache.suite);
       ("canon", Test_canon.suite);
       ("server", Test_server.suite);
-      ("sweep", Test_sweep.suite)
+      ("sweep", Test_sweep.suite);
+      ("device", Test_device.suite)
     ]

@@ -81,6 +81,9 @@ let sample_requests =
         top_k = 2;
         jobs = 3;
         canonical = true;
+        device = Some "heavy-hex";
+        drift_seed = 42;
+        drift_epoch = 3;
         deadline_s = Some 1.5
       } ]
 

@@ -4,7 +4,8 @@
      - the 17-benchmark latency table (Latency_table.render/compute)
      - the GRAPE bit-determinism reference (Grape.reference_golden)
      - the canonical hit-rate table (Canon_table.render/compute)
-     - the 32-point variational sweep table (Sweep_table.render/compute) *)
+     - the 32-point variational sweep table (Sweep_table.render/compute)
+     - the qaoa pulse-IR export (Pulse_ir.reference_golden/to_string) *)
 
 let write path contents =
   let tmp = path ^ ".tmp" in
@@ -14,18 +15,20 @@ let write path contents =
   Sys.rename tmp path
 
 let () =
-  let latency_path, grape_path, canon_path, sweep_path =
+  let latency_path, grape_path, canon_path, sweep_path, ir_path =
     match Sys.argv with
-    | [| _; latency |] -> (Some latency, None, None, None)
-    | [| _; latency; grape |] -> (Some latency, Some grape, None, None)
+    | [| _; latency |] -> (Some latency, None, None, None, None)
+    | [| _; latency; grape |] -> (Some latency, Some grape, None, None, None)
     | [| _; latency; grape; canon |] ->
-      (Some latency, Some grape, Some canon, None)
+      (Some latency, Some grape, Some canon, None, None)
     | [| _; latency; grape; canon; sweep |] ->
-      (Some latency, Some grape, Some canon, Some sweep)
+      (Some latency, Some grape, Some canon, Some sweep, None)
+    | [| _; latency; grape; canon; sweep; ir |] ->
+      (Some latency, Some grape, Some canon, Some sweep, Some ir)
     | _ ->
       prerr_endline
         "usage: update_golden LATENCY_FILE [GRAPE_FILE] [CANON_FILE] \
-         [SWEEP_FILE]";
+         [SWEEP_FILE] [IR_FILE]";
       exit 2
   in
   Option.iter
@@ -61,4 +64,11 @@ let () =
       write path table;
       Printf.printf "wrote %s (%d iterations)\n" path
         (List.length (String.split_on_char '\n' table) - 4))
-    sweep_path
+    sweep_path;
+  Option.iter
+    (fun path ->
+      let ir = Paqoc_service.Pulse_ir.reference_golden () in
+      write path (Paqoc_service.Pulse_ir.to_string ir);
+      Printf.printf "wrote %s (%d instructions)\n" path
+        (List.length ir.Paqoc_service.Pulse_ir.schedule))
+    ir_path
